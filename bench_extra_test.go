@@ -1,0 +1,281 @@
+// Supplementary benchmarks: the ablation and scaling studies (the design
+// choices DESIGN.md calls out), plus micro-benchmarks of the substrates.
+package repro
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/experiments"
+	"repro/internal/kernels"
+	"repro/internal/mpi"
+	"repro/internal/perfmodel"
+	"repro/internal/redist"
+	"repro/internal/sched"
+	"repro/internal/simgrid"
+	"repro/internal/tgrid"
+)
+
+// BenchmarkAblationOverheadAttribution regenerates the §V-C error
+// attribution: which of the analytic simulator's omissions (task times,
+// startup overhead, redistribution overhead) causes how much error.
+func BenchmarkAblationOverheadAttribution(b *testing.B) {
+	l := sharedLab(b)
+	rows, err := l.Ablation()
+	if err != nil {
+		b.Fatal(err)
+	}
+	printArtifact("ablation", func() { experiments.WriteAblation(os.Stdout, rows) })
+	for _, r := range rows {
+		b.ReportMetric(r.MedianErrPct, "mederr%/"+r.Model)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Ablation(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScalingStudy regenerates the §IX platform-scaling scenario: the
+// empirical simulator on hypothetical 64-node clusters.
+func BenchmarkScalingStudy(b *testing.B) {
+	cfg := experiments.DefaultConfig()
+	rows, err := experiments.ScalingStudy(cfg, []int{32, 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	printArtifact("scaling", func() { experiments.WriteScaling(os.Stdout, rows) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ScalingStudy(cfg, []int{32, 64}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNoiseSensitivity regenerates the noise-sensitivity table: how
+// many of the analytic simulator's wrong winners are structural versus
+// caused by run-to-run measurement noise.
+func BenchmarkNoiseSensitivity(b *testing.B) {
+	cfg := experiments.DefaultConfig()
+	sigmas := []float64{0, 0.03, 0.2}
+	rows, err := experiments.NoiseSensitivity(cfg, sigmas)
+	if err != nil {
+		b.Fatal(err)
+	}
+	printArtifact("sensitivity", func() { experiments.WriteSensitivity(os.Stdout, rows) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.NoiseSensitivity(cfg, sigmas); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMaxMinSolver measures the resource-sharing solver on a
+// contended scenario: 64 transfers over a 32-node star network.
+func BenchmarkMaxMinSolver(b *testing.B) {
+	net, err := simgrid.NewNet(Bayreuth())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := net.NewEngine()
+		for f := 0; f < 64; f++ {
+			src, dst := f%32, (f*7+5)%32
+			if src == dst {
+				dst = (dst + 1) % 32
+			}
+			bytes := make([][]float64, 2)
+			bytes[0] = []float64{0, 1e6 * float64(f+1)}
+			bytes[1] = []float64{0, 0}
+			e.Add(net.Ptask(fmt.Sprintf("f%d", f), []int{src, dst}, nil, bytes))
+		}
+		if _, err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDAGGenerate measures the random generator.
+func BenchmarkDAGGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := dag.Generate(dag.GenParams{
+			Tasks: 10, InputMatrices: 8, AddRatio: 0.5, N: 2000, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchScheduler measures one allocation+mapping pass.
+func benchScheduler(b *testing.B, algo sched.Algorithm) {
+	c := Bayreuth()
+	model := perfmodel.NewAnalytic(c)
+	cost := perfmodel.CostFunc(model)
+	comm := perfmodel.CommFunc(model, c)
+	g := dag.MustGenerate(dag.GenParams{Tasks: 10, InputMatrices: 8, AddRatio: 0.5, N: 2000, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.Build(algo, g, c.Nodes, cost, comm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSchedulerCPA measures the CPA two-phase scheduler.
+func BenchmarkSchedulerCPA(b *testing.B) { benchScheduler(b, sched.CPA{}) }
+
+// BenchmarkSchedulerHCPA measures the HCPA two-phase scheduler.
+func BenchmarkSchedulerHCPA(b *testing.B) { benchScheduler(b, sched.HCPA{}) }
+
+// BenchmarkSchedulerMCPA measures the MCPA two-phase scheduler.
+func BenchmarkSchedulerMCPA(b *testing.B) { benchScheduler(b, sched.MCPA{}) }
+
+// BenchmarkSchedulerMHEFT measures the one-phase M-HEFT baseline.
+func BenchmarkSchedulerMHEFT(b *testing.B) {
+	c := Bayreuth()
+	model := perfmodel.NewAnalytic(c)
+	cost := perfmodel.CostFunc(model)
+	comm := perfmodel.CommFunc(model, c)
+	g := dag.MustGenerate(dag.GenParams{Tasks: 10, InputMatrices: 8, AddRatio: 0.5, N: 2000, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (sched.MHEFT{}).Build(g, c.Nodes, cost, comm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVirtualReplay measures one virtual-time execution of a schedule
+// (the simulator's inner loop).
+func BenchmarkVirtualReplay(b *testing.B) {
+	c := Bayreuth()
+	model := perfmodel.NewAnalytic(c)
+	net, err := simgrid.NewNet(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := dag.MustGenerate(dag.GenParams{Tasks: 10, InputMatrices: 8, AddRatio: 0.5, N: 2000, Seed: 1})
+	s, err := sched.Build(sched.HCPA{}, g, c.Nodes, perfmodel.CostFunc(model), perfmodel.CommFunc(model, c))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tgrid.Run(net, s, tgrid.ModelTiming{Model: model}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEmulatorExecute measures one emulated-cluster execution (the
+// "experiment" side).
+func BenchmarkEmulatorExecute(b *testing.B) {
+	l := sharedLab(b)
+	g := l.Suite[0].Graph
+	model := l.Analytic
+	s, err := sched.Build(sched.HCPA{}, g, l.Cluster().Nodes,
+		perfmodel.CostFunc(model), perfmodel.CommFunc(model, l.Cluster()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Em.Execute(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRedistCommMatrix measures the 1-D overlap plan computation.
+func BenchmarkRedistCommMatrix(b *testing.B) {
+	src, _ := redist.NewDist(3000, 17)
+	dst, _ := redist.NewDist(3000, 23)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := redist.CommMatrix(src, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParMatMulReal measures the real 1-D parallel multiplication on
+// four goroutine ranks (n = 192).
+func BenchmarkParMatMulReal(b *testing.B) {
+	const n, p = 192, 4
+	a := kernels.RandomMatrix(n, 1)
+	m := kernels.RandomMatrix(n, 2)
+	d, _ := redist.NewDist(n, p)
+	ab, bb := kernels.Scatter(a, d), kernels.Scatter(m, d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := make([]*kernels.Matrix, p)
+		mpi.Run(p, func(c *mpi.Comm) {
+			out[c.Rank()] = kernels.ParMatMul(c, ab[c.Rank()], bb[c.Rank()], d)
+		})
+	}
+}
+
+// BenchmarkSeqMatMul is the sequential reference point for ParMatMulReal.
+func BenchmarkSeqMatMul(b *testing.B) {
+	const n = 192
+	a := kernels.RandomMatrix(n, 1)
+	m := kernels.RandomMatrix(n, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kernels.SeqMatMul(a, m)
+	}
+}
+
+// BenchmarkSeqMatMulBlocked measures the cache-tiled kernel against the
+// naive one — the memory-hierarchy effect behind the paper's p=8 outlier.
+func BenchmarkSeqMatMulBlocked(b *testing.B) {
+	const n = 192
+	a := kernels.RandomMatrix(n, 1)
+	m := kernels.RandomMatrix(n, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kernels.SeqMatMulBlocked(a, m, 64)
+	}
+}
+
+// BenchmarkStragglerStudy regenerates the degraded-node study: the profile
+// simulator collapses when one node runs slow, because per-count profiling
+// cannot express host identity.
+func BenchmarkStragglerStudy(b *testing.B) {
+	cfg := experiments.DefaultConfig()
+	rows, err := experiments.StragglerStudy(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	printArtifact("straggler", func() { experiments.WriteStraggler(os.Stdout, rows) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.StragglerStudy(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHeterogeneityStudy regenerates the two-speed-cluster study
+// porting the case study to HCPA's original heterogeneous setting.
+func BenchmarkHeterogeneityStudy(b *testing.B) {
+	cfg := experiments.DefaultConfig()
+	rows, err := experiments.HeterogeneityStudy(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	printArtifact("hetero", func() { experiments.WriteHetero(os.Stdout, rows) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.HeterogeneityStudy(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

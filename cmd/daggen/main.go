@@ -1,0 +1,98 @@
+// Command daggen generates random mixed-parallel application DAGs with the
+// paper's generator (§II-B) and writes them as JSON.
+//
+// Usage:
+//
+//	daggen -suite -o dags/              # the full 54-instance Table I suite
+//	daggen -width 8 -ratio 0.5 -n 2000 -seed 7   # one instance to stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/dag"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("daggen: ")
+	var (
+		suite  = flag.Bool("suite", false, "generate the full 54-instance Table I suite")
+		outDir = flag.String("o", "", "output directory (required with -suite; default stdout otherwise)")
+		tasks  = flag.Int("tasks", 10, "number of tasks")
+		width  = flag.Int("width", 4, "number of input matrices (DAG width)")
+		ratio  = flag.Float64("ratio", 0.5, "ratio of addition tasks")
+		n      = flag.Int("n", 2000, "matrix dimension")
+		seed   = flag.Int64("seed", 1, "generator seed (with -suite: suite base seed)")
+		dot    = flag.Bool("dot", false, "emit Graphviz DOT instead of JSON (single-instance mode)")
+	)
+	flag.Parse()
+
+	if *suite {
+		if *outDir == "" {
+			log.Fatal("-suite requires -o <dir>")
+		}
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		instances, err := dag.GenerateSuite(*seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, inst := range instances {
+			path := filepath.Join(*outDir, inst.Params.Name()+".json")
+			f, err := os.Create(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := inst.Graph.WriteJSON(f); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("wrote %d DAGs to %s\n", len(instances), *outDir)
+		return
+	}
+
+	g, err := dag.Generate(dag.GenParams{
+		Tasks:         *tasks,
+		InputMatrices: *width,
+		AddRatio:      *ratio,
+		N:             *n,
+		Seed:          *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *dot {
+		if err := g.WriteDOT(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *outDir != "" {
+		path := filepath.Join(*outDir, g.Name+".json")
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := g.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(path)
+		return
+	}
+	if err := g.WriteJSON(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,183 @@
+// Command mixedsim reproduces the paper's evaluation: it assembles the
+// emulated Bayreuth environment, runs the profiling campaigns, pushes the
+// 54-DAG suite through the three simulators and the emulated cluster, and
+// prints any (or all) of the paper's tables and figures.
+//
+// Usage:
+//
+//	mixedsim -experiment all
+//	mixedsim -experiment fig1            # analytic sim vs experiment
+//	mixedsim -experiment fig8 -seed 7    # error boxplots, different noise
+//
+// Experiments: table1, fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8,
+// table2, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mixedsim: ")
+	var (
+		experiment = flag.String("experiment", "all", "which experiment to run (table1, fig1..fig8, table2, ablation, scaling, all)")
+		suiteSeed  = flag.Int64("suite-seed", 2011, "seed for the 54-DAG suite")
+		noiseSeed  = flag.Int64("seed", 42, "seed for the environment's run-to-run noise")
+		trials     = flag.Int("trials", 1, "emulated cluster runs averaged per measured makespan")
+		jsonPath   = flag.String("json", "", "additionally write the full machine-readable report to this path")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	cfg.SuiteSeed = *suiteSeed
+	cfg.NoiseSeed = *noiseSeed
+	cfg.ExpTrials = *trials
+
+	lab, err := experiments.NewLab(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := os.Stdout
+	run := func(name string) error {
+		switch name {
+		case "table1":
+			lab.Table1().Write(w)
+		case "fig1", "fig5", "fig7":
+			model := map[string]string{"fig1": "analytic", "fig5": "profile", "fig7": "empirical"}[name]
+			for _, n := range []int{2000, 3000} {
+				c, err := lab.CompareHCPAMCPA(model, n)
+				if err != nil {
+					return err
+				}
+				c.Write(w)
+				fmt.Fprintln(w)
+			}
+		case "fig2":
+			experiments.WriteErrorSeries(w,
+				"Figure 2 (left) — relative error of the analytic model, 1D MM/Java",
+				lab.Figure2Java(3))
+			fmt.Fprintln(w)
+			experiments.WriteErrorSeries(w,
+				"Figure 2 (right) — relative error of the analytic model, PDGEMM/Cray XT4",
+				experiments.Figure2Franklin())
+		case "fig3":
+			lab.Figure3().Write(w)
+		case "fig4":
+			lab.Figure4().Write(w)
+		case "fig6":
+			for _, n := range []int{2000, 3000} {
+				study, err := lab.Figure6(n)
+				if err != nil {
+					return err
+				}
+				study.Write(w)
+				fmt.Fprintln(w)
+			}
+		case "fig8":
+			boxes, err := lab.Figure8()
+			if err != nil {
+				return err
+			}
+			experiments.WriteFigure8(w, boxes)
+		case "table2":
+			lab.Table2(w)
+		case "ablation":
+			rows, err := lab.Ablation()
+			if err != nil {
+				return err
+			}
+			experiments.WriteAblation(w, rows)
+		case "scaling":
+			rows, err := experiments.ScalingStudy(cfg, []int{32, 64, 128})
+			if err != nil {
+				return err
+			}
+			experiments.WriteScaling(w, rows)
+		case "sensitivity":
+			rows, err := experiments.NoiseSensitivity(cfg, []float64{0, 0.01, 0.03, 0.1, 0.2})
+			if err != nil {
+				return err
+			}
+			experiments.WriteSensitivity(w, rows)
+		case "straggler":
+			rows, err := experiments.StragglerStudy(cfg)
+			if err != nil {
+				return err
+			}
+			experiments.WriteStraggler(w, rows)
+		case "hetero":
+			rows, err := experiments.HeterogeneityStudy(cfg)
+			if err != nil {
+				return err
+			}
+			experiments.WriteHetero(w, rows)
+		case "environments":
+			rows, err := experiments.EnvironmentStudy(cfg)
+			if err != nil {
+				return err
+			}
+			experiments.WriteEnvironments(w, rows)
+		case "breakdown":
+			rows, err := lab.TimeBreakdown()
+			if err != nil {
+				return err
+			}
+			experiments.WriteBreakdown(w, rows)
+		case "shapes":
+			rows, err := lab.ShapeStudy()
+			if err != nil {
+				return err
+			}
+			experiments.WriteShapes(w, rows)
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		return nil
+	}
+
+	names := []string{*experiment}
+	if *experiment == "all" {
+		names = []string{"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+			"fig8", "table2", "ablation", "scaling", "sensitivity", "breakdown", "shapes",
+			"environments", "hetero", "straggler"}
+	}
+	for i, name := range names {
+		if i > 0 {
+			separator(w)
+		}
+		if err := run(name); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *jsonPath != "" {
+		report, err := lab.BuildReport()
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := report.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintln(w, "wrote", *jsonPath)
+	}
+}
+
+func separator(w io.Writer) {
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, strings.Repeat("-", 72))
+	fmt.Fprintln(w)
+}

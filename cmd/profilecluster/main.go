@@ -1,0 +1,152 @@
+// Command profilecluster runs the paper's measurement campaigns against the
+// emulated cluster (§VI–§VII) and writes the results: the brute-force task
+// profile, the startup series, the redistribution surface, and the fitted
+// empirical models in Table II form.
+//
+// Usage:
+//
+//	profilecluster                  # campaign summary to stdout
+//	profilecluster -json profile.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/perfmodel"
+	"repro/internal/profiler"
+)
+
+// profileDump is the JSON export layout.
+type profileDump struct {
+	TaskTimes []taskEntry        `json:"task_times"`
+	Startup   map[string]float64 `json:"startup_seconds"`
+	RedistDst map[string]float64 `json:"redist_overhead_seconds_by_dst"`
+	Fits      fitsDump           `json:"empirical_fits"`
+}
+
+type taskEntry struct {
+	Kernel  string  `json:"kernel"`
+	N       int     `json:"n"`
+	P       int     `json:"p"`
+	Seconds float64 `json:"seconds"`
+}
+
+type fitsDump struct {
+	StartupA  float64               `json:"startup_a"`
+	StartupB  float64               `json:"startup_b"`
+	RedistAms float64               `json:"redist_a_ms"`
+	RedistBms float64               `json:"redist_b_ms"`
+	Mul       map[string][4]float64 `json:"mul_abcd_by_n"`
+	Add       map[string][2]float64 `json:"add_ab_by_n"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("profilecluster: ")
+	var (
+		seed     = flag.Int64("seed", 42, "environment noise seed")
+		jsonPath = flag.String("json", "", "write the full profile as JSON to this path")
+	)
+	flag.Parse()
+
+	em, err := cluster.NewEmulator(cluster.Bayreuth(), *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	prof, err := profiler.BuildProfileModel(em, profiler.DefaultProfileOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	emp, err := profiler.BuildEmpiricalModel(em, profiler.DefaultEmpiricalOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("brute-force task profile (mean seconds):")
+	keys := make([]perfmodel.TaskKey, 0, len(prof.Data.TaskTimes))
+	for k := range prof.Data.TaskTimes {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		ka, kb := keys[a], keys[b]
+		if ka.Kernel != kb.Kernel {
+			return ka.Kernel < kb.Kernel
+		}
+		if ka.N != kb.N {
+			return ka.N < kb.N
+		}
+		return ka.P < kb.P
+	})
+	for _, k := range keys {
+		if k.P == 1 || k.P%8 == 0 {
+			fmt.Printf("  %-4s n=%d p=%-3d %8.2f\n", k.Kernel, k.N, k.P, prof.Data.TaskTimes[k])
+		}
+	}
+	fmt.Printf("startup overhead: p=1 %.3fs ... p=32 %.3fs\n",
+		prof.Data.Startup[1], prof.Data.Startup[32])
+	fmt.Printf("redistribution overhead: p(dst)=1 %.1fms ... p(dst)=32 %.1fms\n",
+		1000*prof.Data.RedistByDst[1], 1000*prof.Data.RedistByDst[32])
+	fmt.Println()
+	fmt.Println("empirical fits (Table II form):")
+	for _, n := range []int{2000, 3000} {
+		pw := emp.MulFits[n]
+		fmt.Printf("  mul n=%d: low (a,b)=(%.2f, %.2f)  high (c,d)=(%.2f, %.2f)\n",
+			n, pw.Low.A, pw.Low.B, pw.High.A, pw.High.B)
+		f := emp.AddFits[n]
+		fmt.Printf("  add n=%d: (a,b)=(%.2f, %.2f)\n", n, f.A, f.B)
+	}
+	fmt.Printf("  startup: (a,b)=(%.3f, %.3f) s\n", emp.StartupFit.A, emp.StartupFit.B)
+	fmt.Printf("  redistribution: (a,b)=(%.2f, %.2f) ms\n",
+		1000*emp.RedistFit.A, 1000*emp.RedistFit.B)
+
+	if *jsonPath == "" {
+		return
+	}
+	dump := profileDump{
+		Startup:   map[string]float64{},
+		RedistDst: map[string]float64{},
+		Fits: fitsDump{
+			StartupA:  emp.StartupFit.A,
+			StartupB:  emp.StartupFit.B,
+			RedistAms: 1000 * emp.RedistFit.A,
+			RedistBms: 1000 * emp.RedistFit.B,
+			Mul:       map[string][4]float64{},
+			Add:       map[string][2]float64{},
+		},
+	}
+	for _, k := range keys {
+		dump.TaskTimes = append(dump.TaskTimes, taskEntry{
+			Kernel: k.Kernel.String(), N: k.N, P: k.P, Seconds: prof.Data.TaskTimes[k],
+		})
+	}
+	for p, v := range prof.Data.Startup {
+		dump.Startup[fmt.Sprint(p)] = v
+	}
+	for p, v := range prof.Data.RedistByDst {
+		dump.RedistDst[fmt.Sprint(p)] = v
+	}
+	for _, n := range []int{2000, 3000} {
+		pw := emp.MulFits[n]
+		dump.Fits.Mul[fmt.Sprint(n)] = [4]float64{pw.Low.A, pw.Low.B, pw.High.A, pw.High.B}
+		f := emp.AddFits[n]
+		dump.Fits.Add[fmt.Sprint(n)] = [2]float64{f.A, f.B}
+	}
+	f, err := os.Create(*jsonPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(dump); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote", *jsonPath)
+}

@@ -1,0 +1,91 @@
+// Heterogeneous: the case study ported to HCPA's original setting — a
+// cluster mixing two node speeds. Shows the reference-cluster allocation,
+// the speed-aware mapping, and that profiled simulation stays sound where
+// analytic simulation does not.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cluster"
+	"repro/internal/dag"
+	"repro/internal/perfmodel"
+	"repro/internal/platform"
+	"repro/internal/profiler"
+	"repro/internal/sched"
+	"repro/internal/simgrid"
+	"repro/internal/tgrid"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A 32-node cluster: half at 250 MFlop/s, half at 500 MFlop/s.
+	powers := make([]float64, 32)
+	for i := range powers {
+		if i < 16 {
+			powers[i] = 250e6
+		} else {
+			powers[i] = 500e6
+		}
+	}
+	hc := platform.NewHeterogeneous("two-speed", powers, 125e6, 100e-6)
+	fmt.Printf("platform %s: %d nodes, reference speed %.0f MFlop/s, total %.0f MFlop/s\n",
+		hc.Name, hc.Nodes, hc.NodePower/1e6, hc.TotalPower()/1e6)
+
+	truth := cluster.Bayreuth()
+	truth.Cluster = hc
+	em, err := cluster.NewEmulator(truth, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net, err := simgrid.NewNet(hc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	profModel, err := profiler.BuildProfileModel(em, profiler.DefaultProfileOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	g := dag.MustGenerate(dag.GenParams{Tasks: 10, InputMatrices: 8, AddRatio: 0.5, N: 2000, Seed: 21})
+	fmt.Printf("\napplication %s: %d tasks, width %d\n\n", g.Name, g.Len(), g.Width())
+
+	fmt.Printf("%-10s %-6s %12s %12s   placement (fast nodes are 16..31)\n",
+		"model", "algo", "simulated", "measured")
+	for _, model := range []perfmodel.Model{perfmodel.NewAnalytic(hc), profModel} {
+		cost := perfmodel.CostFunc(model)
+		comm := perfmodel.CommFunc(model, hc)
+		for _, algo := range []sched.Algorithm{sched.HCPA{}, sched.MCPA{}} {
+			s, err := sched.BuildHetero(algo, g, hc, cost, comm)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sim, err := tgrid.Run(net, s, tgrid.ModelTiming{Model: model})
+			if err != nil {
+				log.Fatal(err)
+			}
+			exp, err := em.MeasureMakespan(s, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fast := 0
+			total := 0
+			for id := range s.Alloc {
+				for _, h := range s.Hosts[id] {
+					total++
+					if hc.PowerOf(h) > 250e6 {
+						fast++
+					}
+				}
+			}
+			fmt.Printf("%-10s %-6s %10.1f s %10.1f s   %d/%d slots on fast nodes\n",
+				model.Name(), algo.Name(), sim.Makespan, exp, fast, total)
+		}
+	}
+
+	fmt.Println("\nThe speed-aware mapping concentrates work on fast nodes; the profile")
+	fmt.Println("simulator tracks the measured times, the analytic one undershoots by")
+	fmt.Println("the same factor as on the homogeneous cluster.")
+}

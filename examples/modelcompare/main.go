@@ -1,0 +1,91 @@
+// Modelcompare: the paper's story in one program. One DAG, the HCPA and
+// MCPA algorithms, and the three simulator variants — analytic, profile-
+// based, empirical — each compared against the emulated cluster. Shows how
+// the analytic simulator picks the wrong winner while the refined ones
+// agree with the experiment.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cluster"
+	"repro/internal/dag"
+	"repro/internal/perfmodel"
+	"repro/internal/profiler"
+	"repro/internal/sched"
+	"repro/internal/simgrid"
+	"repro/internal/tgrid"
+)
+
+func main() {
+	log.SetFlags(0)
+	truth := cluster.Bayreuth()
+	em, err := cluster.NewEmulator(truth, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net, err := simgrid.NewNet(truth.Cluster)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("running the profiling campaigns against the environment ...")
+	profModel, err := profiler.BuildProfileModel(em, profiler.DefaultProfileOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	empModel, err := profiler.BuildEmpiricalModel(em, profiler.DefaultEmpiricalOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	models := []perfmodel.Model{perfmodel.NewAnalytic(truth.Cluster), profModel, empModel}
+
+	g := dag.MustGenerate(dag.GenParams{
+		Tasks: 10, InputMatrices: 8, AddRatio: 0.75, N: 2000, Seed: 12,
+	})
+	fmt.Printf("\napplication %s (%d tasks, width %d)\n\n", g.Name, g.Len(), g.Width())
+	fmt.Printf("%-10s %22s %22s %14s\n", "model", "HCPA sim/exp [s]", "MCPA sim/exp [s]", "winner sim/exp")
+
+	for _, model := range models {
+		cost := perfmodel.CostFunc(model)
+		comm := perfmodel.CommFunc(model, truth.Cluster)
+		type outcome struct{ sim, exp float64 }
+		res := map[string]outcome{}
+		for _, algo := range []sched.Algorithm{sched.HCPA{}, sched.MCPA{}} {
+			s, err := sched.Build(algo, g, truth.Cluster.Nodes, cost, comm)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sim, err := tgrid.Run(net, s, tgrid.ModelTiming{Model: model})
+			if err != nil {
+				log.Fatal(err)
+			}
+			exp, err := em.MeasureMakespan(s, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res[algo.Name()] = outcome{sim: sim.Makespan, exp: exp}
+		}
+		simWinner, expWinner := "HCPA", "HCPA"
+		if res["MCPA"].sim < res["HCPA"].sim {
+			simWinner = "MCPA"
+		}
+		if res["MCPA"].exp < res["HCPA"].exp {
+			expWinner = "MCPA"
+		}
+		marker := ""
+		if simWinner != expWinner {
+			marker = "  <-- simulation wrong"
+		}
+		fmt.Printf("%-10s %10.1f / %8.1f %10.1f / %8.1f %8s / %s%s\n",
+			model.Name(),
+			res["HCPA"].sim, res["HCPA"].exp,
+			res["MCPA"].sim, res["MCPA"].exp,
+			simWinner, expWinner, marker)
+	}
+
+	fmt.Println("\nThe analytic row underestimates both makespans by a factor and can")
+	fmt.Println("invert the comparison; the profile and empirical rows track the")
+	fmt.Println("measured times closely enough to rank the algorithms correctly.")
+}

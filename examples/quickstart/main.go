@@ -1,0 +1,81 @@
+// Quickstart: generate a random mixed-parallel application, schedule it
+// with HCPA under the analytic performance model, simulate the schedule,
+// and execute it on the emulated cluster — the paper's whole pipeline on a
+// single DAG.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/dag"
+	"repro/internal/perfmodel"
+	"repro/internal/sched"
+	"repro/internal/simgrid"
+	"repro/internal/tgrid"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. A random application: 10 moldable matrix tasks, width 4,
+	//    half additions, n=2000 matrices (one cell of Table I).
+	g, err := dag.Generate(dag.GenParams{
+		Tasks: 10, InputMatrices: 4, AddRatio: 0.5, N: 2000, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("application %s: %d tasks (%d mul, %d add), %d edges, width %d\n",
+		g.Name, g.Len(), g.CountKernel(dag.KernelMul), g.CountKernel(dag.KernelAdd),
+		g.EdgeCount(), g.Width())
+
+	// 2. The platform and the analytic performance model (§IV).
+	truth := cluster.Bayreuth()
+	model := perfmodel.NewAnalytic(truth.Cluster)
+
+	// 3. Two-phase scheduling with HCPA.
+	s, err := sched.Build(sched.HCPA{}, g, truth.Cluster.Nodes,
+		perfmodel.CostFunc(model), perfmodel.CommFunc(model, truth.Cluster))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nschedule (HCPA, analytic model):")
+	for _, id := range s.Order() {
+		fmt.Printf("  %-10s p=%-2d start=%6.1fs hosts=%v\n",
+			g.Task(id).Name, s.Alloc[id], s.EstStart[id], s.Hosts[id])
+	}
+
+	// 4. Simulate the schedule (what the paper's simulator reports)...
+	net, err := simgrid.NewNet(truth.Cluster)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim, err := tgrid.Run(net, s, tgrid.ModelTiming{Model: model})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. ...and execute it on the emulated cluster (the "experiment").
+	em, err := cluster.NewEmulator(truth, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exp, err := em.Execute(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nsimulated makespan:   %7.1f s\n", sim.Makespan)
+	fmt.Printf("measured makespan:    %7.1f s\n", exp.Makespan)
+	fmt.Printf("simulation error:     %7.1f %%  (the gap the paper investigates)\n",
+		100*(exp.Makespan-sim.Makespan)/sim.Makespan)
+
+	// 6. Inspect the measured execution as a Gantt chart.
+	tr := trace.FromResult(s, exp)
+	fmt.Printf("\nmean processor utilisation on the cluster: %.0f%%\n\n", 100*tr.MeanUtilization())
+	tr.Gantt(os.Stdout, 72)
+}

@@ -1,0 +1,65 @@
+// Realexec: the TGrid runtime actually executing a mixed-parallel
+// application — real parallel matrix kernels on goroutine ranks, real
+// message-passing redistributions — and validating the numerical result
+// against a sequential reference. Uses laptop-scale matrices (n = 256).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/dag"
+	"repro/internal/sched"
+	"repro/internal/tgrid"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	g, err := dag.Generate(dag.GenParams{
+		Tasks: 8, InputMatrices: 4, AddRatio: 0.5, N: 256, Seed: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("application %s: %d tasks, %d edges (n=256 matrices)\n",
+		g.Name, g.Len(), g.EdgeCount())
+
+	// Schedule for an 8-processor run with ideal-speedup costs: the real
+	// backend only needs the allocation and host assignment.
+	cost := func(t *dag.Task, p int) float64 { return t.Flops() / float64(p) }
+	s, err := sched.Build(sched.HCPA{}, g, 8, cost, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nallocations:", s.Alloc)
+
+	opts := tgrid.RealOptions{Seed: 99}
+	res, err := tgrid.RunReal(s, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nreal execution finished in %v\n", res.Makespan)
+	for id, d := range res.TaskWall {
+		fmt.Printf("  %-10s p=%-2d kernel wall time %v\n", g.Task(id).Name, s.Alloc[id], d)
+	}
+
+	// Verify against a sequential reference computation.
+	want := tgrid.SequentialReference(g, s, opts)
+	fmt.Println("\noutput verification (Frobenius norms of exit-task outputs):")
+	ok := true
+	for id, norm := range want {
+		got := res.Outputs[id]
+		status := "OK"
+		if math.Abs(got-norm)/norm > 1e-9 {
+			status = "MISMATCH"
+			ok = false
+		}
+		fmt.Printf("  task %-3d parallel %.6e  sequential %.6e  %s\n", id, got, norm, status)
+	}
+	if !ok {
+		log.Fatal("parallel execution diverged from the sequential reference")
+	}
+	fmt.Println("\nparallel execution matches the sequential reference bit-for-bit scale.")
+}

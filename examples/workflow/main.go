@@ -1,0 +1,82 @@
+// Workflow: schedule a hand-built scientific workflow — a map/reduce-shaped
+// mixed-parallel pipeline — with CPA, HCPA and MCPA, and compare the
+// schedules both in simulation and on the emulated cluster. Demonstrates
+// CPA's over-allocation flaw and how the two remedies behave.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cluster"
+	"repro/internal/dag"
+	"repro/internal/perfmodel"
+	"repro/internal/sched"
+	"repro/internal/simgrid"
+	"repro/internal/tgrid"
+)
+
+// buildWorkflow models a typical mixed-parallel computation: four
+// independent n×n multiplication "map" branches, pairwise combination
+// (additions), a reduction multiplication, and a final correction addition.
+func buildWorkflow(n int) *dag.Graph {
+	g := dag.New("science-workflow")
+	var branches []int
+	for i := 0; i < 4; i++ {
+		t := g.AddTask(dag.KernelMul, n)
+		branches = append(branches, t.ID)
+	}
+	c1 := g.AddTask(dag.KernelAdd, n)
+	c2 := g.AddTask(dag.KernelAdd, n)
+	g.AddEdge(branches[0], c1.ID)
+	g.AddEdge(branches[1], c1.ID)
+	g.AddEdge(branches[2], c2.ID)
+	g.AddEdge(branches[3], c2.ID)
+	reduce := g.AddTask(dag.KernelMul, n)
+	g.AddEdge(c1.ID, reduce.ID)
+	g.AddEdge(c2.ID, reduce.ID)
+	final := g.AddTask(dag.KernelAdd, n)
+	g.AddEdge(reduce.ID, final.ID)
+	return g
+}
+
+func main() {
+	log.SetFlags(0)
+	truth := cluster.Bayreuth()
+	g := buildWorkflow(2000)
+	fmt.Printf("workflow: %d tasks, %d edges, width %d, cluster of %d nodes\n\n",
+		g.Len(), g.EdgeCount(), g.Width(), truth.Cluster.Nodes)
+
+	model := perfmodel.NewAnalytic(truth.Cluster)
+	cost := perfmodel.CostFunc(model)
+	comm := perfmodel.CommFunc(model, truth.Cluster)
+	net, err := simgrid.NewNet(truth.Cluster)
+	if err != nil {
+		log.Fatal(err)
+	}
+	em, err := cluster.NewEmulator(truth, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-8s %-28s %12s %12s\n", "algo", "allocations", "simulated", "measured")
+	for _, algo := range []sched.Algorithm{sched.CPA{}, sched.HCPA{}, sched.MCPA{}, sched.Sequential{}} {
+		s, err := sched.Build(algo, g, truth.Cluster.Nodes, cost, comm)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sim, err := tgrid.Run(net, s, tgrid.ModelTiming{Model: model})
+		if err != nil {
+			log.Fatal(err)
+		}
+		exp, err := em.MeasureMakespan(s, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s %-28s %10.1f s %10.1f s\n", algo.Name(), fmt.Sprint(s.Alloc), sim.Makespan, exp)
+	}
+
+	fmt.Println("\nNote how the algorithms with larger allocations look better in")
+	fmt.Println("simulation than they are in reality: the analytic model does not")
+	fmt.Println("charge per-processor startup or redistribution overheads (§V-C).")
+}

@@ -1,0 +1,167 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"repro/internal/dag"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/simgrid"
+	"repro/internal/tgrid"
+)
+
+// Emulator is the "experiment" side of the case study: it executes
+// schedules under the hidden ground-truth profile, with seeded run-to-run
+// noise, playing the role of the Bayreuth cluster plus TGrid.
+//
+// An Emulator is safe for concurrent use; each Execute call draws from the
+// shared noise stream under a lock.
+type Emulator struct {
+	Hidden *Hidden
+	net    *simgrid.Net
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewEmulator builds the environment with a noise seed.
+func NewEmulator(h *Hidden, seed int64) (*Emulator, error) {
+	net, err := simgrid.NewNet(h.Cluster)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	return &Emulator{Hidden: h, net: net, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Net exposes the emulator's network, for tests.
+func (e *Emulator) Net() *simgrid.Net { return e.net }
+
+// noise draws one multiplicative lognormal noise factor.
+func (e *Emulator) noise() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.Hidden.NoiseSigma <= 0 {
+		return 1
+	}
+	return math.Exp(e.rng.NormFloat64() * e.Hidden.NoiseSigma)
+}
+
+// truthTiming implements tgrid.Timing with the hidden profile plus noise.
+type truthTiming struct{ em *Emulator }
+
+func (t truthTiming) TaskStartup(task *dag.Task, p int) float64 {
+	return t.em.Hidden.StartupTime(p) * t.em.noise()
+}
+
+func (t truthTiming) TaskWork(task *dag.Task, hosts []int) (float64, []float64, [][]float64) {
+	h := t.em.Hidden
+	kernel := h.KernelTime(task, len(hosts))
+	// On heterogeneous platforms the load-balanced 1-D kernel runs at the
+	// slowest assigned node's pace; KernelTime is calibrated against the
+	// reference speed.
+	if !h.Cluster.IsHomogeneous() {
+		kernel *= h.Cluster.NodePower / h.Cluster.MinPowerOf(hosts)
+	}
+	// A degraded node drags every task that touches it.
+	if h.StragglerHost >= 0 && h.StragglerFactor > 1 {
+		for _, host := range hosts {
+			if host == h.StragglerHost {
+				kernel *= h.StragglerFactor
+				break
+			}
+		}
+	}
+	return kernel * t.em.noise(), nil, nil
+}
+
+func (t truthTiming) RedistOverhead(pSrc, pDst int) float64 {
+	return t.em.Hidden.RedistOverheadTime(pSrc, pDst) * t.em.noise()
+}
+
+// Execute runs the schedule on the emulated cluster and returns the
+// measured result. Consecutive calls differ by run-to-run noise, exactly
+// like repeated runs on real hardware.
+func (e *Emulator) Execute(s *sched.Schedule) (*tgrid.Result, error) {
+	return tgrid.Run(e.net, s, truthTiming{em: e})
+}
+
+// MeasureMakespan executes the schedule trials times and returns the mean
+// measured makespan.
+func (e *Emulator) MeasureMakespan(s *sched.Schedule, trials int) (float64, error) {
+	if trials < 1 {
+		trials = 1
+	}
+	sum := 0.0
+	for i := 0; i < trials; i++ {
+		res, err := e.Execute(s)
+		if err != nil {
+			return 0, err
+		}
+		sum += res.Makespan
+	}
+	return sum / float64(trials), nil
+}
+
+// MeasureTask runs a single task in isolation on processors [0, p) and
+// returns the measured kernel time, excluding startup overhead — the probe
+// the brute-force profiling campaign uses (§VI-A).
+func (e *Emulator) MeasureTask(kernel dag.Kernel, n, p int) float64 {
+	task := &dag.Task{Kernel: kernel, N: n}
+	return e.Hidden.KernelTime(task, p) * e.noise()
+}
+
+// MeasureStartup launches a no-op application on p processors and returns
+// the measured startup overhead (§VI-B).
+func (e *Emulator) MeasureStartup(p int) float64 {
+	return e.Hidden.StartupTime(p) * e.noise()
+}
+
+// MeasureRedistOverhead performs the mostly-empty-matrix redistribution
+// probe from pSrc to pDst processors and returns the measured overhead
+// (§VI-C). The one-byte-per-pair payload transfers in negligible time, as
+// designed; the protocol overhead dominates.
+func (e *Emulator) MeasureRedistOverhead(pSrc, pDst int) float64 {
+	return e.Hidden.RedistOverheadTime(pSrc, pDst) * e.noise()
+}
+
+// FranklinProfile models the Cray XT4 side of Figure 2: PDGEMM at the
+// measured 4165.3 MFlop/s with a mild, size-dependent model error
+// oscillating around 10% and bounded by ~20%.
+type FranklinProfile struct {
+	Hidden *Hidden
+}
+
+// NewFranklinProfile returns the calibrated Cray environment.
+func NewFranklinProfile() *FranklinProfile {
+	h := &Hidden{
+		Cluster:             platform.Franklin(),
+		MulInefficiencyRamp: 0.10,
+		MulWiggleAmp:        0.10,
+		AddInefficiencyRamp: 0.05,
+		AddWiggleAmp:        0.03,
+		OutlierP8:           1,
+		OutlierP16N3000:     1,
+		StartupBase:         0.05,
+		StartupSlope:        0.001,
+		StartupWiggleAmp:    0.01,
+		RedistBase:          5e-3,
+		RedistDstSlope:      0.2e-3,
+		RedistSrcSlope:      0.05e-3,
+		RedistWiggleAmp:     1e-3,
+		StragglerHost:       -1,
+		NoiseSigma:          0.01,
+		Salt:                0xf4a7c15,
+	}
+	return &FranklinProfile{Hidden: h}
+}
+
+// ModelError returns the relative error of the analytic PDGEMM model
+// 2n³/(p·FLOPS) against the Cray ground truth — Figure 2's right-hand
+// series, for n ∈ {1024, 2048, 4096}.
+func (f *FranklinProfile) ModelError(n, p int) float64 {
+	task := &dag.Task{Kernel: dag.KernelMul, N: n}
+	return f.Hidden.AnalyticModelError(task, p)
+}

@@ -1,0 +1,70 @@
+package dag
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format, one node per task
+// labelled with kernel and matrix size — handy for inspecting generated
+// instances.
+func (g *Graph) WriteDOT(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=TB;\n", g.Name); err != nil {
+		return err
+	}
+	for _, t := range g.Tasks {
+		shape := "box"
+		if t.Kernel == KernelMul {
+			shape = "ellipse"
+		}
+		// The label wants a literal \n escape for Graphviz's line break.
+		if _, err := fmt.Fprintf(w, "  t%d [label=\"%s\\nn=%d\" shape=%s];\n",
+			t.ID, t.Name, t.N, shape); err != nil {
+			return err
+		}
+	}
+	for _, t := range g.Tasks {
+		for _, s := range t.succs {
+			if _, err := fmt.Fprintf(w, "  t%d -> t%d;\n", t.ID, s); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+// TotalFlops sums the computational work of all tasks.
+func (g *Graph) TotalFlops() float64 {
+	total := 0.0
+	for _, t := range g.Tasks {
+		total += t.Flops()
+	}
+	return total
+}
+
+// TotalEdgeBytes sums the data volumes carried by all edges (each edge
+// moves the producing task's output matrix).
+func (g *Graph) TotalEdgeBytes() int64 {
+	var total int64
+	for _, t := range g.Tasks {
+		total += int64(t.OutDegree()) * t.OutputBytes()
+	}
+	return total
+}
+
+// CCR returns the graph's computation-to-communication ratio under a
+// platform with the given flop rate (flop/s) and bandwidth (bytes/s):
+// compute time over transfer time if everything ran sequentially. The DAG
+// generator controls this ratio through the addition/multiplication mix
+// (§II-B). Graphs without edges return +Inf-free 0 denominator guard: the
+// function returns 0 when there is no communication.
+func (g *Graph) CCR(flopRate, bandwidth float64) float64 {
+	bytes := g.TotalEdgeBytes()
+	if bytes == 0 {
+		return 0
+	}
+	compute := g.TotalFlops() / flopRate
+	transfer := float64(bytes) / bandwidth
+	return compute / transfer
+}

@@ -1,0 +1,150 @@
+package dag
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// GenParams configures the paper's random-DAG generator (§II-B, Table I).
+type GenParams struct {
+	// Tasks is the total number of tasks to generate (the paper uses 10).
+	Tasks int
+	// InputMatrices is v, the number of initial input matrices, which
+	// controls the DAG width (the paper uses 2, 4 and 8).
+	InputMatrices int
+	// AddRatio is the ratio of addition tasks: with 10 tasks a ratio of 0.2
+	// yields 2 additions and 8 multiplications (paper example). The paper
+	// uses 0.5, 0.75 and 1.0.
+	AddRatio float64
+	// N is the matrix dimension (the paper uses 2000 and 3000, for 30 MB
+	// and 68 MB per matrix).
+	N int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Validate reports whether the parameters are usable.
+func (p GenParams) Validate() error {
+	if p.Tasks <= 0 {
+		return fmt.Errorf("dag: GenParams.Tasks must be positive, got %d", p.Tasks)
+	}
+	if p.InputMatrices < 2 {
+		return fmt.Errorf("dag: GenParams.InputMatrices must be at least 2, got %d", p.InputMatrices)
+	}
+	if p.AddRatio < 0 || p.AddRatio > 1 {
+		return fmt.Errorf("dag: GenParams.AddRatio must be in [0,1], got %g", p.AddRatio)
+	}
+	if p.N <= 0 {
+		return fmt.Errorf("dag: GenParams.N must be positive, got %d", p.N)
+	}
+	return nil
+}
+
+// Name returns the canonical instance name for the parameters.
+func (p GenParams) Name() string {
+	return fmt.Sprintf("dag-w%d-r%g-n%d-s%d", p.InputMatrices, p.AddRatio, p.N, p.Seed)
+}
+
+// matrixOrigin records who produced a matrix in the generator's pool:
+// a negative value marks an initial input matrix, otherwise it is the ID of
+// the producing task.
+type matrixOrigin int
+
+const inputMatrix matrixOrigin = -1
+
+// Generate builds a random mixed-parallel application following the paper's
+// procedure:
+//
+//  1. pick the number of entry tasks uniformly in [1, log2(v)];
+//  2. each task consumes two matrices chosen from the pool of matrices
+//     available so far (the v inputs plus the outputs of earlier levels) and
+//     produces one new matrix;
+//  3. the number of tasks in each subsequent level is picked uniformly in
+//     [1, log2(#matrices so far)];
+//  4. generation stops when Tasks tasks exist;
+//  5. round(AddRatio·Tasks) tasks, chosen uniformly, are matrix additions and
+//     the rest are multiplications.
+//
+// Edges link a task to the producers of its operand matrices; operands that
+// are initial input matrices induce no edge, so a task may be an entry task.
+func Generate(p GenParams) (*Graph, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	g := New(p.Name())
+
+	// Decide which task indices are additions.
+	numAdd := int(math.Round(p.AddRatio * float64(p.Tasks)))
+	kinds := make([]Kernel, p.Tasks)
+	for i := range kinds {
+		if i < numAdd {
+			kinds[i] = KernelAdd
+		} else {
+			kinds[i] = KernelMul
+		}
+	}
+	rng.Shuffle(len(kinds), func(i, j int) { kinds[i], kinds[j] = kinds[j], kinds[i] })
+
+	// Pool of available matrices; the first v entries are the inputs.
+	pool := make([]matrixOrigin, 0, p.InputMatrices+p.Tasks)
+	for i := 0; i < p.InputMatrices; i++ {
+		pool = append(pool, inputMatrix)
+	}
+
+	remaining := p.Tasks
+	levelWidth := func(matrices int) int {
+		max := int(math.Log2(float64(matrices)))
+		if max < 1 {
+			max = 1
+		}
+		w := 1 + rng.Intn(max)
+		if w > remaining {
+			w = remaining
+		}
+		return w
+	}
+
+	for remaining > 0 {
+		width := levelWidth(len(pool))
+		// Tasks of one level choose operands from the pool as it stood
+		// before the level, so they are mutually independent.
+		avail := len(pool)
+		produced := make([]matrixOrigin, 0, width)
+		for i := 0; i < width; i++ {
+			t := g.AddTask(kinds[g.Len()], p.N)
+			a := rng.Intn(avail)
+			b := rng.Intn(avail)
+			for avail > 1 && b == a {
+				b = rng.Intn(avail)
+			}
+			for _, m := range []int{a, b} {
+				if origin := pool[m]; origin != inputMatrix {
+					g.AddEdge(int(origin), t.ID)
+				}
+			}
+			produced = append(produced, matrixOrigin(t.ID))
+			remaining--
+			if remaining == 0 {
+				break
+			}
+		}
+		pool = append(pool, produced...)
+	}
+
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("dag: generator produced invalid graph: %w", err)
+	}
+	return g, nil
+}
+
+// MustGenerate is Generate but panics on error; intended for tests, examples
+// and suite construction where parameters are known valid.
+func MustGenerate(p GenParams) *Graph {
+	g, err := Generate(p)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,56 @@
+package dag
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := MustGenerate(GenParams{Tasks: 10, InputMatrices: 8, AddRatio: 0.75, N: 3000, Seed: 5})
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != g.Name || back.Len() != g.Len() || back.EdgeCount() != g.EdgeCount() {
+		t.Fatalf("round trip changed shape: %q %d/%d vs %q %d/%d",
+			back.Name, back.Len(), back.EdgeCount(), g.Name, g.Len(), g.EdgeCount())
+	}
+	for i := range g.Tasks {
+		if g.Tasks[i].Kernel != back.Tasks[i].Kernel || g.Tasks[i].N != back.Tasks[i].N {
+			t.Errorf("task %d changed in round trip", i)
+		}
+	}
+}
+
+func TestJSONRejectsBadKernel(t *testing.T) {
+	in := `{"name":"x","tasks":[{"id":0,"kernel":"fft","n":10}],"edges":[]}`
+	if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+}
+
+func TestJSONRejectsSparseIDs(t *testing.T) {
+	in := `{"name":"x","tasks":[{"id":1,"kernel":"mul","n":10}],"edges":[]}`
+	if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+		t.Fatal("sparse task IDs accepted")
+	}
+}
+
+func TestJSONRejectsBadEdge(t *testing.T) {
+	in := `{"name":"x","tasks":[{"id":0,"kernel":"mul","n":10}],"edges":[[0,5]]}`
+	if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+}
+
+func TestJSONRejectsCycle(t *testing.T) {
+	in := `{"name":"x","tasks":[{"id":0,"kernel":"mul","n":10},{"id":1,"kernel":"mul","n":10}],"edges":[[0,1],[1,0]]}`
+	if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+		t.Fatal("cyclic graph accepted")
+	}
+}

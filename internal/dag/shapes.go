@@ -1,0 +1,102 @@
+package dag
+
+import "fmt"
+
+// This file provides deterministic structured DAG shapes complementing the
+// paper's random generator: chains, fork-joins and layered grids. They are
+// used by examples, ablation benches and tests, and let downstream users
+// evaluate the schedulers on workflow skeletons (the paper's §II notes most
+// production workflows are structured).
+
+// Chain returns a linear pipeline of k tasks alternating the given kernels.
+func Chain(k, n int, kernels ...Kernel) *Graph {
+	if k < 1 {
+		panic(fmt.Sprintf("dag: chain of %d tasks", k))
+	}
+	if len(kernels) == 0 {
+		kernels = []Kernel{KernelMul}
+	}
+	g := New(fmt.Sprintf("chain-%d-n%d", k, n))
+	prev := -1
+	for i := 0; i < k; i++ {
+		t := g.AddTask(kernels[i%len(kernels)], n)
+		if prev >= 0 {
+			g.AddEdge(prev, t.ID)
+		}
+		prev = t.ID
+	}
+	return g
+}
+
+// ForkJoin returns a source task fanning out to `width` parallel branches
+// of `depth` tasks each, joined by a sink — the classic map/reduce
+// skeleton.
+func ForkJoin(width, depth, n int) *Graph {
+	if width < 1 || depth < 1 {
+		panic(fmt.Sprintf("dag: fork-join %dx%d", width, depth))
+	}
+	g := New(fmt.Sprintf("forkjoin-w%d-d%d-n%d", width, depth, n))
+	src := g.AddTask(KernelMul, n)
+	sink := -1
+	var lastOfBranch []int
+	for b := 0; b < width; b++ {
+		prev := src.ID
+		for d := 0; d < depth; d++ {
+			kernel := KernelMul
+			if d%2 == 1 {
+				kernel = KernelAdd
+			}
+			t := g.AddTask(kernel, n)
+			g.AddEdge(prev, t.ID)
+			prev = t.ID
+		}
+		lastOfBranch = append(lastOfBranch, prev)
+	}
+	s := g.AddTask(KernelAdd, n)
+	sink = s.ID
+	for _, id := range lastOfBranch {
+		g.AddEdge(id, sink)
+	}
+	return g
+}
+
+// Layered returns a dense layered DAG: `layers` levels of `width` tasks,
+// every task depending on all tasks of the previous level — the worst case
+// for redistribution overheads.
+func Layered(layers, width, n int) *Graph {
+	if layers < 1 || width < 1 {
+		panic(fmt.Sprintf("dag: layered %dx%d", layers, width))
+	}
+	g := New(fmt.Sprintf("layered-l%d-w%d-n%d", layers, width, n))
+	var prev []int
+	for l := 0; l < layers; l++ {
+		var cur []int
+		for i := 0; i < width; i++ {
+			kernel := KernelMul
+			if (l+i)%3 == 2 {
+				kernel = KernelAdd
+			}
+			t := g.AddTask(kernel, n)
+			for _, p := range prev {
+				g.AddEdge(p, t.ID)
+			}
+			cur = append(cur, t.ID)
+		}
+		prev = cur
+	}
+	return g
+}
+
+// Diamond returns the four-task diamond used throughout the tests.
+func Diamond(n int) *Graph {
+	g := New(fmt.Sprintf("diamond-n%d", n))
+	a := g.AddTask(KernelMul, n)
+	b := g.AddTask(KernelAdd, n)
+	c := g.AddTask(KernelMul, n)
+	d := g.AddTask(KernelAdd, n)
+	g.AddEdge(a.ID, b.ID)
+	g.AddEdge(a.ID, c.ID)
+	g.AddEdge(b.ID, d.ID)
+	g.AddEdge(c.ID, d.ID)
+	return g
+}

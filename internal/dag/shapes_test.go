@@ -1,0 +1,113 @@
+package dag
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestChainShape(t *testing.T) {
+	g := Chain(5, 100, KernelMul, KernelAdd)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 5 || g.EdgeCount() != 4 || g.Width() != 1 {
+		t.Errorf("chain shape wrong: %d tasks %d edges width %d", g.Len(), g.EdgeCount(), g.Width())
+	}
+	if g.Task(0).Kernel != KernelMul || g.Task(1).Kernel != KernelAdd {
+		t.Error("kernel alternation wrong")
+	}
+}
+
+func TestForkJoinShape(t *testing.T) {
+	g := ForkJoin(4, 2, 100)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 1+4*2+1 {
+		t.Errorf("fork-join has %d tasks, want 10", g.Len())
+	}
+	if len(g.Entries()) != 1 || len(g.Exits()) != 1 {
+		t.Error("fork-join must have a single source and sink")
+	}
+	if g.Width() != 4 {
+		t.Errorf("width = %d, want 4", g.Width())
+	}
+}
+
+func TestLayeredShape(t *testing.T) {
+	g := Layered(3, 4, 100)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 12 || g.EdgeCount() != 2*4*4 {
+		t.Errorf("layered shape wrong: %d tasks %d edges", g.Len(), g.EdgeCount())
+	}
+	_, levels := g.Levels()
+	if levels != 3 {
+		t.Errorf("levels = %d, want 3", levels)
+	}
+}
+
+func TestDiamondShape(t *testing.T) {
+	g := Diamond(100)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 4 || g.Width() != 2 {
+		t.Error("diamond shape wrong")
+	}
+}
+
+func TestShapePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"chain":    func() { Chain(0, 10) },
+		"forkjoin": func() { ForkJoin(0, 1, 10) },
+		"layered":  func() { Layered(1, 0, 10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with zero size did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := Diamond(100)
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"digraph", "t0 -> t1", "t2 -> t3", "ellipse", "box"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTotalsAndCCR(t *testing.T) {
+	g := Diamond(1000)
+	wantFlops := 2*(2e9) + 2*(250*1e6) // two muls + two boosted adds
+	if got := g.TotalFlops(); got != wantFlops {
+		t.Errorf("TotalFlops = %g, want %g", got, wantFlops)
+	}
+	// Edges: a→b, a→c, b→d, c→d; each moves 8 MB.
+	if got := g.TotalEdgeBytes(); got != 4*8_000_000 {
+		t.Errorf("TotalEdgeBytes = %d", got)
+	}
+	ccr := g.CCR(250e6, 125e6)
+	if ccr <= 0 {
+		t.Errorf("CCR = %g, want positive", ccr)
+	}
+	// No communication → 0.
+	single := New("one")
+	single.AddTask(KernelMul, 100)
+	if single.CCR(1, 1) != 0 {
+		t.Error("CCR of edgeless graph should be 0")
+	}
+}

@@ -1,0 +1,181 @@
+// Package experiments orchestrates the paper's evaluation (§V–§VII): it
+// assembles the platform, the ground-truth environment, the three simulator
+// models and the 54-DAG workload, and regenerates every table and figure.
+// Each experiment returns a typed result with a Write method that prints
+// the same rows/series the paper reports.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/dag"
+	"repro/internal/perfmodel"
+	"repro/internal/platform"
+	"repro/internal/profiler"
+	"repro/internal/sched"
+	"repro/internal/simgrid"
+	"repro/internal/tgrid"
+)
+
+// Config selects the workload seeds and measurement effort.
+type Config struct {
+	// SuiteSeed derives the 54 random DAGs of Table I.
+	SuiteSeed int64
+	// NoiseSeed seeds the environment's run-to-run noise.
+	NoiseSeed int64
+	// ExpTrials is the number of emulated cluster runs averaged per
+	// measured makespan (the paper executes each schedule once).
+	ExpTrials int
+	// Profile configures the brute-force campaign of §VI.
+	Profile profiler.ProfileOptions
+	// Empirical configures the sparse campaign of §VII.
+	Empirical profiler.EmpiricalOptions
+}
+
+// DefaultConfig mirrors the paper's setup.
+func DefaultConfig() Config {
+	return Config{
+		SuiteSeed: 2011,
+		NoiseSeed: 42,
+		ExpTrials: 1,
+		Profile:   profiler.DefaultProfileOptions(),
+		Empirical: profiler.DefaultEmpiricalOptions(),
+	}
+}
+
+// Lab is the assembled experimental setup: platform, environment, workload
+// and the three simulator models (the profile-based and empirical models
+// are built by actually running the measurement campaigns against the
+// environment, never by reading its hidden curves).
+type Lab struct {
+	Cfg   Config
+	Truth *cluster.Hidden
+	Em    *cluster.Emulator
+	Net   *simgrid.Net
+	Suite []dag.SuiteInstance
+
+	Analytic  *perfmodel.Analytic
+	Profile   *perfmodel.Profile
+	Empirical *perfmodel.Empirical
+
+	records map[string][]Record // cached pipeline runs per model name
+}
+
+// NewLab builds the full setup, including both profiling campaigns.
+func NewLab(cfg Config) (*Lab, error) {
+	truth := cluster.Bayreuth()
+	em, err := cluster.NewEmulator(truth, cfg.NoiseSeed)
+	if err != nil {
+		return nil, err
+	}
+	net, err := simgrid.NewNet(truth.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	suite, err := dag.GenerateSuite(cfg.SuiteSeed)
+	if err != nil {
+		return nil, err
+	}
+	prof, err := profiler.BuildProfileModel(em, cfg.Profile)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: profile campaign: %w", err)
+	}
+	emp, err := profiler.BuildEmpiricalModel(em, cfg.Empirical)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: empirical campaign: %w", err)
+	}
+	return &Lab{
+		Cfg:       cfg,
+		Truth:     truth,
+		Em:        em,
+		Net:       net,
+		Suite:     suite,
+		Analytic:  perfmodel.NewAnalytic(truth.Cluster),
+		Profile:   prof,
+		Empirical: emp,
+		records:   make(map[string][]Record),
+	}, nil
+}
+
+// Cluster returns the nominal platform.
+func (l *Lab) Cluster() platform.Cluster { return l.Truth.Cluster }
+
+// Model returns the simulator model by name ("analytic", "profile",
+// "empirical").
+func (l *Lab) Model(name string) (perfmodel.Model, error) {
+	switch name {
+	case "analytic":
+		return l.Analytic, nil
+	case "profile":
+		return l.Profile, nil
+	case "empirical":
+		return l.Empirical, nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown model %q", name)
+	}
+}
+
+// ModelNames lists the three simulator variants in paper order.
+func ModelNames() []string { return []string{"analytic", "profile", "empirical"} }
+
+// Record is one suite instance pushed through the pipeline with one model:
+// per-algorithm simulated and experimentally measured makespans.
+type Record struct {
+	Instance dag.SuiteInstance
+	// Sim and Exp map algorithm name to makespan in seconds.
+	Sim, Exp map[string]float64
+}
+
+// ComparedAlgorithms are the two algorithms of the case study.
+func ComparedAlgorithms() []sched.Algorithm {
+	return []sched.Algorithm{sched.HCPA{}, sched.MCPA{}}
+}
+
+// RunSuite pushes the whole 54-DAG suite through the pipeline with the
+// given model: schedule (per algorithm) → simulate → execute on the
+// emulated cluster. Results are cached per model name.
+func (l *Lab) RunSuite(modelName string) ([]Record, error) {
+	if recs, ok := l.records[modelName]; ok {
+		return recs, nil
+	}
+	model, err := l.Model(modelName)
+	if err != nil {
+		return nil, err
+	}
+	cost := perfmodel.CostFunc(model)
+	comm := perfmodel.CommFunc(model, l.Cluster())
+	algos := ComparedAlgorithms()
+
+	recs := make([]Record, 0, len(l.Suite))
+	for _, inst := range l.Suite {
+		rec := Record{
+			Instance: inst,
+			Sim:      make(map[string]float64, len(algos)),
+			Exp:      make(map[string]float64, len(algos)),
+		}
+		for _, algo := range algos {
+			s, err := sched.Build(algo, inst.Graph, l.Cluster().Nodes, cost, comm)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s/%s on %s: %w",
+					modelName, algo.Name(), inst.Params.Name(), err)
+			}
+			s.Model = modelName
+			simRes, err := tgrid.Run(l.Net, s, tgrid.ModelTiming{Model: model})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: simulate %s/%s on %s: %w",
+					modelName, algo.Name(), inst.Params.Name(), err)
+			}
+			exp, err := l.Em.MeasureMakespan(s, l.Cfg.ExpTrials)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: execute %s/%s on %s: %w",
+					modelName, algo.Name(), inst.Params.Name(), err)
+			}
+			rec.Sim[algo.Name()] = simRes.Makespan
+			rec.Exp[algo.Name()] = exp
+		}
+		recs = append(recs, rec)
+	}
+	l.records[modelName] = recs
+	return recs, nil
+}

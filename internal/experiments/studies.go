@@ -1,0 +1,580 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cluster"
+	"repro/internal/dag"
+	"repro/internal/perfmodel"
+	"repro/internal/platform"
+	"repro/internal/profiler"
+	"repro/internal/sched"
+	"repro/internal/simgrid"
+	"repro/internal/stats"
+	"repro/internal/tgrid"
+)
+
+// This file contains the studies that go beyond the paper's figures:
+//
+//   - the ablation study quantifying §V-C's error attribution (which of the
+//     three identified culprits — task times, startup overhead,
+//     redistribution overhead — buys how much simulation accuracy);
+//   - the platform-scaling study suggested in §IX ("these models could be
+//     instantiated for an existing execution environment and scaled to
+//     simulate an hypothetical execution environment");
+//   - rank-correlation summaries of each simulator's ordering fidelity.
+
+// AblationRow is one simulator variant of the ablation study.
+type AblationRow struct {
+	// Model names the variant.
+	Model string
+	// Mispredicted counts wrong HCPA-vs-MCPA winners over the suite.
+	Mispredicted int
+	// Total is the number of compared DAGs.
+	Total int
+	// MedianErrPct is the median makespan simulation error.
+	MedianErrPct float64
+	// KendallTau is the rank correlation between simulated and measured
+	// relative makespans.
+	KendallTau float64
+}
+
+// Ablation builds simulator variants between "purely analytic" and "full
+// profile" by switching each measured component on independently, and
+// scores each variant over the whole suite. The deltas attribute the
+// analytic simulator's error to the paper's three culprits.
+func (l *Lab) Ablation() ([]AblationRow, error) {
+	variants := []struct {
+		label                 string
+		task, startup, redist perfmodel.Model
+	}{
+		{"analytic", l.Analytic, l.Analytic, l.Analytic},
+		{"analytic+startup", l.Analytic, l.Profile, l.Analytic},
+		{"analytic+redist", l.Analytic, l.Analytic, l.Profile},
+		{"analytic+overheads", l.Analytic, l.Profile, l.Profile},
+		{"tasks-only", l.Profile, l.Analytic, l.Analytic},
+		{"full-profile", l.Profile, l.Profile, l.Profile},
+	}
+	rows := make([]AblationRow, 0, len(variants))
+	for _, v := range variants {
+		model, err := perfmodel.NewOverlay(v.task, v.startup, v.redist, v.label)
+		if err != nil {
+			return nil, err
+		}
+		row, err := l.scoreModel(model)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: ablation %s: %w", v.label, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// scoreModel pushes the suite through the pipeline with an arbitrary model
+// (bypassing the Lab's named-model cache) and summarises the outcome.
+func (l *Lab) scoreModel(model perfmodel.Model) (AblationRow, error) {
+	cost := perfmodel.CostFunc(model)
+	comm := perfmodel.CommFunc(model, l.Cluster())
+	algos := ComparedAlgorithms()
+
+	var simRels, expRels, errs []float64
+	for _, inst := range l.Suite {
+		sim := map[string]float64{}
+		exp := map[string]float64{}
+		for _, algo := range algos {
+			s, err := sched.Build(algo, inst.Graph, l.Cluster().Nodes, cost, comm)
+			if err != nil {
+				return AblationRow{}, err
+			}
+			simRes, err := tgrid.Run(l.Net, s, tgrid.ModelTiming{Model: model})
+			if err != nil {
+				return AblationRow{}, err
+			}
+			measured, err := l.Em.MeasureMakespan(s, l.Cfg.ExpTrials)
+			if err != nil {
+				return AblationRow{}, err
+			}
+			sim[algo.Name()] = simRes.Makespan
+			exp[algo.Name()] = measured
+			errs = append(errs, stats.SimErrPct(simRes.Makespan, measured))
+		}
+		simRels = append(simRels, stats.RelDiff(sim["HCPA"], sim["MCPA"]))
+		expRels = append(expRels, stats.RelDiff(exp["HCPA"], exp["MCPA"]))
+	}
+	return AblationRow{
+		Model:        model.Name(),
+		Mispredicted: stats.CountDisagreements(simRels, expRels, 0),
+		Total:        len(simRels),
+		MedianErrPct: stats.Median(errs),
+		KendallTau:   stats.KendallTau(simRels, expRels),
+	}, nil
+}
+
+// WriteAblation prints the ablation table.
+func WriteAblation(w io.Writer, rows []AblationRow) {
+	fmt.Fprintln(w, "Ablation — which missing environment effect costs how much accuracy")
+	fmt.Fprintf(w, "  %-22s %12s %14s %12s\n", "simulator variant", "wrong winner", "median err [%]", "Kendall tau")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-22s %8d/%-3d %14.1f %12.2f\n",
+			r.Model, r.Mispredicted, r.Total, r.MedianErrPct, r.KendallTau)
+	}
+}
+
+// ScalingRow is one platform size of the scaling study.
+type ScalingRow struct {
+	Nodes        int
+	Mispredicted int
+	Total        int
+	MedianErrPct float64
+}
+
+// ScalingStudy instantiates hypothetical clusters by scaling the Bayreuth
+// environment to the given node counts, fits an empirical model on each
+// (sparse measurements only, per §VII) and scores it over the suite — the
+// §IX scenario of simulating platforms one does not have.
+func ScalingStudy(cfg Config, nodeCounts []int) ([]ScalingRow, error) {
+	var rows []ScalingRow
+	for _, nodes := range nodeCounts {
+		truth := cluster.Bayreuth()
+		truth.Cluster = truth.Cluster.Scaled(nodes)
+		em, err := cluster.NewEmulator(truth, cfg.NoiseSeed)
+		if err != nil {
+			return nil, err
+		}
+		net, err := simgrid.NewNet(truth.Cluster)
+		if err != nil {
+			return nil, err
+		}
+		suite, err := dag.GenerateSuite(cfg.SuiteSeed)
+		if err != nil {
+			return nil, err
+		}
+		// Sparse-measurement points scale with the cluster.
+		opts := cfg.Empirical
+		opts.MulLowPoints = scalePoints([]int{2, 4, 7, 15}, nodes, 32)
+		opts.MulHighPoints = scalePoints([]int{15, 24, 31}, nodes, 32)
+		opts.AddPoints = scalePoints([]int{2, 4, 7, 15, 24, 31}, nodes, 32)
+		opts.OverheadPoints = scalePoints([]int{1, 16, 32}, nodes, 32)
+		opts.Split = 16 * nodes / 32
+		model, err := profiler.BuildEmpiricalModel(em, opts)
+		if err != nil {
+			return nil, err
+		}
+
+		cost := perfmodel.CostFunc(model)
+		comm := perfmodel.CommFunc(model, truth.Cluster)
+		var simRels, expRels, errs []float64
+		for _, inst := range suite {
+			sim := map[string]float64{}
+			exp := map[string]float64{}
+			for _, algo := range ComparedAlgorithms() {
+				s, err := sched.Build(algo, inst.Graph, nodes, cost, comm)
+				if err != nil {
+					return nil, err
+				}
+				simRes, err := tgrid.Run(net, s, tgrid.ModelTiming{Model: model})
+				if err != nil {
+					return nil, err
+				}
+				measured, err := em.MeasureMakespan(s, cfg.ExpTrials)
+				if err != nil {
+					return nil, err
+				}
+				sim[algo.Name()] = simRes.Makespan
+				exp[algo.Name()] = measured
+				errs = append(errs, stats.SimErrPct(simRes.Makespan, measured))
+			}
+			simRels = append(simRels, stats.RelDiff(sim["HCPA"], sim["MCPA"]))
+			expRels = append(expRels, stats.RelDiff(exp["HCPA"], exp["MCPA"]))
+		}
+		rows = append(rows, ScalingRow{
+			Nodes:        nodes,
+			Mispredicted: stats.CountDisagreements(simRels, expRels, 0),
+			Total:        len(simRels),
+			MedianErrPct: stats.Median(errs),
+		})
+	}
+	return rows, nil
+}
+
+func scalePoints(points []int, nodes, ref int) []int {
+	out := make([]int, 0, len(points))
+	seen := map[int]bool{}
+	for _, p := range points {
+		v := p * nodes / ref
+		if v < 1 {
+			v = 1
+		}
+		if v > nodes {
+			v = nodes
+		}
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// HeteroRow is one simulator model scored on the heterogeneous platform.
+type HeteroRow struct {
+	Model        string
+	Mispredicted int
+	Total        int
+	MedianErrPct float64
+}
+
+// HeterogeneityStudy ports the case study to HCPA's original setting [12]:
+// a cluster whose nodes split into two speed classes (half at the reference
+// 250 MFlop/s, half at twice that). Allocation phases reason on the
+// reference cluster (HCPA's normalisation), the heterogeneous mapping phase
+// trades node speed against availability, and the emulated environment
+// runs each task at its slowest assigned node's pace. The analytic and
+// profile simulators are scored exactly as in Figures 1/5.
+func HeterogeneityStudy(cfg Config) ([]HeteroRow, error) {
+	powers := make([]float64, 32)
+	for i := range powers {
+		if i < 16 {
+			powers[i] = 250e6
+		} else {
+			powers[i] = 500e6
+		}
+	}
+	hc := platform.NewHeterogeneous("bayreuth-2speed", powers, 125e6, 100e-6)
+	truth := cluster.Bayreuth()
+	truth.Cluster = hc
+	em, err := cluster.NewEmulator(truth, cfg.NoiseSeed)
+	if err != nil {
+		return nil, err
+	}
+	net, err := simgrid.NewNet(hc)
+	if err != nil {
+		return nil, err
+	}
+	suite, err := dag.GenerateSuite(cfg.SuiteSeed)
+	if err != nil {
+		return nil, err
+	}
+	profModel, err := profiler.BuildProfileModel(em, cfg.Profile)
+	if err != nil {
+		return nil, err
+	}
+	models := []perfmodel.Model{perfmodel.NewAnalytic(hc), profModel}
+
+	var rows []HeteroRow
+	for _, model := range models {
+		cost := perfmodel.CostFunc(model)
+		comm := perfmodel.CommFunc(model, hc)
+		var simRels, expRels, errs []float64
+		for _, inst := range suite {
+			sim := map[string]float64{}
+			exp := map[string]float64{}
+			for _, algo := range ComparedAlgorithms() {
+				s, err := sched.BuildHetero(algo, inst.Graph, hc, cost, comm)
+				if err != nil {
+					return nil, err
+				}
+				simRes, err := tgrid.Run(net, s, tgrid.ModelTiming{Model: model})
+				if err != nil {
+					return nil, err
+				}
+				measured, err := em.MeasureMakespan(s, cfg.ExpTrials)
+				if err != nil {
+					return nil, err
+				}
+				sim[algo.Name()] = simRes.Makespan
+				exp[algo.Name()] = measured
+				errs = append(errs, stats.SimErrPct(simRes.Makespan, measured))
+			}
+			simRels = append(simRels, stats.RelDiff(sim["HCPA"], sim["MCPA"]))
+			expRels = append(expRels, stats.RelDiff(exp["HCPA"], exp["MCPA"]))
+		}
+		rows = append(rows, HeteroRow{
+			Model:        model.Name(),
+			Mispredicted: stats.CountDisagreements(simRels, expRels, 0),
+			Total:        len(simRels),
+			MedianErrPct: stats.Median(errs),
+		})
+	}
+	return rows, nil
+}
+
+// WriteHetero prints the heterogeneity-study table.
+func WriteHetero(w io.Writer, rows []HeteroRow) {
+	fmt.Fprintln(w, "Heterogeneity study — two-speed cluster (16× 250 MFlop/s + 16× 500 MFlop/s)")
+	fmt.Fprintf(w, "  %-12s %14s %16s\n", "model", "wrong winner", "median err [%]")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-12s %10d/%-3d %16.1f\n", r.Model, r.Mispredicted, r.Total, r.MedianErrPct)
+	}
+}
+
+// StragglerRow scores the profile simulator on a healthy versus a degraded
+// environment.
+type StragglerRow struct {
+	Environment  string
+	Mispredicted int
+	Total        int
+	MedianErrPct float64
+	MaxErrPct    float64
+}
+
+// StragglerStudy exposes a limit of the paper's methodology: the §VI
+// profiling campaign measures per processor *count*, never per processor
+// *identity*, so a single degraded node — common on real clusters — is
+// invisible to both the profile and the empirical model. The study scores
+// the profile simulator on a healthy environment and on one whose node 13
+// runs 3× slower, using the same measurement methodology on each.
+func StragglerStudy(cfg Config) ([]StragglerRow, error) {
+	suite, err := dag.GenerateSuite(cfg.SuiteSeed)
+	if err != nil {
+		return nil, err
+	}
+	healthy := cluster.Bayreuth()
+	degraded := cluster.Bayreuth()
+	degraded.StragglerHost = 13
+	degraded.StragglerFactor = 3
+	envs := []struct {
+		name  string
+		truth *cluster.Hidden
+	}{{"healthy", healthy}, {"straggler-node-13", degraded}}
+
+	var rows []StragglerRow
+	for _, env := range envs {
+		em, err := cluster.NewEmulator(env.truth, cfg.NoiseSeed)
+		if err != nil {
+			return nil, err
+		}
+		net, err := simgrid.NewNet(env.truth.Cluster)
+		if err != nil {
+			return nil, err
+		}
+		model, err := profiler.BuildProfileModel(em, cfg.Profile)
+		if err != nil {
+			return nil, err
+		}
+		cost := perfmodel.CostFunc(model)
+		comm := perfmodel.CommFunc(model, env.truth.Cluster)
+
+		var simRels, expRels, errs []float64
+		maxErr := 0.0
+		for _, inst := range suite {
+			sim := map[string]float64{}
+			exp := map[string]float64{}
+			for _, algo := range ComparedAlgorithms() {
+				s, err := sched.Build(algo, inst.Graph, env.truth.Cluster.Nodes, cost, comm)
+				if err != nil {
+					return nil, err
+				}
+				simRes, err := tgrid.Run(net, s, tgrid.ModelTiming{Model: model})
+				if err != nil {
+					return nil, err
+				}
+				measured, err := em.MeasureMakespan(s, cfg.ExpTrials)
+				if err != nil {
+					return nil, err
+				}
+				sim[algo.Name()] = simRes.Makespan
+				exp[algo.Name()] = measured
+				e := stats.SimErrPct(simRes.Makespan, measured)
+				errs = append(errs, e)
+				if e > maxErr {
+					maxErr = e
+				}
+			}
+			simRels = append(simRels, stats.RelDiff(sim["HCPA"], sim["MCPA"]))
+			expRels = append(expRels, stats.RelDiff(exp["HCPA"], exp["MCPA"]))
+		}
+		rows = append(rows, StragglerRow{
+			Environment:  env.name,
+			Mispredicted: stats.CountDisagreements(simRels, expRels, 0),
+			Total:        len(simRels),
+			MedianErrPct: stats.Median(errs),
+			MaxErrPct:    maxErr,
+		})
+	}
+	return rows, nil
+}
+
+// WriteStraggler prints the straggler-study table.
+func WriteStraggler(w io.Writer, rows []StragglerRow) {
+	fmt.Fprintln(w, "Straggler study — profile simulator vs a single degraded node (limits of §VI)")
+	fmt.Fprintf(w, "  %-20s %14s %16s %12s\n", "environment", "wrong winner", "median err [%]", "max err [%]")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-20s %10d/%-3d %16.1f %12.1f\n",
+			r.Environment, r.Mispredicted, r.Total, r.MedianErrPct, r.MaxErrPct)
+	}
+}
+
+// EnvironmentRow compares the analytic simulator's usefulness across
+// ground-truth environments.
+type EnvironmentRow struct {
+	Environment  string
+	Mispredicted int
+	Total        int
+	MedianErrPct float64
+	KendallTau   float64
+}
+
+// EnvironmentStudy scores the purely analytic simulator against two
+// environments: the paper's Bayreuth/TGrid stand-in, and a tuned "modern"
+// runtime (native kernels near the calibrated rate, millisecond spawning).
+// It quantifies §IX's conjecture that the findings are driven by the
+// environment's idiosyncrasies: on the tuned environment the analytic
+// simulator becomes nearly sound.
+func EnvironmentStudy(cfg Config) ([]EnvironmentRow, error) {
+	suite, err := dag.GenerateSuite(cfg.SuiteSeed)
+	if err != nil {
+		return nil, err
+	}
+	envs := []struct {
+		name  string
+		truth *cluster.Hidden
+	}{
+		{"bayreuth-tgrid", cluster.Bayreuth()},
+		{"modern-tuned", cluster.Modern()},
+	}
+	var rows []EnvironmentRow
+	for _, env := range envs {
+		em, err := cluster.NewEmulator(env.truth, cfg.NoiseSeed)
+		if err != nil {
+			return nil, err
+		}
+		net, err := simgrid.NewNet(env.truth.Cluster)
+		if err != nil {
+			return nil, err
+		}
+		model := perfmodel.NewAnalytic(env.truth.Cluster)
+		cost := perfmodel.CostFunc(model)
+		comm := perfmodel.CommFunc(model, env.truth.Cluster)
+
+		var simRels, expRels, errs []float64
+		for _, inst := range suite {
+			sim := map[string]float64{}
+			exp := map[string]float64{}
+			for _, algo := range ComparedAlgorithms() {
+				s, err := sched.Build(algo, inst.Graph, env.truth.Cluster.Nodes, cost, comm)
+				if err != nil {
+					return nil, err
+				}
+				simRes, err := tgrid.Run(net, s, tgrid.ModelTiming{Model: model})
+				if err != nil {
+					return nil, err
+				}
+				measured, err := em.MeasureMakespan(s, cfg.ExpTrials)
+				if err != nil {
+					return nil, err
+				}
+				sim[algo.Name()] = simRes.Makespan
+				exp[algo.Name()] = measured
+				errs = append(errs, stats.SimErrPct(simRes.Makespan, measured))
+			}
+			simRels = append(simRels, stats.RelDiff(sim["HCPA"], sim["MCPA"]))
+			expRels = append(expRels, stats.RelDiff(exp["HCPA"], exp["MCPA"]))
+		}
+		rows = append(rows, EnvironmentRow{
+			Environment:  env.name,
+			Mispredicted: stats.CountDisagreements(simRels, expRels, 0),
+			Total:        len(simRels),
+			MedianErrPct: stats.Median(errs),
+			KendallTau:   stats.KendallTau(simRels, expRels),
+		})
+	}
+	return rows, nil
+}
+
+// WriteEnvironments prints the environment-comparison table.
+func WriteEnvironments(w io.Writer, rows []EnvironmentRow) {
+	fmt.Fprintln(w, "Environment study — analytic simulator vs two ground truths")
+	fmt.Fprintf(w, "  %-16s %14s %16s %12s\n", "environment", "wrong winner", "median err [%]", "Kendall tau")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-16s %10d/%-3d %16.1f %12.2f\n",
+			r.Environment, r.Mispredicted, r.Total, r.MedianErrPct, r.KendallTau)
+	}
+}
+
+// SensitivityRow is one noise level of the sensitivity study.
+type SensitivityRow struct {
+	NoiseSigma   float64
+	Mispredicted int
+	Total        int
+	KendallTau   float64
+}
+
+// NoiseSensitivity re-runs the Figure 1 comparison (analytic simulator vs
+// experiment) under environments with different run-to-run noise levels,
+// separating the structural part of the analytic simulator's
+// winner-mispredictions (missing overheads, wrong task times) from the part
+// caused by measurement noise on near-ties. The paper ran each schedule
+// once on a real machine, so its counts include both components.
+func NoiseSensitivity(cfg Config, sigmas []float64) ([]SensitivityRow, error) {
+	suite, err := dag.GenerateSuite(cfg.SuiteSeed)
+	if err != nil {
+		return nil, err
+	}
+	var rows []SensitivityRow
+	for _, sigma := range sigmas {
+		truth := cluster.Bayreuth()
+		truth.NoiseSigma = sigma
+		em, err := cluster.NewEmulator(truth, cfg.NoiseSeed)
+		if err != nil {
+			return nil, err
+		}
+		net, err := simgrid.NewNet(truth.Cluster)
+		if err != nil {
+			return nil, err
+		}
+		model := perfmodel.NewAnalytic(truth.Cluster)
+		cost := perfmodel.CostFunc(model)
+		comm := perfmodel.CommFunc(model, truth.Cluster)
+
+		var simRels, expRels []float64
+		for _, inst := range suite {
+			sim := map[string]float64{}
+			exp := map[string]float64{}
+			for _, algo := range ComparedAlgorithms() {
+				s, err := sched.Build(algo, inst.Graph, truth.Cluster.Nodes, cost, comm)
+				if err != nil {
+					return nil, err
+				}
+				simRes, err := tgrid.Run(net, s, tgrid.ModelTiming{Model: model})
+				if err != nil {
+					return nil, err
+				}
+				measured, err := em.MeasureMakespan(s, cfg.ExpTrials)
+				if err != nil {
+					return nil, err
+				}
+				sim[algo.Name()] = simRes.Makespan
+				exp[algo.Name()] = measured
+			}
+			simRels = append(simRels, stats.RelDiff(sim["HCPA"], sim["MCPA"]))
+			expRels = append(expRels, stats.RelDiff(exp["HCPA"], exp["MCPA"]))
+		}
+		rows = append(rows, SensitivityRow{
+			NoiseSigma:   sigma,
+			Mispredicted: stats.CountDisagreements(simRels, expRels, 0),
+			Total:        len(simRels),
+			KendallTau:   stats.KendallTau(simRels, expRels),
+		})
+	}
+	return rows, nil
+}
+
+// WriteSensitivity prints the noise-sensitivity table.
+func WriteSensitivity(w io.Writer, rows []SensitivityRow) {
+	fmt.Fprintln(w, "Noise sensitivity — analytic simulator vs experiment at varying run-to-run noise")
+	fmt.Fprintf(w, "  %-12s %14s %12s\n", "noise sigma", "wrong winner", "Kendall tau")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-12g %10d/%-3d %12.2f\n", r.NoiseSigma, r.Mispredicted, r.Total, r.KendallTau)
+	}
+}
+
+// WriteScaling prints the scaling-study table.
+func WriteScaling(w io.Writer, rows []ScalingRow) {
+	fmt.Fprintln(w, "Scaling study — empirical simulator on scaled hypothetical clusters")
+	fmt.Fprintf(w, "  %-8s %14s %16s\n", "nodes", "wrong winner", "median err [%]")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-8d %10d/%-3d %16.1f\n", r.Nodes, r.Mispredicted, r.Total, r.MedianErrPct)
+	}
+}

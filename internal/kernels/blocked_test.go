@@ -1,0 +1,45 @@
+package kernels
+
+import "testing"
+
+func TestSeqMatMulBlockedMatchesNaive(t *testing.T) {
+	for _, tile := range []int{1, 7, 16, 200} {
+		a := RandomMatrix(45, 5)
+		b := RandomMatrix(45, 6)
+		want := SeqMatMul(a, b)
+		got := SeqMatMulBlocked(a, b, tile)
+		if !want.Equal(got, 1e-9) {
+			t.Errorf("tile=%d: blocked result differs", tile)
+		}
+	}
+}
+
+func TestSeqMatMulBlockedDefaultTile(t *testing.T) {
+	a := RandomMatrix(20, 7)
+	b := RandomMatrix(20, 8)
+	if !SeqMatMul(a, b).Equal(SeqMatMulBlocked(a, b, 0), 1e-9) {
+		t.Error("default tile size result differs")
+	}
+}
+
+func TestIdentityMultiplication(t *testing.T) {
+	a := RandomMatrix(16, 9)
+	if !SeqMatMul(a, Identity(16)).Equal(a, 1e-12) {
+		t.Error("A·I != A")
+	}
+	if !SeqMatMul(Identity(16), a).Equal(a, 1e-12) {
+		t.Error("I·A != A")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := RandomMatrix(10, 11)
+	tt := m.Transpose().Transpose()
+	if !m.Equal(tt, 0) {
+		t.Error("double transpose changed the matrix")
+	}
+	single := m.Transpose()
+	if single.At(3, 7) != m.At(7, 3) {
+		t.Error("transpose element mismatch")
+	}
+}

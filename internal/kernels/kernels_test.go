@@ -1,0 +1,196 @@
+package kernels
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mpi"
+	"repro/internal/redist"
+)
+
+func TestSeqMatMulKnown(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 3)
+	a.Set(1, 1, 4)
+	b := NewMatrix(2, 2)
+	b.Set(0, 0, 5)
+	b.Set(0, 1, 6)
+	b.Set(1, 0, 7)
+	b.Set(1, 1, 8)
+	c := SeqMatMul(a, b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Errorf("C[%d][%d] = %g, want %g", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestSeqMatAdd(t *testing.T) {
+	a := RandomMatrix(8, 1)
+	b := RandomMatrix(8, 2)
+	c := SeqMatAdd(a, b)
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			if c.At(i, j) != a.At(i, j)+b.At(i, j) {
+				t.Fatalf("C[%d][%d] wrong", i, j)
+			}
+		}
+	}
+}
+
+func TestScatterGatherRoundTrip(t *testing.T) {
+	m := RandomMatrix(33, 7)
+	d, _ := redist.NewDist(33, 5)
+	blocks := Scatter(m, d)
+	back := Gather(blocks, d)
+	if !m.Equal(back, 0) {
+		t.Fatal("scatter/gather round trip changed the matrix")
+	}
+}
+
+func TestParMatMulMatchesSequential(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 7} {
+		n := 24
+		a := RandomMatrix(n, 10)
+		b := RandomMatrix(n, 11)
+		want := SeqMatMul(a, b)
+		d, _ := redist.NewDist(n, p)
+		ablocks := Scatter(a, d)
+		bblocks := Scatter(b, d)
+		out := make([]*Matrix, p)
+		mpi.Run(p, func(c *mpi.Comm) {
+			out[c.Rank()] = ParMatMul(c, ablocks[c.Rank()], bblocks[c.Rank()], d)
+		})
+		got := Gather(out, d)
+		if !want.Equal(got, 1e-9) {
+			t.Errorf("p=%d: parallel multiplication differs from sequential", p)
+		}
+	}
+}
+
+func TestParMatMulUnevenBlocks(t *testing.T) {
+	// n=25, p=4: blocks 6,6,6,7 — the vanilla trailing-remainder layout.
+	n, p := 25, 4
+	a := RandomMatrix(n, 20)
+	b := RandomMatrix(n, 21)
+	want := SeqMatMul(a, b)
+	d, _ := redist.NewDist(n, p)
+	ab, bb := Scatter(a, d), Scatter(b, d)
+	out := make([]*Matrix, p)
+	mpi.Run(p, func(c *mpi.Comm) {
+		out[c.Rank()] = ParMatMul(c, ab[c.Rank()], bb[c.Rank()], d)
+	})
+	if !want.Equal(Gather(out, d), 1e-9) {
+		t.Error("uneven-block multiplication differs from sequential")
+	}
+}
+
+func TestParMatAddMatchesSequentialAndRepeats(t *testing.T) {
+	n, p := 16, 3
+	a := RandomMatrix(n, 30)
+	b := RandomMatrix(n, 31)
+	want := SeqMatAdd(a, b)
+	d, _ := redist.NewDist(n, p)
+	ab, bb := Scatter(a, d), Scatter(b, d)
+	out := make([]*Matrix, p)
+	mpi.Run(p, func(c *mpi.Comm) {
+		out[c.Rank()] = ParMatAdd(ab[c.Rank()], bb[c.Rank()], 5)
+	})
+	if !want.Equal(Gather(out, d), 0) {
+		t.Error("repeated addition changed the result")
+	}
+}
+
+func TestReblockPreservesMatrix(t *testing.T) {
+	m := RandomMatrix(40, 40)
+	src, _ := redist.NewDist(40, 3)
+	dst, _ := redist.NewDist(40, 8)
+	blocks := Scatter(m, src)
+	moved := Reblock(blocks, src, dst)
+	if !m.Equal(Gather(moved, dst), 0) {
+		t.Fatal("reblock lost data")
+	}
+}
+
+func TestParReblockMatchesReblock(t *testing.T) {
+	cases := []struct{ ps, pd int }{{1, 4}, {4, 1}, {3, 5}, {5, 3}, {4, 4}}
+	for _, cse := range cases {
+		m := RandomMatrix(22, 50)
+		src, _ := redist.NewDist(22, cse.ps)
+		dst, _ := redist.NewDist(22, cse.pd)
+		blocks := Scatter(m, src)
+		p := cse.ps
+		if cse.pd > p {
+			p = cse.pd
+		}
+		out := make([]*Matrix, cse.pd)
+		mpi.Run(p, func(c *mpi.Comm) {
+			var local *Matrix
+			if c.Rank() < cse.ps {
+				local = blocks[c.Rank()]
+			}
+			res := ParReblock(c, local, src, dst)
+			if c.Rank() < cse.pd {
+				out[c.Rank()] = res
+			}
+		})
+		if !m.Equal(Gather(out, dst), 0) {
+			t.Errorf("ParReblock %d→%d lost data", cse.ps, cse.pd)
+		}
+	}
+}
+
+// Property: parallel multiplication equals sequential for random sizes and
+// processor counts.
+func TestParMatMulEquivalenceQuick(t *testing.T) {
+	prop := func(nRaw, pRaw uint8, seed int64) bool {
+		n := 4 + int(nRaw)%28
+		p := 1 + int(pRaw)%6
+		if p > n {
+			p = n
+		}
+		a := RandomMatrix(n, seed)
+		b := RandomMatrix(n, seed+1)
+		want := SeqMatMul(a, b)
+		d, err := redist.NewDist(n, p)
+		if err != nil {
+			return false
+		}
+		ab, bb := Scatter(a, d), Scatter(b, d)
+		out := make([]*Matrix, p)
+		mpi.Run(p, func(c *mpi.Comm) {
+			out[c.Rank()] = ParMatMul(c, ab[c.Rank()], bb[c.Rank()], d)
+		})
+		return want.Equal(Gather(out, d), 1e-9)
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(12))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatrixHelpers(t *testing.T) {
+	m := RandomMatrix(10, 3)
+	if m.FrobeniusNorm() <= 0 {
+		t.Error("norm of random matrix should be positive")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 999)
+	if m.At(0, 0) == 999 {
+		t.Error("Clone aliases the original")
+	}
+	col := m.Col(2)
+	if len(col) != 10 {
+		t.Errorf("Col length %d", len(col))
+	}
+	blk := m.ColBlock(2, 5)
+	if blk.Cols != 3 || blk.At(0, 0) != m.At(0, 2) {
+		t.Error("ColBlock wrong")
+	}
+}

@@ -1,0 +1,91 @@
+package mpi
+
+import "fmt"
+
+// Additional collectives beyond the core set, rounding the substrate out to
+// what mixed-parallel kernels typically need.
+
+// ReduceOp combines two values element-wise.
+type ReduceOp func(a, b float64) float64
+
+// Sum is the element-wise addition reduction.
+var Sum ReduceOp = func(a, b float64) float64 { return a + b }
+
+// Max is the element-wise maximum reduction.
+var Max ReduceOp = func(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Reduce combines every rank's local slice on the root with op; only the
+// root's return value is non-nil. All slices must share a length.
+func (c *Comm) Reduce(root, tag int, local []float64, op ReduceOp) []float64 {
+	if c.rank != root {
+		c.Send(root, tag, local)
+		return nil
+	}
+	acc := make([]float64, len(local))
+	copy(acc, local)
+	for r := 0; r < c.world.size; r++ {
+		if r == root {
+			continue
+		}
+		part := c.Recv(r, tag)
+		if len(part) != len(acc) {
+			panic(fmt.Sprintf("mpi: reduce length mismatch: %d vs %d from rank %d",
+				len(part), len(acc), r))
+		}
+		for i := range acc {
+			acc[i] = op(acc[i], part[i])
+		}
+	}
+	return acc
+}
+
+// Allreduce is Reduce followed by Bcast: every rank receives the combined
+// value.
+func (c *Comm) Allreduce(tag int, local []float64, op ReduceOp) []float64 {
+	res := c.Reduce(0, tag, local, op)
+	return c.Bcast(0, tag+1, res)
+}
+
+// Gatherv collects variable-length slices on the root, indexed by rank;
+// only the root's return value is non-nil.
+func (c *Comm) Gatherv(root, tag int, local []float64) [][]float64 {
+	if c.rank != root {
+		c.Send(root, tag, local)
+		return nil
+	}
+	out := make([][]float64, c.world.size)
+	cp := make([]float64, len(local))
+	copy(cp, local)
+	out[root] = cp
+	for r := 0; r < c.world.size; r++ {
+		if r != root {
+			out[r] = c.Recv(r, tag)
+		}
+	}
+	return out
+}
+
+// Scatterv distributes per-rank slices from the root; every rank returns
+// its share. parts is only read on the root and must have one entry per
+// rank.
+func (c *Comm) Scatterv(root, tag int, parts [][]float64) []float64 {
+	if c.rank == root {
+		if len(parts) != c.world.size {
+			panic(fmt.Sprintf("mpi: scatterv with %d parts for %d ranks", len(parts), c.world.size))
+		}
+		for r := 0; r < c.world.size; r++ {
+			if r != root {
+				c.Send(r, tag, parts[r])
+			}
+		}
+		cp := make([]float64, len(parts[root]))
+		copy(cp, parts[root])
+		return cp
+	}
+	return c.Recv(root, tag)
+}

@@ -1,0 +1,102 @@
+package mpi
+
+import "testing"
+
+func TestReduceSum(t *testing.T) {
+	const p = 5
+	Run(p, func(c *Comm) {
+		local := []float64{float64(c.Rank()), 1}
+		res := c.Reduce(2, 40, local, Sum)
+		if c.Rank() != 2 {
+			if res != nil {
+				t.Errorf("non-root rank %d received %v", c.Rank(), res)
+			}
+			return
+		}
+		// Σ ranks = 10, Σ ones = 5.
+		if res[0] != 10 || res[1] != 5 {
+			t.Errorf("Reduce = %v, want [10 5]", res)
+		}
+	})
+}
+
+func TestReduceMax(t *testing.T) {
+	Run(4, func(c *Comm) {
+		res := c.Reduce(0, 41, []float64{float64(c.Rank() * c.Rank())}, Max)
+		if c.Rank() == 0 && res[0] != 9 {
+			t.Errorf("Reduce max = %v, want [9]", res)
+		}
+	})
+}
+
+func TestAllreduce(t *testing.T) {
+	const p = 6
+	Run(p, func(c *Comm) {
+		res := c.Allreduce(50, []float64{1}, Sum)
+		if len(res) != 1 || res[0] != p {
+			t.Errorf("rank %d Allreduce = %v, want [%d]", c.Rank(), res, p)
+		}
+	})
+}
+
+func TestGatherv(t *testing.T) {
+	const p = 4
+	Run(p, func(c *Comm) {
+		local := make([]float64, c.Rank()+1) // variable lengths
+		for i := range local {
+			local[i] = float64(c.Rank())
+		}
+		out := c.Gatherv(1, 60, local)
+		if c.Rank() != 1 {
+			if out != nil {
+				t.Errorf("non-root got %v", out)
+			}
+			return
+		}
+		for r := 0; r < p; r++ {
+			if len(out[r]) != r+1 {
+				t.Errorf("slot %d has length %d, want %d", r, len(out[r]), r+1)
+			}
+			for _, v := range out[r] {
+				if v != float64(r) {
+					t.Errorf("slot %d contains %v", r, v)
+				}
+			}
+		}
+	})
+}
+
+func TestScatterv(t *testing.T) {
+	const p = 3
+	Run(p, func(c *Comm) {
+		var parts [][]float64
+		if c.Rank() == 0 {
+			parts = [][]float64{{0}, {1, 1}, {2, 2, 2}}
+		}
+		got := c.Scatterv(0, 70, parts)
+		if len(got) != c.Rank()+1 {
+			t.Errorf("rank %d got length %d", c.Rank(), len(got))
+		}
+		for _, v := range got {
+			if v != float64(c.Rank()) {
+				t.Errorf("rank %d got value %v", c.Rank(), v)
+			}
+		}
+	})
+}
+
+func TestReduceLengthMismatchPanics(t *testing.T) {
+	w := NewWorld(2)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		w.Comm(1).Send(0, 80, []float64{1, 2, 3})
+	}()
+	defer func() {
+		<-done
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	w.Comm(0).Reduce(0, 80, []float64{1}, Sum)
+}

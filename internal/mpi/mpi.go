@@ -1,0 +1,205 @@
+// Package mpi is a small in-process message-passing substrate playing the
+// role MPIJava/mpich2 play in the paper's execution framework (§II-B, §III):
+// it gives the parallel matrix kernels ranks, point-to-point messages and
+// the handful of collectives they need, implemented over Go channels with
+// one goroutine per rank.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// message is one point-to-point payload with a tag.
+type message struct {
+	tag  int
+	data []float64
+}
+
+// World is a fixed-size communication universe: size ranks with buffered
+// pairwise channels and a reusable barrier.
+type World struct {
+	size  int
+	chans [][]chan message // chans[src][dst]
+
+	barrierMu    sync.Mutex
+	barrierCond  *sync.Cond
+	barrierCount int
+	barrierGen   int
+}
+
+// NewWorld creates a world of p ranks.
+func NewWorld(p int) *World {
+	if p < 1 {
+		panic(fmt.Sprintf("mpi: world size %d", p))
+	}
+	w := &World{size: p}
+	w.chans = make([][]chan message, p)
+	for i := range w.chans {
+		w.chans[i] = make([]chan message, p)
+		for j := range w.chans[i] {
+			// Buffer a few messages per pair so simple exchange patterns
+			// (ring shifts, pairwise swaps) cannot deadlock.
+			w.chans[i][j] = make(chan message, 4)
+		}
+	}
+	w.barrierCond = sync.NewCond(&w.barrierMu)
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Comm returns rank r's communicator handle.
+func (w *World) Comm(r int) *Comm {
+	if r < 0 || r >= w.size {
+		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", r, w.size))
+	}
+	return &Comm{world: w, rank: r}
+}
+
+// Run spawns one goroutine per rank, calls body with each rank's
+// communicator, and waits for all of them to return.
+func Run(p int, body func(c *Comm)) {
+	w := NewWorld(p)
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for r := 0; r < p; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			body(w.Comm(rank))
+		}(r)
+	}
+	wg.Wait()
+}
+
+// Comm is one rank's endpoint into a World.
+type Comm struct {
+	world *World
+	rank  int
+}
+
+// Rank returns this endpoint's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.world.size }
+
+// Send delivers a copy of data to dst with the given tag. It blocks only
+// when the pairwise buffer is full (rendezvous with a slow receiver).
+func (c *Comm) Send(dst, tag int, data []float64) {
+	if dst < 0 || dst >= c.world.size {
+		panic(fmt.Sprintf("mpi: send to rank %d out of range", dst))
+	}
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	c.world.chans[c.rank][dst] <- message{tag: tag, data: cp}
+}
+
+// Recv blocks until a message with the given tag arrives from src.
+// Messages from one sender arrive in order; a tag mismatch is a protocol
+// error and panics (this substrate has no out-of-order matching).
+func (c *Comm) Recv(src, tag int) []float64 {
+	if src < 0 || src >= c.world.size {
+		panic(fmt.Sprintf("mpi: recv from rank %d out of range", src))
+	}
+	m := <-c.world.chans[src][c.rank]
+	if m.tag != tag {
+		panic(fmt.Sprintf("mpi: rank %d expected tag %d from %d, got %d", c.rank, tag, src, m.tag))
+	}
+	return m.data
+}
+
+// Barrier blocks until every rank has entered it.
+func (c *Comm) Barrier() {
+	w := c.world
+	w.barrierMu.Lock()
+	gen := w.barrierGen
+	w.barrierCount++
+	if w.barrierCount == w.size {
+		w.barrierCount = 0
+		w.barrierGen++
+		w.barrierCond.Broadcast()
+	} else {
+		for gen == w.barrierGen {
+			w.barrierCond.Wait()
+		}
+	}
+	w.barrierMu.Unlock()
+}
+
+// Bcast distributes root's data to every rank and returns each rank's copy.
+func (c *Comm) Bcast(root, tag int, data []float64) []float64 {
+	if c.rank == root {
+		for r := 0; r < c.world.size; r++ {
+			if r != root {
+				c.Send(r, tag, data)
+			}
+		}
+		cp := make([]float64, len(data))
+		copy(cp, data)
+		return cp
+	}
+	return c.Recv(root, tag)
+}
+
+// RingShift sends data to (rank+1) mod size and receives from
+// (rank−1+size) mod size — the building block of the 1-D multiplication's
+// systolic exchange. With size 1 it returns a copy of data.
+func (c *Comm) RingShift(tag int, data []float64) []float64 {
+	p := c.world.size
+	if p == 1 {
+		cp := make([]float64, len(data))
+		copy(cp, data)
+		return cp
+	}
+	next := (c.rank + 1) % p
+	prev := (c.rank - 1 + p) % p
+	c.Send(next, tag, data)
+	return c.Recv(prev, tag)
+}
+
+// Allgather collects every rank's local slice; the result is indexed by
+// rank. Implemented as a ring rotation with p−1 steps, so each rank sends
+// (p−1)·len(local) elements — the communication volume of the paper's 1-D
+// kernels.
+func (c *Comm) Allgather(tag int, local []float64) [][]float64 {
+	p := c.world.size
+	out := make([][]float64, p)
+	cp := make([]float64, len(local))
+	copy(cp, local)
+	out[c.rank] = cp
+
+	cur := local
+	curOwner := c.rank
+	for step := 0; step < p-1; step++ {
+		cur = c.RingShift(tag+step, cur)
+		curOwner = (curOwner - 1 + p) % p
+		out[curOwner] = cur
+	}
+	return out
+}
+
+// Alltoallv sends send[j] to rank j and returns the slices received from
+// every rank (indexed by source). Entries may be empty; nil entries are
+// treated as empty. Used by the data-redistribution component.
+func (c *Comm) Alltoallv(tag int, send [][]float64) [][]float64 {
+	p := c.world.size
+	if len(send) != p {
+		panic(fmt.Sprintf("mpi: alltoallv send has %d entries, want %d", len(send), p))
+	}
+	recv := make([][]float64, p)
+	// Self-delivery is a local copy.
+	self := make([]float64, len(send[c.rank]))
+	copy(self, send[c.rank])
+	recv[c.rank] = self
+	// Exchange with every peer; pairwise buffered channels plus a
+	// distance-ordered schedule avoid deadlock.
+	for d := 1; d < p; d++ {
+		dst := (c.rank + d) % p
+		src := (c.rank - d + p) % p
+		c.Send(dst, tag+d, send[dst])
+		recv[src] = c.Recv(src, tag+d)
+	}
+	return recv
+}

@@ -1,0 +1,171 @@
+package mpi
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSendRecv(t *testing.T) {
+	Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 7, []float64{1, 2, 3})
+		} else {
+			got := c.Recv(0, 7)
+			if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+				t.Errorf("Recv = %v", got)
+			}
+		}
+	})
+}
+
+func TestSendCopiesData(t *testing.T) {
+	Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			data := []float64{42}
+			c.Send(1, 0, data)
+			data[0] = -1 // must not affect the message
+		} else {
+			if got := c.Recv(0, 0); got[0] != 42 {
+				t.Errorf("Recv = %v, want [42]", got)
+			}
+		}
+	})
+}
+
+func TestMessagesOrdered(t *testing.T) {
+	Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 1, []float64{1})
+			c.Send(1, 2, []float64{2})
+			c.Send(1, 3, []float64{3})
+		} else {
+			for want := 1; want <= 3; want++ {
+				got := c.Recv(0, want)
+				if got[0] != float64(want) {
+					t.Errorf("message %d = %v", want, got)
+				}
+			}
+		}
+	})
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	const p = 8
+	var mu sync.Mutex
+	phase := make(map[int]int)
+	Run(p, func(c *Comm) {
+		for round := 0; round < 5; round++ {
+			mu.Lock()
+			phase[c.Rank()] = round
+			// Everyone must be in the same round at each barrier.
+			for r, ph := range phase {
+				if ph < round-1 || ph > round {
+					t.Errorf("rank %d at phase %d while rank %d at %d", c.Rank(), round, r, ph)
+				}
+			}
+			mu.Unlock()
+			c.Barrier()
+		}
+	})
+}
+
+func TestBcast(t *testing.T) {
+	Run(5, func(c *Comm) {
+		var data []float64
+		if c.Rank() == 2 {
+			data = []float64{3.14, 2.71}
+		}
+		got := c.Bcast(2, 9, data)
+		if len(got) != 2 || got[0] != 3.14 || got[1] != 2.71 {
+			t.Errorf("rank %d Bcast = %v", c.Rank(), got)
+		}
+	})
+}
+
+func TestRingShift(t *testing.T) {
+	const p = 4
+	Run(p, func(c *Comm) {
+		got := c.RingShift(0, []float64{float64(c.Rank())})
+		want := float64((c.Rank() - 1 + p) % p)
+		if got[0] != want {
+			t.Errorf("rank %d received %v, want %v", c.Rank(), got[0], want)
+		}
+	})
+}
+
+func TestRingShiftSingleRank(t *testing.T) {
+	Run(1, func(c *Comm) {
+		got := c.RingShift(0, []float64{5})
+		if len(got) != 1 || got[0] != 5 {
+			t.Errorf("RingShift p=1 = %v", got)
+		}
+	})
+}
+
+func TestAllgather(t *testing.T) {
+	const p = 6
+	Run(p, func(c *Comm) {
+		got := c.Allgather(100, []float64{float64(c.Rank() * 10)})
+		if len(got) != p {
+			t.Fatalf("Allgather returned %d slices", len(got))
+		}
+		for r := 0; r < p; r++ {
+			if len(got[r]) != 1 || got[r][0] != float64(r*10) {
+				t.Errorf("rank %d slot %d = %v", c.Rank(), r, got[r])
+			}
+		}
+	})
+}
+
+func TestAlltoallv(t *testing.T) {
+	const p = 4
+	Run(p, func(c *Comm) {
+		send := make([][]float64, p)
+		for dst := 0; dst < p; dst++ {
+			// rank r sends r*10+dst to dst; empty payload to rank 0.
+			if dst == 0 {
+				send[dst] = nil
+				continue
+			}
+			send[dst] = []float64{float64(c.Rank()*10 + dst)}
+		}
+		recv := c.Alltoallv(500, send)
+		for src := 0; src < p; src++ {
+			if c.Rank() == 0 {
+				if len(recv[src]) != 0 {
+					t.Errorf("rank 0 received %v from %d, want empty", recv[src], src)
+				}
+				continue
+			}
+			want := float64(src*10 + c.Rank())
+			if len(recv[src]) != 1 || recv[src][0] != want {
+				t.Errorf("rank %d from %d = %v, want [%g]", c.Rank(), src, recv[src], want)
+			}
+		}
+	})
+}
+
+func TestWorldPanics(t *testing.T) {
+	w := NewWorld(2)
+	assertPanics(t, "bad rank", func() { w.Comm(2) })
+	assertPanics(t, "bad size", func() { NewWorld(0) })
+	c := w.Comm(0)
+	assertPanics(t, "bad dst", func() { c.Send(5, 0, nil) })
+	assertPanics(t, "bad src", func() { c.Recv(-1, 0) })
+}
+
+func assertPanics(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", what)
+		}
+	}()
+	f()
+}
+
+func TestTagMismatchPanics(t *testing.T) {
+	w := NewWorld(2)
+	w.Comm(0).Send(1, 1, []float64{1})
+	assertPanics(t, "tag mismatch", func() { w.Comm(1).Recv(0, 2) })
+}

@@ -1,0 +1,93 @@
+package perfmodel
+
+import (
+	"repro/internal/dag"
+	"repro/internal/platform"
+)
+
+// Analytic is the paper's first simulation model (§IV): task execution times
+// from asymptotic flop counts at the platform's effective speed, data
+// movement from latency/bandwidth, and no environment overheads at all.
+//
+// For the 1-D parallel matrix multiplication each of the p processors
+// executes 2n³/p flops and sends its n²/p-element block around the ring once
+// per step (p steps, so 8n² bytes leave each processor in total). The
+// boosted matrix addition executes (n/4)·n²/p flops per processor with no
+// communication.
+type Analytic struct {
+	Cluster platform.Cluster
+}
+
+// NewAnalytic returns the analytic model for a platform.
+func NewAnalytic(c platform.Cluster) *Analytic { return &Analytic{Cluster: c} }
+
+// Name implements Model.
+func (a *Analytic) Name() string { return "analytic" }
+
+// TaskTime implements Model: the L07 lone-activity duration of the task's
+// parallel-task description — max of the computation time and the per-link
+// communication time, plus route latency when communication occurs.
+func (a *Analytic) TaskTime(task *dag.Task, p int) float64 {
+	comp, bytes := a.TaskPtask(task, p)
+	t := 0.0
+	if comp != nil {
+		t = comp[0] / a.Cluster.NodePower
+	}
+	if bytes != nil {
+		// Ring pattern: every uplink carries the same volume.
+		perLink := 0.0
+		for _, row := range bytes {
+			rowSum := 0.0
+			for _, b := range row {
+				rowSum += b
+			}
+			if rowSum > perLink {
+				perLink = rowSum
+			}
+		}
+		commT := perLink / a.Cluster.LinkBandwidth
+		if commT > t {
+			t = commT
+		}
+		t += 2 * a.Cluster.LinkLatency
+	}
+	return t
+}
+
+// StartupOverhead implements Model; the analytic model ignores task startup.
+func (a *Analytic) StartupOverhead(p int) float64 { return 0 }
+
+// RedistOverhead implements Model; the analytic model ignores the
+// subnet-manager registration overhead.
+func (a *Analytic) RedistOverhead(pSrc, pDst int) float64 { return 0 }
+
+// TaskPtask implements Model, producing the Ptask_L07 inputs of §IV-1.
+func (a *Analytic) TaskPtask(task *dag.Task, p int) (comp []float64, bytes [][]float64) {
+	n := float64(task.N)
+	switch task.Kernel {
+	case dag.KernelMul:
+		comp = uniform(2*n*n*n/float64(p), p)
+		if p > 1 {
+			// Ring exchange: 8·n² bytes from rank i to rank (i+1) mod p
+			// over the whole task (p steps of n²/p elements).
+			bytes = make([][]float64, p)
+			for i := range bytes {
+				bytes[i] = make([]float64, p)
+				bytes[i][(i+1)%p] = 8 * n * n
+			}
+		}
+		return comp, bytes
+	case dag.KernelAdd:
+		return uniform((n/4)*n*n/float64(p), p), nil
+	default: // noop
+		return nil, nil
+	}
+}
+
+func uniform(v float64, p int) []float64 {
+	out := make([]float64, p)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}

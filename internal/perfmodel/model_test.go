@@ -1,0 +1,198 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/platform"
+)
+
+func almost(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %g, want %g (±%g)", what, got, want, tol)
+	}
+}
+
+func mulTask(n int) *dag.Task { return &dag.Task{Kernel: dag.KernelMul, N: n} }
+func addTask(n int) *dag.Task { return &dag.Task{Kernel: dag.KernelAdd, N: n} }
+
+func TestAnalyticSequentialMul(t *testing.T) {
+	m := NewAnalytic(platform.Bayreuth())
+	// 2·2000³ flops / 250 MFlop/s = 64 s, no communication at p=1.
+	almost(t, m.TaskTime(mulTask(2000), 1), 64, 1e-9, "mul p=1")
+}
+
+func TestAnalyticParallelMulComputeBound(t *testing.T) {
+	m := NewAnalytic(platform.Bayreuth())
+	// p=4: comp = 1.6e10/4/250e6 = 16 s; ring comm 32 MB at 125 MB/s =
+	// 0.256 s; overlapped → 16 s + 200 µs latency.
+	almost(t, m.TaskTime(mulTask(2000), 4), 16+2e-4, 1e-9, "mul p=4")
+}
+
+func TestAnalyticAdd(t *testing.T) {
+	m := NewAnalytic(platform.Bayreuth())
+	// (2000/4)·2000² / 2 / 250e6 = 4 s; additions have no communication.
+	almost(t, m.TaskTime(addTask(2000), 2), 4, 1e-9, "add p=2")
+}
+
+func TestAnalyticNoOverheads(t *testing.T) {
+	m := NewAnalytic(platform.Bayreuth())
+	if m.StartupOverhead(32) != 0 || m.RedistOverhead(16, 16) != 0 {
+		t.Error("analytic model must ignore environment overheads")
+	}
+}
+
+func TestAnalyticPtaskShapes(t *testing.T) {
+	m := NewAnalytic(platform.Bayreuth())
+	comp, bytes := m.TaskPtask(mulTask(2000), 4)
+	if len(comp) != 4 {
+		t.Fatalf("comp has %d entries, want 4", len(comp))
+	}
+	almost(t, comp[0], 4e9, 1, "comp per rank")
+	if len(bytes) != 4 {
+		t.Fatalf("bytes has %d rows, want 4", len(bytes))
+	}
+	// Ring: rank i sends only to (i+1) mod p.
+	for i := range bytes {
+		for j := range bytes[i] {
+			want := 0.0
+			if j == (i+1)%4 {
+				want = 8 * 2000 * 2000
+			}
+			if bytes[i][j] != want {
+				t.Errorf("bytes[%d][%d] = %g, want %g", i, j, bytes[i][j], want)
+			}
+		}
+	}
+	// Sequential multiplication has no communication matrix.
+	if _, b := m.TaskPtask(mulTask(2000), 1); b != nil {
+		t.Error("p=1 multiplication should have no communication")
+	}
+	// Additions never communicate.
+	if _, b := m.TaskPtask(addTask(2000), 8); b != nil {
+		t.Error("addition should have no communication")
+	}
+}
+
+func TestAnalyticTaskTimeDecreasesWithP(t *testing.T) {
+	m := NewAnalytic(platform.Bayreuth())
+	prev := math.Inf(1)
+	for p := 1; p <= 32; p++ {
+		cur := m.TaskTime(mulTask(3000), p)
+		if cur >= prev {
+			t.Errorf("analytic mul time not decreasing at p=%d: %g >= %g", p, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func testProfileData() *ProfileData {
+	d := NewProfileData()
+	for p := 1; p <= 32; p++ {
+		d.TaskTimes[TaskKey{dag.KernelMul, 2000, p}] = 64 / float64(p) * 1.2
+		d.TaskTimes[TaskKey{dag.KernelAdd, 2000, p}] = 8 / float64(p)
+		d.Startup[p] = 0.65 + 0.03*float64(p)
+		d.RedistByDst[p] = 0.1 + 0.008*float64(p)
+	}
+	return d
+}
+
+func TestProfileLookup(t *testing.T) {
+	m, err := NewProfile(testProfileData())
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, m.TaskTime(mulTask(2000), 4), 64.0/4*1.2, 1e-12, "profiled mul p=4")
+	almost(t, m.StartupOverhead(10), 0.95, 1e-12, "startup p=10")
+	almost(t, m.RedistOverhead(3, 16), 0.228, 1e-12, "redist p(dst)=16")
+	if _, b := m.TaskPtask(mulTask(2000), 4); b != nil {
+		t.Error("profile model must simulate tasks as fixed durations")
+	}
+}
+
+func TestProfileNearestFallback(t *testing.T) {
+	m, _ := NewProfile(testProfileData())
+	// p=40 is beyond the profiled range: nearest is 32.
+	almost(t, m.TaskTime(mulTask(2000), 40), 64.0/32*1.2, 1e-12, "fallback p=40")
+	almost(t, m.StartupOverhead(100), 0.65+0.03*32, 1e-12, "fallback startup")
+}
+
+func TestProfileRejectsEmpty(t *testing.T) {
+	if _, err := NewProfile(NewProfileData()); err == nil {
+		t.Fatal("empty profile accepted")
+	}
+}
+
+func TestProfileNoopFree(t *testing.T) {
+	m, _ := NewProfile(testProfileData())
+	if m.TaskTime(&dag.Task{Kernel: dag.KernelNoop}, 4) != 0 {
+		t.Error("noop task should cost nothing")
+	}
+}
+
+func TestPaperEmpiricalTableII(t *testing.T) {
+	m := PaperEmpirical()
+	// Multiplication n=2000, low regime: 239.44/(2p) + 3.43.
+	almost(t, m.TaskTime(mulTask(2000), 4), 239.44/8+3.43, 1e-9, "mul2000 p=4")
+	// High regime: 0.08·p + 1.93.
+	almost(t, m.TaskTime(mulTask(2000), 31), 0.08*31+1.93, 1e-9, "mul2000 p=31")
+	// Multiplication n=3000, low regime: 537.91/p − 25.55.
+	almost(t, m.TaskTime(mulTask(3000), 4), 537.91/4-25.55, 1e-9, "mul3000 p=4")
+	// Addition n=3000: 73.59/p + 0.38.
+	almost(t, m.TaskTime(addTask(3000), 8), 73.59/8+0.38, 1e-9, "add3000 p=8")
+	// Startup: 0.03p + 0.65.
+	almost(t, m.StartupOverhead(16), 0.03*16+0.65, 1e-9, "startup p=16")
+	// Redistribution: (7.88·p(dst) + 108.58) ms.
+	almost(t, m.RedistOverhead(32, 10), (7.88*10+108.58)/1000, 1e-9, "redist p(dst)=10")
+}
+
+func TestEmpiricalClampsNegative(t *testing.T) {
+	m := PaperEmpirical()
+	// n=3000 low regime at p=16 hugs zero: 537.91/16 − 25.55 ≈ 8.07 > 0,
+	// but the high regime −0.09·p + 11.47 goes negative for p > 127; our
+	// clamp keeps predictions physical.
+	if got := m.TaskTime(mulTask(3000), 200); got != 0 {
+		t.Errorf("negative prediction not clamped: %g", got)
+	}
+}
+
+func TestEmpiricalSplitAt16(t *testing.T) {
+	m := PaperEmpirical()
+	low := m.TaskTime(mulTask(2000), 16)
+	high := m.TaskTime(mulTask(2000), 17)
+	almost(t, low, 239.44/32+3.43, 1e-9, "p=16 uses low regime")
+	almost(t, high, 0.08*17+1.93, 1e-9, "p=17 uses high regime")
+}
+
+func TestCostFuncIncludesStartup(t *testing.T) {
+	m := PaperEmpirical()
+	cost := CostFunc(m)
+	task := mulTask(2000)
+	want := m.StartupOverhead(4) + m.TaskTime(task, 4)
+	almost(t, cost(task, 4), want, 1e-12, "CostFunc")
+}
+
+func TestCommFuncEstimates(t *testing.T) {
+	c := platform.Bayreuth()
+	m := NewAnalytic(c)
+	comm := CommFunc(m, c)
+	src, dst := mulTask(2000), mulTask(2000)
+	// 32 MB over min(2,8)=2 parallel links at 125 MB/s = 0.128 s + latency.
+	almost(t, comm(src, dst, 2, 8), 0.128+2e-4, 1e-9, "analytic edge")
+
+	// Empirical model adds the redistribution overhead.
+	e := PaperEmpirical()
+	commE := CommFunc(e, c)
+	want := e.RedistOverhead(2, 8) + 0.128 + 2e-4
+	almost(t, commE(src, dst, 2, 8), want, 1e-9, "empirical edge")
+}
+
+func TestCommFuncNoopEdge(t *testing.T) {
+	c := platform.Bayreuth()
+	m := PaperEmpirical()
+	comm := CommFunc(m, c)
+	noop := &dag.Task{Kernel: dag.KernelNoop}
+	almost(t, comm(noop, noop, 2, 4), m.RedistOverhead(2, 4), 1e-12, "noop edge")
+}

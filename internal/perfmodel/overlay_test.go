@@ -1,0 +1,70 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/platform"
+)
+
+func TestOverlayComposesSources(t *testing.T) {
+	analytic := NewAnalytic(platform.Bayreuth())
+	emp := PaperEmpirical()
+	o, err := NewOverlay(analytic, emp, emp, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := mulTask(2000)
+	if got, want := o.TaskTime(task, 4), analytic.TaskTime(task, 4); got != want {
+		t.Errorf("task time from wrong source: %g vs %g", got, want)
+	}
+	if got, want := o.StartupOverhead(8), emp.StartupOverhead(8); got != want {
+		t.Errorf("startup from wrong source: %g vs %g", got, want)
+	}
+	if got, want := o.RedistOverhead(2, 16), emp.RedistOverhead(2, 16); got != want {
+		t.Errorf("redist from wrong source: %g vs %g", got, want)
+	}
+	// Ptask description follows the task source (analytic → non-nil).
+	if comp, _ := o.TaskPtask(task, 4); comp == nil {
+		t.Error("overlay lost the analytic ptask description")
+	}
+}
+
+func TestOverlayName(t *testing.T) {
+	analytic := NewAnalytic(platform.Bayreuth())
+	emp := PaperEmpirical()
+	o, _ := NewOverlay(analytic, emp, analytic, "")
+	if got := o.Name(); got != "analytic+startup(empirical)" {
+		t.Errorf("Name = %q", got)
+	}
+	labeled, _ := NewOverlay(analytic, emp, emp, "custom")
+	if labeled.Name() != "custom" {
+		t.Errorf("labeled Name = %q", labeled.Name())
+	}
+	full, _ := NewOverlay(analytic, analytic, analytic, "")
+	if full.Name() != "analytic" {
+		t.Errorf("self-overlay Name = %q", full.Name())
+	}
+}
+
+func TestOverlayRejectsNilSources(t *testing.T) {
+	analytic := NewAnalytic(platform.Bayreuth())
+	if _, err := NewOverlay(nil, analytic, analytic, ""); err == nil {
+		t.Error("nil task source accepted")
+	}
+	if _, err := NewOverlay(analytic, nil, analytic, ""); err == nil {
+		t.Error("nil startup source accepted")
+	}
+}
+
+func TestOverlayUsableAsCostFunc(t *testing.T) {
+	analytic := NewAnalytic(platform.Bayreuth())
+	emp := PaperEmpirical()
+	o, _ := NewOverlay(analytic, emp, emp, "")
+	cost := CostFunc(o)
+	task := &dag.Task{Kernel: dag.KernelAdd, N: 2000}
+	want := emp.StartupOverhead(4) + analytic.TaskTime(task, 4)
+	if got := cost(task, 4); got != want {
+		t.Errorf("cost = %g, want %g", got, want)
+	}
+}

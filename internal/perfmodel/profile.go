@@ -1,0 +1,147 @@
+package perfmodel
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dag"
+)
+
+// TaskKey identifies a profiled task configuration.
+type TaskKey struct {
+	Kernel dag.Kernel
+	N      int
+	P      int
+}
+
+// ProfileData holds the measurements the brute-force profiling campaign
+// produced (§VI): mean task execution times for every allocation size and
+// matrix size, mean task-startup overheads per allocation size, and mean
+// redistribution overheads per destination processor count (the paper
+// averages over the source count, which the measurements show matters
+// little — Figure 4).
+type ProfileData struct {
+	// TaskTimes maps (kernel, n, p) to the mean measured execution time in
+	// seconds (startup excluded).
+	TaskTimes map[TaskKey]float64
+	// Startup maps p to the mean measured task-startup overhead in seconds.
+	Startup map[int]float64
+	// RedistByDst maps p(dst) to the mean measured redistribution overhead
+	// in seconds.
+	RedistByDst map[int]float64
+}
+
+// NewProfileData returns an empty, ready-to-fill profile.
+func NewProfileData() *ProfileData {
+	return &ProfileData{
+		TaskTimes:   make(map[TaskKey]float64),
+		Startup:     make(map[int]float64),
+		RedistByDst: make(map[int]float64),
+	}
+}
+
+// Validate checks that the profile has at least one entry of each kind.
+func (d *ProfileData) Validate() error {
+	if len(d.TaskTimes) == 0 {
+		return fmt.Errorf("perfmodel: profile has no task times")
+	}
+	if len(d.Startup) == 0 {
+		return fmt.Errorf("perfmodel: profile has no startup overheads")
+	}
+	if len(d.RedistByDst) == 0 {
+		return fmt.Errorf("perfmodel: profile has no redistribution overheads")
+	}
+	return nil
+}
+
+// Profile is the paper's second simulation model (§VI): every quantity comes
+// from a lookup into measured profiles. Missing processor counts fall back
+// to the nearest profiled count (the brute-force campaign profiles all
+// p = 1..32, so fallback only triggers for out-of-range queries).
+type Profile struct {
+	Data *ProfileData
+}
+
+// NewProfile validates the data and returns the model.
+func NewProfile(d *ProfileData) (*Profile, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return &Profile{Data: d}, nil
+}
+
+// Name implements Model.
+func (m *Profile) Name() string { return "profile" }
+
+// TaskTime implements Model via table lookup.
+func (m *Profile) TaskTime(task *dag.Task, p int) float64 {
+	if task.Kernel == dag.KernelNoop {
+		return 0
+	}
+	if t, ok := m.Data.TaskTimes[TaskKey{task.Kernel, task.N, p}]; ok {
+		return t
+	}
+	// Nearest profiled p for this kernel and size.
+	bestP, found := 0, false
+	for k := range m.Data.TaskTimes {
+		if k.Kernel != task.Kernel || k.N != task.N {
+			continue
+		}
+		if !found || abs(k.P-p) < abs(bestP-p) || (abs(k.P-p) == abs(bestP-p) && k.P < bestP) {
+			bestP, found = k.P, true
+		}
+	}
+	if !found {
+		panic(fmt.Sprintf("perfmodel: no profile for %s n=%d at any p", task.Kernel, task.N))
+	}
+	return m.Data.TaskTimes[TaskKey{task.Kernel, task.N, bestP}]
+}
+
+// StartupOverhead implements Model via table lookup with nearest-p fallback.
+func (m *Profile) StartupOverhead(p int) float64 {
+	if v, ok := m.Data.Startup[p]; ok {
+		return v
+	}
+	return nearest(m.Data.Startup, p)
+}
+
+// RedistOverhead implements Model; only p(dst) matters, per Figure 4.
+func (m *Profile) RedistOverhead(pSrc, pDst int) float64 {
+	if v, ok := m.Data.RedistByDst[pDst]; ok {
+		return v
+	}
+	return nearest(m.Data.RedistByDst, pDst)
+}
+
+// TaskPtask implements Model: profiled tasks are simulated as fixed
+// durations, so no parallel-task description is produced.
+func (m *Profile) TaskPtask(task *dag.Task, p int) ([]float64, [][]float64) {
+	return nil, nil
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// nearest returns the value at the key closest to p (smallest key wins
+// ties); it panics on an empty map.
+func nearest(m map[int]float64, p int) float64 {
+	if len(m) == 0 {
+		panic("perfmodel: lookup in empty profile table")
+	}
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	best := keys[0]
+	for _, k := range keys[1:] {
+		if abs(k-p) < abs(best-p) {
+			best = k
+		}
+	}
+	return m[best]
+}

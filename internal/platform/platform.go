@@ -1,0 +1,167 @@
+// Package platform describes the execution platforms of the case study: a
+// homogeneous cluster of N identical nodes behind a switched interconnect,
+// modelled as a star topology (one private full-duplex link per node plus a
+// shared switch backplane), exactly the information the paper's SimGrid
+// platform file carries (§IV).
+package platform
+
+import "fmt"
+
+// Cluster describes a homogeneous cluster.
+type Cluster struct {
+	// Name labels the platform ("bayreuth").
+	Name string
+	// Nodes is N, the number of compute nodes.
+	Nodes int
+	// NodePower is the effective compute speed of one node in flop/s. The
+	// paper benchmarks a JVM matrix multiplication and sets 250 MFlop/s.
+	NodePower float64
+	// LinkBandwidth is the bandwidth of each private node↔switch link, in
+	// bytes/s (the paper's 1 Gb/s Ethernet).
+	LinkBandwidth float64
+	// LinkLatency is the one-hop latency of each private link, in seconds
+	// (the paper uses 100 µs).
+	LinkLatency float64
+	// BackplaneBandwidth bounds the aggregate traffic crossing the switch,
+	// in bytes/s. Zero means the backplane is not a bottleneck.
+	BackplaneBandwidth float64
+	// NodePowers optionally gives per-node speeds in flop/s for
+	// heterogeneous platforms (HCPA's original target, [12]); nil means
+	// every node runs at NodePower. When set, its length must equal Nodes
+	// and NodePower serves as the *reference speed* allocations are
+	// normalised to.
+	NodePowers []float64
+}
+
+// IsHomogeneous reports whether all nodes share the reference speed.
+func (c Cluster) IsHomogeneous() bool {
+	for _, p := range c.NodePowers {
+		if p != c.NodePower {
+			return false
+		}
+	}
+	return true
+}
+
+// PowerOf returns node h's speed in flop/s.
+func (c Cluster) PowerOf(h int) float64 {
+	if c.NodePowers == nil {
+		return c.NodePower
+	}
+	return c.NodePowers[h]
+}
+
+// TotalPower sums all node speeds.
+func (c Cluster) TotalPower() float64 {
+	if c.NodePowers == nil {
+		return float64(c.Nodes) * c.NodePower
+	}
+	total := 0.0
+	for _, p := range c.NodePowers {
+		total += p
+	}
+	return total
+}
+
+// MinPowerOf returns the slowest speed among the given nodes — the pace a
+// load-balanced data-parallel kernel runs at.
+func (c Cluster) MinPowerOf(hosts []int) float64 {
+	if len(hosts) == 0 {
+		return c.NodePower
+	}
+	min := c.PowerOf(hosts[0])
+	for _, h := range hosts[1:] {
+		if p := c.PowerOf(h); p < min {
+			min = p
+		}
+	}
+	return min
+}
+
+// NewHeterogeneous builds a heterogeneous cluster from explicit node speeds;
+// the reference speed is the fastest node.
+func NewHeterogeneous(name string, powers []float64, bandwidth, latency float64) Cluster {
+	ref := 0.0
+	for _, p := range powers {
+		if p > ref {
+			ref = p
+		}
+	}
+	return Cluster{
+		Name:          name,
+		Nodes:         len(powers),
+		NodePower:     ref,
+		LinkBandwidth: bandwidth,
+		LinkLatency:   latency,
+		NodePowers:    append([]float64(nil), powers...),
+	}
+}
+
+// Bayreuth returns the paper's experimental platform: 32 dual-Opteron nodes,
+// 250 MFlop/s effective per node (JVM-benchmarked), Gigabit Ethernet.
+func Bayreuth() Cluster {
+	return Cluster{
+		Name:          "bayreuth",
+		Nodes:         32,
+		NodePower:     250e6,
+		LinkBandwidth: 1e9 / 8, // 1 Gb/s
+		LinkLatency:   100e-6,
+	}
+}
+
+// Franklin returns the Cray XT4 used for the PDGEMM side of Figure 2:
+// 4165.3 MFlop/s measured per node. Only the node speed matters for the
+// figure; the network parameters are representative SeaStar values.
+func Franklin() Cluster {
+	return Cluster{
+		Name:          "franklin",
+		Nodes:         32,
+		NodePower:     4165.3e6,
+		LinkBandwidth: 1.6e9,
+		LinkLatency:   12e-6,
+	}
+}
+
+// Validate reports whether the description is usable.
+func (c Cluster) Validate() error {
+	if c.Nodes <= 0 {
+		return fmt.Errorf("platform %q: Nodes must be positive, got %d", c.Name, c.Nodes)
+	}
+	if c.NodePower <= 0 {
+		return fmt.Errorf("platform %q: NodePower must be positive, got %g", c.Name, c.NodePower)
+	}
+	if c.LinkBandwidth <= 0 {
+		return fmt.Errorf("platform %q: LinkBandwidth must be positive, got %g", c.Name, c.LinkBandwidth)
+	}
+	if c.LinkLatency < 0 {
+		return fmt.Errorf("platform %q: LinkLatency must be non-negative, got %g", c.Name, c.LinkLatency)
+	}
+	if c.BackplaneBandwidth < 0 {
+		return fmt.Errorf("platform %q: BackplaneBandwidth must be non-negative, got %g", c.Name, c.BackplaneBandwidth)
+	}
+	if c.NodePowers != nil {
+		if len(c.NodePowers) != c.Nodes {
+			return fmt.Errorf("platform %q: %d node powers for %d nodes", c.Name, len(c.NodePowers), c.Nodes)
+		}
+		for h, p := range c.NodePowers {
+			if p <= 0 {
+				return fmt.Errorf("platform %q: node %d has power %g", c.Name, h, p)
+			}
+		}
+	}
+	return nil
+}
+
+// Scaled returns a copy with the node count replaced, for what-if studies
+// ("these models could be instantiated for an existing execution environment
+// and scaled to simulate an hypothetical execution environment", §IX).
+func (c Cluster) Scaled(nodes int) Cluster {
+	out := c
+	out.Nodes = nodes
+	out.Name = fmt.Sprintf("%s-x%d", c.Name, nodes)
+	return out
+}
+
+// SeqTime returns the time to execute the given number of flops on one node
+// at the platform's effective speed — the basic analytic building block.
+func (c Cluster) SeqTime(flops float64) float64 { return flops / c.NodePower }

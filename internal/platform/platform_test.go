@@ -1,0 +1,120 @@
+package platform
+
+import "testing"
+
+func TestBayreuth(t *testing.T) {
+	c := Bayreuth()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Nodes != 32 {
+		t.Errorf("Nodes = %d, want 32", c.Nodes)
+	}
+	if c.NodePower != 250e6 {
+		t.Errorf("NodePower = %g, want 2.5e8", c.NodePower)
+	}
+	if c.LinkLatency != 100e-6 {
+		t.Errorf("LinkLatency = %g, want 1e-4", c.LinkLatency)
+	}
+	// 1 Gb/s = 125 MB/s
+	if c.LinkBandwidth != 125e6 {
+		t.Errorf("LinkBandwidth = %g, want 1.25e8", c.LinkBandwidth)
+	}
+}
+
+func TestFranklin(t *testing.T) {
+	c := Franklin()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NodePower != 4165.3e6 {
+		t.Errorf("NodePower = %g, want 4.1653e9", c.NodePower)
+	}
+}
+
+func TestValidateRejectsBadClusters(t *testing.T) {
+	cases := []Cluster{
+		{Name: "no-nodes", Nodes: 0, NodePower: 1, LinkBandwidth: 1},
+		{Name: "no-power", Nodes: 1, NodePower: 0, LinkBandwidth: 1},
+		{Name: "no-bw", Nodes: 1, NodePower: 1, LinkBandwidth: 0},
+		{Name: "neg-lat", Nodes: 1, NodePower: 1, LinkBandwidth: 1, LinkLatency: -1},
+		{Name: "neg-backplane", Nodes: 1, NodePower: 1, LinkBandwidth: 1, BackplaneBandwidth: -1},
+	}
+	for _, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: invalid cluster accepted", c.Name)
+		}
+	}
+}
+
+func TestScaled(t *testing.T) {
+	c := Bayreuth().Scaled(64)
+	if c.Nodes != 64 {
+		t.Errorf("Nodes = %d, want 64", c.Nodes)
+	}
+	if c.NodePower != Bayreuth().NodePower {
+		t.Error("Scaled changed node power")
+	}
+	if c.Name == Bayreuth().Name {
+		t.Error("Scaled should rename the cluster")
+	}
+}
+
+func TestHeterogeneousCluster(t *testing.T) {
+	c := NewHeterogeneous("mix", []float64{100, 200, 400}, 1e8, 1e-4)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.IsHomogeneous() {
+		t.Error("mixed speeds reported homogeneous")
+	}
+	if c.NodePower != 400 {
+		t.Errorf("reference speed = %g, want fastest node 400", c.NodePower)
+	}
+	if c.PowerOf(0) != 100 || c.PowerOf(2) != 400 {
+		t.Error("PowerOf wrong")
+	}
+	if c.TotalPower() != 700 {
+		t.Errorf("TotalPower = %g", c.TotalPower())
+	}
+	if c.MinPowerOf([]int{1, 2}) != 200 {
+		t.Errorf("MinPowerOf = %g", c.MinPowerOf([]int{1, 2}))
+	}
+}
+
+func TestHomogeneousHelpers(t *testing.T) {
+	c := Bayreuth()
+	if !c.IsHomogeneous() {
+		t.Error("Bayreuth should be homogeneous")
+	}
+	if c.PowerOf(7) != c.NodePower {
+		t.Error("PowerOf should return reference on homogeneous clusters")
+	}
+	if c.TotalPower() != 32*250e6 {
+		t.Errorf("TotalPower = %g", c.TotalPower())
+	}
+	if c.MinPowerOf(nil) != c.NodePower {
+		t.Error("MinPowerOf(nil) should be the reference")
+	}
+}
+
+func TestValidateHeteroErrors(t *testing.T) {
+	c := Bayreuth()
+	c.NodePowers = []float64{1, 2} // wrong length
+	if err := c.Validate(); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	c2 := NewHeterogeneous("bad", []float64{100, -1}, 1e8, 1e-4)
+	if err := c2.Validate(); err == nil {
+		t.Error("negative node power accepted")
+	}
+}
+
+func TestSeqTime(t *testing.T) {
+	c := Bayreuth()
+	// 2·2000³ flops at 250 MFlop/s = 64 s — the paper's sequential MM scale.
+	got := c.SeqTime(2 * 2000 * 2000 * 2000)
+	if got != 64 {
+		t.Errorf("SeqTime = %g, want 64", got)
+	}
+}

@@ -1,0 +1,295 @@
+// Package profiler implements the measurement campaigns of §VI and §VII:
+// brute-force task profiles (every kernel, matrix size and processor count),
+// no-op startup probes, and mostly-empty-matrix redistribution probes. The
+// campaigns only observe the emulated environment through the same probes
+// the authors used on their cluster; the hidden ground-truth curves are
+// never read directly, so the resulting models inherit genuine measurement
+// error.
+package profiler
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/dag"
+	"repro/internal/perfmodel"
+	"repro/internal/regression"
+)
+
+// Campaign runs measurements against an emulated environment.
+type Campaign struct {
+	// Em is the environment under measurement.
+	Em *cluster.Emulator
+}
+
+// TaskProfile measures the mean execution time of every (kernel, size,
+// processor-count) combination over the given number of trials — the
+// brute-force approach of §VI-A.
+func (c Campaign) TaskProfile(kernels []dag.Kernel, sizes []int, maxP, trials int) map[perfmodel.TaskKey]float64 {
+	if trials < 1 {
+		trials = 1
+	}
+	out := make(map[perfmodel.TaskKey]float64)
+	for _, k := range kernels {
+		for _, n := range sizes {
+			for p := 1; p <= maxP; p++ {
+				sum := 0.0
+				for i := 0; i < trials; i++ {
+					sum += c.Em.MeasureTask(k, n, p)
+				}
+				out[perfmodel.TaskKey{Kernel: k, N: n, P: p}] = sum / float64(trials)
+			}
+		}
+	}
+	return out
+}
+
+// MeasureTaskMean measures one configuration over trials.
+func (c Campaign) MeasureTaskMean(kernel dag.Kernel, n, p, trials int) float64 {
+	if trials < 1 {
+		trials = 1
+	}
+	sum := 0.0
+	for i := 0; i < trials; i++ {
+		sum += c.Em.MeasureTask(kernel, n, p)
+	}
+	return sum / float64(trials)
+}
+
+// StartupSeries launches no-op applications on p = 1..maxP processors,
+// trials times each, and returns the mean startup overhead per p (index
+// p−1) — the Figure 3 measurement (the paper averages 20 trials).
+func (c Campaign) StartupSeries(maxP, trials int) []float64 {
+	if trials < 1 {
+		trials = 1
+	}
+	out := make([]float64, maxP)
+	for p := 1; p <= maxP; p++ {
+		sum := 0.0
+		for i := 0; i < trials; i++ {
+			sum += c.Em.MeasureStartup(p)
+		}
+		out[p-1] = sum / float64(trials)
+	}
+	return out
+}
+
+// RedistSurface probes the redistribution overhead for every
+// (p(src), p(dst)) pair in [1, maxP]², trials times each (the paper uses
+// 3), and returns the mean surface indexed [src−1][dst−1] — Figure 4.
+func (c Campaign) RedistSurface(maxP, trials int) [][]float64 {
+	if trials < 1 {
+		trials = 1
+	}
+	out := make([][]float64, maxP)
+	for s := 1; s <= maxP; s++ {
+		out[s-1] = make([]float64, maxP)
+		for d := 1; d <= maxP; d++ {
+			sum := 0.0
+			for i := 0; i < trials; i++ {
+				sum += c.Em.MeasureRedistOverhead(s, d)
+			}
+			out[s-1][d-1] = sum / float64(trials)
+		}
+	}
+	return out
+}
+
+// RedistByDst collapses a surface to the per-destination average over all
+// source counts, the reduction §VI-C applies after observing that the
+// overhead depends mostly on p(dst).
+func RedistByDst(surface [][]float64) map[int]float64 {
+	out := make(map[int]float64, len(surface))
+	if len(surface) == 0 {
+		return out
+	}
+	for d := range surface[0] {
+		sum := 0.0
+		for s := range surface {
+			sum += surface[s][d]
+		}
+		out[d+1] = sum / float64(len(surface))
+	}
+	return out
+}
+
+// ProfileOptions configures the brute-force campaign.
+type ProfileOptions struct {
+	// Sizes are the matrix dimensions to profile (paper: 2000, 3000).
+	Sizes []int
+	// TaskTrials is the number of measurements per task configuration.
+	TaskTrials int
+	// StartupTrials is the number of no-op probes per p (paper: 20).
+	StartupTrials int
+	// RedistTrials is the number of probes per (src, dst) pair (paper: 3).
+	RedistTrials int
+}
+
+// DefaultProfileOptions mirrors the paper's campaign.
+func DefaultProfileOptions() ProfileOptions {
+	return ProfileOptions{
+		Sizes:         []int{2000, 3000},
+		TaskTrials:    3,
+		StartupTrials: 20,
+		RedistTrials:  3,
+	}
+}
+
+// BuildProfileModel runs the full brute-force campaign and assembles the
+// paper's second simulator model (§VI-D).
+func BuildProfileModel(em *cluster.Emulator, opts ProfileOptions) (*perfmodel.Profile, error) {
+	c := Campaign{Em: em}
+	maxP := em.Hidden.Cluster.Nodes
+	data := perfmodel.NewProfileData()
+	data.TaskTimes = c.TaskProfile([]dag.Kernel{dag.KernelMul, dag.KernelAdd}, opts.Sizes, maxP, opts.TaskTrials)
+	for p, v := range c.StartupSeries(maxP, opts.StartupTrials) {
+		data.Startup[p+1] = v
+	}
+	data.RedistByDst = RedistByDst(c.RedistSurface(maxP, opts.RedistTrials))
+	return perfmodel.NewProfile(data)
+}
+
+// EmpiricalOptions configures the sparse campaign of §VII.
+type EmpiricalOptions struct {
+	// Sizes are the matrix dimensions to fit (paper: 2000, 3000).
+	Sizes []int
+	// MulLowPoints are the processor counts fitted with the Amdahl-like
+	// low regime (Table II: {2, 4, 7, 15} after outlier avoidance).
+	MulLowPoints []int
+	// MulHighPoints are the processor counts fitted with the linear high
+	// regime (Table II: {15, 24, 31}).
+	MulHighPoints []int
+	// AddPoints are the addition measurement points (Table II:
+	// {2, 4, 7, 15, 24, 31}).
+	AddPoints []int
+	// OverheadPoints are the startup/redistribution measurement points
+	// (Table II: {1, 16, 32}).
+	OverheadPoints []int
+	// Split is the regime boundary (Table II: 16).
+	Split int
+	// Trials is the number of measurements averaged per point.
+	Trials int
+	// HalfInverseFor2000 selects the a·1/(2p)+b low-regime basis for
+	// n = 2000 as in Table II (other sizes use a·1/p+b).
+	HalfInverseFor2000 bool
+}
+
+// DefaultEmpiricalOptions mirrors Table II.
+func DefaultEmpiricalOptions() EmpiricalOptions {
+	return EmpiricalOptions{
+		Sizes:              []int{2000, 3000},
+		MulLowPoints:       []int{2, 4, 7, 15},
+		MulHighPoints:      []int{15, 24, 31},
+		AddPoints:          []int{2, 4, 7, 15, 24, 31},
+		OverheadPoints:     []int{1, 16, 32},
+		Split:              16,
+		Trials:             3,
+		HalfInverseFor2000: true,
+	}
+}
+
+// NaiveMulPoints is the initial powers-of-two measurement set whose p = 8
+// and p = 16 outliers wreck the fit (Figure 6, left).
+var NaiveMulPoints = []int{1, 2, 4, 8, 16, 32}
+
+// MeasureSeries measures the mean task time at each processor count.
+func (c Campaign) MeasureSeries(kernel dag.Kernel, n int, points []int, trials int) (xs, ys []float64) {
+	xs = make([]float64, len(points))
+	ys = make([]float64, len(points))
+	for i, p := range points {
+		xs[i] = float64(p)
+		ys[i] = c.MeasureTaskMean(kernel, n, p, trials)
+	}
+	return xs, ys
+}
+
+// BuildEmpiricalModel runs the sparse campaign and assembles the paper's
+// third simulator model (§VII-A): piecewise regression for multiplications,
+// a single Amdahl-like fit for additions, and linear fits for the two
+// overheads.
+func BuildEmpiricalModel(em *cluster.Emulator, opts EmpiricalOptions) (*perfmodel.Empirical, error) {
+	c := Campaign{Em: em}
+	model := &perfmodel.Empirical{
+		MulFits: make(map[int]regression.Piecewise),
+		AddFits: make(map[int]regression.Fit),
+	}
+	for _, n := range opts.Sizes {
+		lowBasis := regression.Inverse
+		if n == 2000 && opts.HalfInverseFor2000 {
+			lowBasis = regression.HalfInverse
+		}
+		points := unionInts(opts.MulLowPoints, opts.MulHighPoints)
+		xs, ys := c.MeasureSeries(dag.KernelMul, n, points, opts.Trials)
+		highLo := float64(minInt(opts.MulHighPoints))
+		pw, err := regression.FitPiecewise(xs, ys, lowBasis, float64(opts.Split), highLo)
+		if err != nil {
+			return nil, fmt.Errorf("profiler: multiplication fit n=%d: %w", n, err)
+		}
+		model.MulFits[n] = pw
+
+		ax, ay := c.MeasureSeries(dag.KernelAdd, n, opts.AddPoints, opts.Trials)
+		fit, err := regression.FitBasis(ax, ay, regression.Inverse)
+		if err != nil {
+			return nil, fmt.Errorf("profiler: addition fit n=%d: %w", n, err)
+		}
+		model.AddFits[n] = fit
+	}
+
+	// Startup overhead: linear fit over the sparse points.
+	var sx, sy []float64
+	for _, p := range opts.OverheadPoints {
+		sx = append(sx, float64(p))
+		sum := 0.0
+		for i := 0; i < opts.Trials; i++ {
+			sum += em.MeasureStartup(p)
+		}
+		sy = append(sy, sum/float64(opts.Trials))
+	}
+	fit, err := regression.FitBasis(sx, sy, regression.Linear)
+	if err != nil {
+		return nil, fmt.Errorf("profiler: startup fit: %w", err)
+	}
+	model.StartupFit = fit
+
+	// Redistribution overhead vs p(dst), averaged over a few source sizes.
+	var rx, ry []float64
+	for _, d := range opts.OverheadPoints {
+		rx = append(rx, float64(d))
+		sum, count := 0.0, 0
+		for _, s := range opts.OverheadPoints {
+			for i := 0; i < opts.Trials; i++ {
+				sum += em.MeasureRedistOverhead(s, d)
+				count++
+			}
+		}
+		ry = append(ry, sum/float64(count))
+	}
+	rfit, err := regression.FitBasis(rx, ry, regression.Linear)
+	if err != nil {
+		return nil, fmt.Errorf("profiler: redistribution fit: %w", err)
+	}
+	model.RedistFit = rfit
+	return model, nil
+}
+
+func unionInts(a, b []int) []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, v := range append(append([]int(nil), a...), b...) {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func minInt(xs []int) int {
+	m := xs[0]
+	for _, v := range xs[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,205 @@
+package profiler
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/dag"
+	"repro/internal/perfmodel"
+)
+
+func newEm(t *testing.T, seed int64) *cluster.Emulator {
+	t.Helper()
+	em, err := cluster.NewEmulator(cluster.Bayreuth(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return em
+}
+
+func TestTaskProfileCoversGrid(t *testing.T) {
+	em := newEm(t, 1)
+	c := Campaign{Em: em}
+	prof := c.TaskProfile([]dag.Kernel{dag.KernelMul, dag.KernelAdd}, []int{2000}, 8, 2)
+	if len(prof) != 2*8 {
+		t.Fatalf("profile has %d entries, want 16", len(prof))
+	}
+	for k, v := range prof {
+		if v <= 0 {
+			t.Errorf("profile entry %+v is %g", k, v)
+		}
+	}
+}
+
+func TestTaskProfileMeanApproachesTruth(t *testing.T) {
+	em := newEm(t, 2)
+	c := Campaign{Em: em}
+	truth := em.Hidden.KernelTime(&dag.Task{Kernel: dag.KernelMul, N: 2000}, 4)
+	mean := c.MeasureTaskMean(dag.KernelMul, 2000, 4, 200)
+	if math.Abs(mean-truth)/truth > 0.02 {
+		t.Errorf("200-trial mean %g deviates from truth %g by more than 2%%", mean, truth)
+	}
+}
+
+func TestStartupSeriesShape(t *testing.T) {
+	em := newEm(t, 3)
+	c := Campaign{Em: em}
+	series := c.StartupSeries(32, 20)
+	if len(series) != 32 {
+		t.Fatalf("series has %d points", len(series))
+	}
+	for p, v := range series {
+		if v <= 0 {
+			t.Errorf("startup at p=%d is %g", p+1, v)
+		}
+	}
+	// The measured series must preserve the ground truth's
+	// non-monotonicity (Figure 3's surprise).
+	monotone := true
+	for p := 1; p < len(series); p++ {
+		if series[p] < series[p-1] {
+			monotone = false
+		}
+	}
+	if monotone {
+		t.Error("measured startup series is monotone")
+	}
+}
+
+func TestRedistSurfaceDstDominates(t *testing.T) {
+	em := newEm(t, 4)
+	c := Campaign{Em: em}
+	surface := c.RedistSurface(32, 3)
+	byDst := RedistByDst(surface)
+	if len(byDst) != 32 {
+		t.Fatalf("byDst has %d entries", len(byDst))
+	}
+	if byDst[32] <= byDst[1] {
+		t.Errorf("overhead at p(dst)=32 (%g) not above p(dst)=1 (%g)", byDst[32], byDst[1])
+	}
+	// Averaging over src must smooth the surface: byDst spread dominates
+	// src spread at fixed dst.
+	srcSpread := math.Abs(surface[31][15] - surface[0][15])
+	dstSpread := byDst[32] - byDst[1]
+	if dstSpread < srcSpread {
+		t.Errorf("dst spread %g below src spread %g", dstSpread, srcSpread)
+	}
+}
+
+func TestRedistByDstEmpty(t *testing.T) {
+	if got := RedistByDst(nil); len(got) != 0 {
+		t.Errorf("RedistByDst(nil) = %v", got)
+	}
+}
+
+func TestBuildProfileModel(t *testing.T) {
+	em := newEm(t, 5)
+	opts := DefaultProfileOptions()
+	opts.StartupTrials = 5
+	model, err := BuildProfileModel(em, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Name() != "profile" {
+		t.Errorf("Name = %q", model.Name())
+	}
+	// The profiled time tracks the hidden truth within noise.
+	task := &dag.Task{Kernel: dag.KernelMul, N: 3000}
+	for _, p := range []int{1, 8, 16, 32} {
+		truth := em.Hidden.KernelTime(task, p)
+		got := model.TaskTime(task, p)
+		if math.Abs(got-truth)/truth > 0.10 {
+			t.Errorf("profiled mul n=3000 p=%d: %g vs truth %g", p, got, truth)
+		}
+	}
+	if model.StartupOverhead(16) <= 0 || model.RedistOverhead(4, 16) <= 0 {
+		t.Error("profiled overheads missing")
+	}
+}
+
+func TestBuildEmpiricalModel(t *testing.T) {
+	em := newEm(t, 6)
+	model, err := BuildEmpiricalModel(em, DefaultEmpiricalOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Name() != "empirical" {
+		t.Errorf("Name = %q", model.Name())
+	}
+	// Predictions should be within ~35% of truth at non-outlier points
+	// (regression from 6 noisy points is approximate by design).
+	task := &dag.Task{Kernel: dag.KernelMul, N: 2000}
+	for _, p := range []int{2, 4, 7, 12, 24, 31} {
+		truth := em.Hidden.KernelTime(task, p)
+		got := model.TaskTime(task, p)
+		if math.Abs(got-truth)/truth > 0.35 {
+			t.Errorf("empirical mul n=2000 p=%d: %g vs truth %g", p, got, truth)
+		}
+	}
+	// Overhead fits have the right scale.
+	if s := model.StartupOverhead(16); s < 0.4 || s > 2.5 {
+		t.Errorf("empirical startup(16) = %g", s)
+	}
+	if r := model.RedistOverhead(8, 32); r < 0.1 || r > 1 {
+		t.Errorf("empirical redist(·,32) = %g", r)
+	}
+}
+
+func TestEmpiricalStartupFitTrendsUpward(t *testing.T) {
+	em := newEm(t, 7)
+	model, err := BuildEmpiricalModel(em, DefaultEmpiricalOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.StartupFit.A <= 0 {
+		t.Errorf("startup slope = %g, want positive (Table II: 0.03)", model.StartupFit.A)
+	}
+	if model.RedistFit.A <= 0 {
+		t.Errorf("redistribution slope = %g, want positive (Table II: 7.88 ms)", model.RedistFit.A)
+	}
+}
+
+func TestNaivePointsExhibitOutliers(t *testing.T) {
+	// Measuring at the naive powers-of-two points must reveal the p=8
+	// outlier: its time is far above the 1/p interpolation of p=4 and 16.
+	em := newEm(t, 8)
+	c := Campaign{Em: em}
+	xs, ys := c.MeasureSeries(dag.KernelMul, 3000, NaiveMulPoints, 3)
+	var y4, y8, y16 float64
+	for i, x := range xs {
+		switch x {
+		case 4:
+			y4 = ys[i]
+		case 8:
+			y8 = ys[i]
+		case 16:
+			y16 = ys[i]
+		}
+	}
+	// Under ideal 1/p scaling the p·t product is constant; both outliers
+	// (p=8 memory effects, p=16 imbalance at n=3000) must lift it well
+	// above the clean p=4 point.
+	w4, w8, w16 := 4*y4, 8*y8, 16*y16
+	if w8 < w4*1.15 {
+		t.Errorf("p=8 outlier not visible: p·t = %g vs %g at p=4", w8, w4)
+	}
+	if w16 < w4*1.25 {
+		t.Errorf("p=16 outlier not visible: p·t = %g vs %g at p=4", w16, w4)
+	}
+}
+
+func TestProfileModelUsableBySchedulers(t *testing.T) {
+	em := newEm(t, 9)
+	opts := DefaultProfileOptions()
+	opts.StartupTrials = 3
+	model, err := BuildProfileModel(em, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := perfmodel.CostFunc(model)
+	task := &dag.Task{Kernel: dag.KernelAdd, N: 2000}
+	if cost(task, 4) <= model.TaskTime(task, 4) {
+		t.Error("cost must include startup overhead")
+	}
+}

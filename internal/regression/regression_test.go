@@ -1,0 +1,277 @@
+package regression
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %g, want %g (±%g)", what, got, want, tol)
+	}
+}
+
+func TestFitLinearExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 7.88*x + 108.58 // Table II redistribution startup
+	}
+	fit, err := FitBasis(xs, ys, Linear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, fit.A, 7.88, 1e-9, "a")
+	almost(t, fit.B, 108.58, 1e-9, "b")
+	almost(t, fit.R2, 1, 1e-12, "R²")
+}
+
+func TestFitInverseExact(t *testing.T) {
+	xs := []float64{2, 4, 7, 15, 24, 31}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 22.99/x + 0.03 // Table II addition n=2000
+	}
+	fit, err := FitBasis(xs, ys, Inverse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, fit.A, 22.99, 1e-9, "a")
+	almost(t, fit.B, 0.03, 1e-9, "b")
+}
+
+func TestFitHalfInverseExact(t *testing.T) {
+	xs := []float64{2, 4, 7, 15}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 239.44/(2*x) + 3.43 // Table II multiplication n=2000
+	}
+	fit, err := FitBasis(xs, ys, HalfInverse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, fit.A, 239.44, 1e-9, "a")
+	almost(t, fit.B, 3.43, 1e-9, "b")
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := FitBasis([]float64{1}, []float64{2}, Linear); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := FitBasis([]float64{1, 2}, []float64{2}, Linear); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := FitBasis([]float64{3, 3, 3}, []float64{1, 2, 3}, Linear); err == nil {
+		t.Error("degenerate xs accepted")
+	}
+}
+
+func TestFitNoisyRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	xs := make([]float64, 50)
+	ys := make([]float64, 50)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+		ys[i] = 3*xs[i] + 10 + rng.NormFloat64()*0.01
+	}
+	fit, err := FitBasis(xs, ys, Linear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, fit.A, 3, 0.01, "a")
+	almost(t, fit.B, 10, 0.05, "b")
+	if fit.R2 < 0.999 {
+		t.Errorf("R² = %g, want > 0.999", fit.R2)
+	}
+}
+
+func TestPiecewisePredictUsesRegimes(t *testing.T) {
+	// Low: 100/p + 1; high: 0.5·p + 2; split at 16.
+	xs := []float64{2, 4, 7, 15, 24, 31}
+	ys := []float64{51, 26, 100.0/7 + 1, 100.0/15 + 1, 14, 17.5}
+	pw, err := FitPiecewise(xs, ys, Inverse, 16, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, pw.Predict(10), 11, 1e-6, "low-regime prediction")
+	almost(t, pw.Predict(28), 16, 1e-6, "high-regime prediction")
+}
+
+func TestPiecewiseSharedBoundaryPoint(t *testing.T) {
+	// Table II multiplication uses p={2,4,7,15} low and p={15,24,31} high:
+	// point 15 belongs to both regimes.
+	xs := []float64{2, 4, 7, 15, 24, 31}
+	ys := []float64{10, 5, 3, 2, 3, 4}
+	pw, err := FitPiecewise(xs, ys, Inverse, 15, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pw.Low.A == 0 || pw.High.A == 0 {
+		t.Error("regimes not fitted")
+	}
+}
+
+func TestRelativeErrorsAndMAPE(t *testing.T) {
+	pred := []float64{110, 90}
+	actual := []float64{100, 100}
+	errs := RelativeErrors(pred, actual)
+	almost(t, errs[0], 0.1, 1e-12, "err0")
+	almost(t, errs[1], 0.1, 1e-12, "err1")
+	almost(t, MeanAbsPctError(pred, actual), 10, 1e-9, "MAPE")
+}
+
+func TestDetectOutliers(t *testing.T) {
+	// A clean 1/p curve with a spike at p=8 and p=16 (the Figure 6 story).
+	xs := []float64{1, 2, 4, 8, 12, 16, 24, 32}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 120/x + 2
+	}
+	ys[3] *= 1.6 // p=8 outlier
+	ys[5] *= 1.5 // p=16 outlier
+	got := DetectOutliers(xs, ys, Inverse, 3)
+	want := map[int]bool{3: true, 5: true}
+	if len(got) != 2 || !want[got[0]] || !want[got[1]] {
+		t.Errorf("outliers = %v, want indices of p=8 and p=16", got)
+	}
+}
+
+func TestDetectOutliersCleanData(t *testing.T) {
+	xs := []float64{1, 2, 4, 8, 16, 32}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 50/x + 1
+	}
+	if got := DetectOutliers(xs, ys, Inverse, 3); len(got) != 0 {
+		t.Errorf("clean data flagged: %v", got)
+	}
+}
+
+func TestDetectRelativeOutliers(t *testing.T) {
+	// A multiplicative spike on a 1/p curve: small absolute residual at
+	// large p, but a large relative one.
+	xs := []float64{1, 2, 4, 8, 12, 16, 24, 32}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 100/x + 1
+	}
+	ys[6] *= 1.8 // p=24: absolute bump is only ~4.2
+	got := DetectRelativeOutliers(xs, ys, Inverse, 3)
+	found := false
+	for _, idx := range got {
+		if idx == 6 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("relative outliers = %v, want index 6 flagged", got)
+	}
+	if len(got) > 2 {
+		t.Errorf("too many points flagged: %v", got)
+	}
+}
+
+func TestDetectRelativeOutliersCleanAndShort(t *testing.T) {
+	xs := []float64{1, 2, 4, 8, 16}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 50/x + 2
+	}
+	if got := DetectRelativeOutliers(xs, ys, Inverse, 3); len(got) != 0 {
+		t.Errorf("clean data flagged: %v", got)
+	}
+	if got := DetectRelativeOutliers(xs[:3], ys[:3], Inverse, 3); got != nil {
+		t.Errorf("short input flagged: %v", got)
+	}
+}
+
+func TestDetectOutliersShortInput(t *testing.T) {
+	if got := DetectOutliers([]float64{1, 2, 3}, []float64{1, 2, 3}, Linear, 3); got != nil {
+		t.Errorf("short input flagged: %v", got)
+	}
+}
+
+func TestDetectOutliersCapsDrops(t *testing.T) {
+	// At most a third of the points may be dropped, so the fit keeps a
+	// majority even on pathological data.
+	xs := []float64{1, 2, 3, 4, 5, 6}
+	ys := []float64{1, 100, 2, 200, 3, 300}
+	got := DetectOutliers(xs, ys, Linear, 1)
+	if len(got) > 2 {
+		t.Errorf("dropped %d of 6 points: %v", len(got), got)
+	}
+}
+
+func TestFitPiecewiseErrors(t *testing.T) {
+	xs := []float64{2, 4, 24, 31}
+	ys := []float64{10, 5, 3, 4}
+	// Low regime has only one point below split=3 → error.
+	if _, err := FitPiecewise(xs, ys, Inverse, 3, 20); err == nil {
+		t.Error("under-determined low regime accepted")
+	}
+	// High regime empty → error.
+	if _, err := FitPiecewise(xs, ys, Inverse, 31, 100); err == nil {
+		t.Error("empty high regime accepted")
+	}
+}
+
+func TestMustFitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustFit with bad input did not panic")
+		}
+	}()
+	MustFit([]float64{1}, []float64{1}, Linear)
+}
+
+func TestFitString(t *testing.T) {
+	fit := MustFit([]float64{1, 2}, []float64{3, 5}, Linear)
+	if fit.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestRemoveIndices(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{10, 20, 30, 40}
+	ox, oy := RemoveIndices(xs, ys, []int{1, 3})
+	if len(ox) != 2 || ox[0] != 1 || ox[1] != 3 || oy[0] != 10 || oy[1] != 30 {
+		t.Errorf("RemoveIndices = %v %v", ox, oy)
+	}
+}
+
+// Property: least squares recovers exact coefficients from noiseless data
+// for every basis, for arbitrary (a, b).
+func TestFitExactRecoveryQuick(t *testing.T) {
+	bases := []Basis{Linear, Inverse, HalfInverse}
+	prop := func(aRaw, bRaw int16, which uint8) bool {
+		a := float64(aRaw)/100 + 0.5
+		b := float64(bRaw) / 100
+		basis := bases[int(which)%len(bases)]
+		xs := []float64{1, 2, 3, 5, 8, 13, 21}
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = a*basis(x) + b
+		}
+		fit, err := FitBasis(xs, ys, basis)
+		if err != nil {
+			return false
+		}
+		return math.Abs(fit.A-a) < 1e-6 && math.Abs(fit.B-b) < 1e-6
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(4))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMedianEvenOdd(t *testing.T) {
+	almost(t, median([]float64{3, 1, 2}), 2, 1e-12, "odd median")
+	almost(t, median([]float64{4, 1, 2, 3}), 2.5, 1e-12, "even median")
+	if !math.IsNaN(median(nil)) {
+		t.Error("median(nil) should be NaN")
+	}
+}

@@ -1,0 +1,62 @@
+package sched
+
+import "repro/internal/dag"
+
+// Sequential is a baseline allocation: every task runs on a single
+// processor, exploiting only the DAG's task parallelism. Useful as a lower
+// bound on allocation-induced overheads and in ablation benches.
+type Sequential struct{}
+
+// Name implements Algorithm.
+func (Sequential) Name() string { return "SEQ" }
+
+// Allocate implements Algorithm.
+func (Sequential) Allocate(g *dag.Graph, clusterSize int, cost dag.CostFunc) []int {
+	alloc := make([]int, g.Len())
+	for i := range alloc {
+		alloc[i] = 1
+	}
+	return alloc
+}
+
+// DataParallel is the opposite baseline: every task gets the whole cluster,
+// exploiting only data parallelism (tasks then serialize). This is the
+// regime where task startup and redistribution overheads hurt most.
+type DataParallel struct{}
+
+// Name implements Algorithm.
+func (DataParallel) Name() string { return "DATAPAR" }
+
+// Allocate implements Algorithm.
+func (DataParallel) Allocate(g *dag.Graph, clusterSize int, cost dag.CostFunc) []int {
+	alloc := make([]int, g.Len())
+	for i := range alloc {
+		alloc[i] = clusterSize
+	}
+	return alloc
+}
+
+// Fixed is a baseline that allocates the same processor count to every task,
+// clamped to the cluster size.
+type Fixed struct {
+	P int
+}
+
+// Name implements Algorithm.
+func (f Fixed) Name() string { return "FIXED" }
+
+// Allocate implements Algorithm.
+func (f Fixed) Allocate(g *dag.Graph, clusterSize int, cost dag.CostFunc) []int {
+	p := f.P
+	if p < 1 {
+		p = 1
+	}
+	if p > clusterSize {
+		p = clusterSize
+	}
+	alloc := make([]int, g.Len())
+	for i := range alloc {
+		alloc[i] = p
+	}
+	return alloc
+}

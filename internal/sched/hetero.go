@@ -1,0 +1,171 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dag"
+	"repro/internal/platform"
+)
+
+// Heterogeneous scheduling support — the setting HCPA was created for [12].
+// The CPA-family allocation phases stay unchanged: they reason on a
+// *reference cluster* whose every node runs at the platform's reference
+// speed (Cluster.NodePower), which is exactly HCPA's normalisation trick.
+// Only the mapping phase needs to know real node speeds: a load-balanced
+// 1-D kernel on a mixed processor set runs at its slowest node's pace, so
+// the mapping must trade earlier availability against faster nodes.
+
+// MapScheduleHetero is the heterogeneous mapping phase: list scheduling in
+// decreasing bottom-level order, where each task evaluates two candidate
+// processor sets — the earliest-available nodes and the fastest of the
+// soon-available nodes — and keeps the earlier estimated finish. cost gives
+// reference-speed execution times; real durations scale by
+// reference/min-power of the chosen set.
+func MapScheduleHetero(g *dag.Graph, alloc []int, c platform.Cluster, cost dag.CostFunc, comm dag.CommFunc) *Schedule {
+	n := g.Len()
+	s := &Schedule{
+		Graph:     g,
+		Alloc:     append([]int(nil), alloc...),
+		Hosts:     make([][]int, n),
+		EstStart:  make([]float64, n),
+		EstFinish: make([]float64, n),
+	}
+	bl := g.BottomLevels(alloc, cost, comm)
+	avail := make([]float64, c.Nodes)
+	nPredsLeft := make([]int, n)
+	for _, t := range g.Tasks {
+		nPredsLeft[t.ID] = t.InDegree()
+	}
+	var ready []int
+	ready = append(ready, g.Entries()...)
+
+	type cand struct {
+		hosts  []int
+		start  float64
+		finish float64
+	}
+	evaluate := func(task *dag.Task, hosts []int, k int) cand {
+		procReady := 0.0
+		for _, h := range hosts {
+			if avail[h] > procReady {
+				procReady = avail[h]
+			}
+		}
+		dataReady := 0.0
+		for _, p := range task.Preds() {
+			t := s.EstFinish[p]
+			if comm != nil {
+				t += comm(g.Task(p), task, alloc[p], k)
+			}
+			if t > dataReady {
+				dataReady = t
+			}
+		}
+		start := procReady
+		if dataReady > start {
+			start = dataReady
+		}
+		slowdown := c.NodePower / c.MinPowerOf(hosts)
+		return cand{hosts: hosts, start: start, finish: start + cost(task, k)*slowdown}
+	}
+
+	for count := 0; count < n; count++ {
+		best := -1
+		for _, id := range ready {
+			if best < 0 || bl[id] > bl[best] || (bl[id] == bl[best] && id < best) {
+				best = id
+			}
+		}
+		if best < 0 {
+			panic("sched: hetero mapping ran out of ready tasks")
+		}
+		for i, r := range ready {
+			if r == best {
+				ready = append(ready[:i], ready[i+1:]...)
+				break
+			}
+		}
+		task := g.Task(best)
+		k := alloc[best]
+
+		// Candidate A: earliest-available nodes (speed as tie-break).
+		byAvail := hostOrder(c.Nodes, func(a, b int) bool {
+			if avail[a] != avail[b] {
+				return avail[a] < avail[b]
+			}
+			if c.PowerOf(a) != c.PowerOf(b) {
+				return c.PowerOf(a) > c.PowerOf(b)
+			}
+			return a < b
+		})
+		candA := evaluate(task, sortedCopy(byAvail[:k]), k)
+
+		// Candidate B: fastest nodes (availability as tie-break).
+		byPower := hostOrder(c.Nodes, func(a, b int) bool {
+			if c.PowerOf(a) != c.PowerOf(b) {
+				return c.PowerOf(a) > c.PowerOf(b)
+			}
+			if avail[a] != avail[b] {
+				return avail[a] < avail[b]
+			}
+			return a < b
+		})
+		candB := evaluate(task, sortedCopy(byPower[:k]), k)
+
+		chosen := candA
+		if candB.finish < candA.finish-1e-12 {
+			chosen = candB
+		}
+		s.Hosts[best] = chosen.hosts
+		s.EstStart[best] = chosen.start
+		s.EstFinish[best] = chosen.finish
+		for _, h := range chosen.hosts {
+			avail[h] = chosen.finish
+		}
+		for _, succ := range task.Succs() {
+			nPredsLeft[succ]--
+			if nPredsLeft[succ] == 0 {
+				ready = append(ready, succ)
+			}
+		}
+	}
+	return s
+}
+
+func hostOrder(n int, less func(a, b int) bool) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return less(order[a], order[b]) })
+	return order
+}
+
+func sortedCopy(hosts []int) []int {
+	out := append([]int(nil), hosts...)
+	sort.Ints(out)
+	return out
+}
+
+// BuildHetero runs a CPA-family allocation phase against the reference
+// cluster and maps the result onto the heterogeneous platform.
+func BuildHetero(algo Algorithm, g *dag.Graph, c platform.Cluster, cost dag.CostFunc, comm dag.CommFunc) (*Schedule, error) {
+	if g.Len() == 0 {
+		return nil, fmt.Errorf("sched %s: empty application", algo.Name())
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	alloc := algo.Allocate(g, c.Nodes, cost)
+	if len(alloc) != g.Len() {
+		return nil, fmt.Errorf("sched %s: allocation has %d entries for %d tasks",
+			algo.Name(), len(alloc), g.Len())
+	}
+	s := MapScheduleHetero(g, alloc, c, cost, comm)
+	s.Algorithm = algo.Name()
+	if err := s.Validate(c.Nodes); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

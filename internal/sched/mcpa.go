@@ -1,0 +1,44 @@
+package sched
+
+import "repro/internal/dag"
+
+// MCPA is the Modified-CPA algorithm of Bansal, Kumar and Singh (§II-A,
+// [5], "An Improved Two-Step Algorithm for Task and Data Parallel
+// Scheduling"). Its remedy against CPA's over-allocation is precedence-
+// level awareness: the w tasks of one precedence level can run
+// concurrently, so they must share the N processors. MCPA therefore caps
+// every task's allocation at N divided by its level's width (and refuses
+// further growth once the level's total allocation reaches N), which stops
+// CPA from giving a task more processors than its level's task parallelism
+// can ever exploit simultaneously.
+type MCPA struct{}
+
+// Name implements Algorithm.
+func (MCPA) Name() string { return "MCPA" }
+
+// Allocate implements Algorithm.
+func (MCPA) Allocate(g *dag.Graph, clusterSize int, cost dag.CostFunc) []int {
+	levels, nLevels := g.Levels()
+	width := make([]int, nLevels)
+	for _, l := range levels {
+		width[l]++
+	}
+	mayGrow := func(g *dag.Graph, alloc []int, task *dag.Task) bool {
+		l := levels[task.ID]
+		cap := clusterSize / width[l]
+		if cap < 1 {
+			cap = 1
+		}
+		if alloc[task.ID] >= cap {
+			return false
+		}
+		total := 0
+		for _, other := range g.Tasks {
+			if levels[other.ID] == l {
+				total += alloc[other.ID]
+			}
+		}
+		return total < clusterSize
+	}
+	return cpaLoop(g, clusterSize, cost, mayGrow)
+}

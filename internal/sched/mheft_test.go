@@ -1,0 +1,103 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/perfmodel"
+	"repro/internal/platform"
+)
+
+func TestMHEFTProducesValidSchedules(t *testing.T) {
+	c := platform.Bayreuth()
+	model := perfmodel.NewAnalytic(c)
+	cost := perfmodel.CostFunc(model)
+	comm := perfmodel.CommFunc(model, c)
+	for seed := int64(0); seed < 5; seed++ {
+		g := dag.MustGenerate(dag.GenParams{Tasks: 10, InputMatrices: 8, AddRatio: 0.5, N: 2000, Seed: seed})
+		s, err := MHEFT{}.Build(g, c.Nodes, cost, comm)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if s.Algorithm != "MHEFT" {
+			t.Errorf("algorithm label %q", s.Algorithm)
+		}
+	}
+}
+
+func TestMHEFTBeatsSequentialOnChain(t *testing.T) {
+	g := chain(4)
+	cost := perfect
+	s, err := MHEFT{}.Build(g, 16, cost, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := Build(Sequential{}, g, 16, cost, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.EstMakespan() >= seq.EstMakespan() {
+		t.Errorf("MHEFT makespan %g not below sequential %g", s.EstMakespan(), seq.EstMakespan())
+	}
+}
+
+func TestMHEFTOverAllocatesWithPerfectSpeedup(t *testing.T) {
+	// With ideal speedup every extra processor helps, so uncapped M-HEFT
+	// gives chain tasks the whole cluster — its known flaw.
+	g := chain(3)
+	s, err := MHEFT{}.Build(g, 8, perfect, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range s.Alloc {
+		if a != 8 {
+			t.Errorf("task %d allocated %d, want 8 (uncapped M-HEFT grabs everything)", i, a)
+		}
+	}
+}
+
+func TestMHEFTAllocCap(t *testing.T) {
+	g := chain(3)
+	s, err := MHEFT{AllocCap: 4}.Build(g, 16, perfect, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range s.Alloc {
+		if a > 4 {
+			t.Errorf("task %d allocated %d beyond the cap of 4", i, a)
+		}
+	}
+}
+
+func TestMHEFTPrefersFewerProcessorsOnTies(t *testing.T) {
+	// A cost model flat in p: additional processors never help, so M-HEFT
+	// must keep every allocation at 1.
+	g := fork(4)
+	flat := func(task *dag.Task, p int) float64 { return 5 }
+	s, err := MHEFT{}.Build(g, 8, flat, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range s.Alloc {
+		if a != 1 {
+			t.Errorf("task %d allocated %d under a flat cost model", i, a)
+		}
+	}
+}
+
+func TestMHEFTRespectsAmdahlPenalty(t *testing.T) {
+	// With the amdahl model, huge allocations eventually slow a task
+	// down; M-HEFT must not pick an allocation whose cost exceeds the
+	// single-processor cost.
+	g := chain(2)
+	s, err := MHEFT{}.Build(g, 32, amdahl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range s.Alloc {
+		task := g.Task(i)
+		if amdahl(task, a) > amdahl(task, 1) {
+			t.Errorf("task %d: chosen allocation %d is worse than sequential", i, a)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+// Package sched implements the paper's two-phase scheduling algorithms for
+// mixed-parallel applications on homogeneous clusters (§II-A): the CPA
+// family — CPA (Radulescu & van Gemund), HCPA (N'takpé, Suter & Casanova)
+// and MCPA (Bansal, Kumar & Singh) — plus reference baselines. All
+// algorithms first run an allocation phase that decides how many processors
+// each moldable task gets, then a mapping phase (list scheduling) that picks
+// the concrete processor sets and the execution order.
+//
+// The allocation and mapping phases consult a performance model through
+// dag.CostFunc/dag.CommFunc, so the same algorithm paired with different
+// models (analytic, profile, empirical) computes different schedules — the
+// paper's experimental design.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dag"
+)
+
+// Schedule is the output of a scheduling algorithm: per-task allocations,
+// concrete processor sets, and the estimated timeline the mapping phase
+// produced. The estimates come from the scheduler's performance model; the
+// simulator and the real execution environment replay the schedule and
+// produce their own (generally different) makespans.
+type Schedule struct {
+	// Algorithm names the algorithm that produced the schedule.
+	Algorithm string
+	// Model names the performance model used ("analytic", ...).
+	Model string
+	// Graph is the scheduled application.
+	Graph *dag.Graph
+	// Alloc[t] is the number of processors allocated to task t.
+	Alloc []int
+	// Hosts[t] lists the processors assigned to task t (len == Alloc[t]).
+	Hosts [][]int
+	// EstStart and EstFinish are the mapping phase's estimated times.
+	EstStart, EstFinish []float64
+}
+
+// EstMakespan returns the mapping phase's estimated makespan.
+func (s *Schedule) EstMakespan() float64 {
+	best := 0.0
+	for _, f := range s.EstFinish {
+		if f > best {
+			best = f
+		}
+	}
+	return best
+}
+
+// Order returns the task IDs sorted by estimated start time (ties by ID),
+// the order in which the runtime environment should launch them.
+func (s *Schedule) Order() []int {
+	order := make([]int, len(s.Alloc))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ta, tb := s.EstStart[order[a]], s.EstStart[order[b]]
+		if ta != tb {
+			return ta < tb
+		}
+		return order[a] < order[b]
+	})
+	return order
+}
+
+// Validate checks the schedule against the cluster size: allocation bounds,
+// host-set shapes, precedence feasibility of the estimated timeline, and
+// that tasks overlapping in estimated time never share a processor.
+func (s *Schedule) Validate(clusterSize int) error {
+	n := s.Graph.Len()
+	if len(s.Alloc) != n || len(s.Hosts) != n || len(s.EstStart) != n || len(s.EstFinish) != n {
+		return fmt.Errorf("sched %s: field lengths inconsistent with %d tasks", s.Algorithm, n)
+	}
+	for t := 0; t < n; t++ {
+		if s.Alloc[t] < 1 || s.Alloc[t] > clusterSize {
+			return fmt.Errorf("sched %s: task %d allocated %d processors (cluster has %d)",
+				s.Algorithm, t, s.Alloc[t], clusterSize)
+		}
+		if len(s.Hosts[t]) != s.Alloc[t] {
+			return fmt.Errorf("sched %s: task %d has %d hosts but allocation %d",
+				s.Algorithm, t, len(s.Hosts[t]), s.Alloc[t])
+		}
+		seen := make(map[int]bool, len(s.Hosts[t]))
+		for _, h := range s.Hosts[t] {
+			if h < 0 || h >= clusterSize {
+				return fmt.Errorf("sched %s: task %d uses host %d out of range", s.Algorithm, t, h)
+			}
+			if seen[h] {
+				return fmt.Errorf("sched %s: task %d uses host %d twice", s.Algorithm, t, h)
+			}
+			seen[h] = true
+		}
+		if s.EstFinish[t] < s.EstStart[t] {
+			return fmt.Errorf("sched %s: task %d finishes before it starts", s.Algorithm, t)
+		}
+		for _, p := range s.Graph.Task(t).Preds() {
+			if s.EstStart[t] < s.EstFinish[p]-1e-9 {
+				return fmt.Errorf("sched %s: task %d starts at %g before predecessor %d finishes at %g",
+					s.Algorithm, t, s.EstStart[t], p, s.EstFinish[p])
+			}
+		}
+	}
+	// Processor exclusivity among time-overlapping tasks.
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if s.EstStart[a] >= s.EstFinish[b]-1e-9 || s.EstStart[b] >= s.EstFinish[a]-1e-9 {
+				continue // disjoint in time
+			}
+			for _, ha := range s.Hosts[a] {
+				for _, hb := range s.Hosts[b] {
+					if ha == hb {
+						return fmt.Errorf("sched %s: tasks %d and %d overlap on host %d",
+							s.Algorithm, a, b, ha)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Algorithm is the allocation phase of a two-phase scheduler.
+type Algorithm interface {
+	// Name identifies the algorithm ("CPA", "HCPA", "MCPA", ...).
+	Name() string
+	// Allocate returns the per-task processor counts for a cluster of
+	// clusterSize processors under the given cost model.
+	Allocate(g *dag.Graph, clusterSize int, cost dag.CostFunc) []int
+}
+
+// Build runs the full two-phase scheduler: the algorithm's allocation phase
+// followed by the shared list-scheduling mapping phase.
+func Build(algo Algorithm, g *dag.Graph, clusterSize int, cost dag.CostFunc, comm dag.CommFunc) (*Schedule, error) {
+	if g.Len() == 0 {
+		return nil, fmt.Errorf("sched %s: empty application", algo.Name())
+	}
+	if clusterSize < 1 {
+		return nil, fmt.Errorf("sched %s: cluster size %d", algo.Name(), clusterSize)
+	}
+	alloc := algo.Allocate(g, clusterSize, cost)
+	if len(alloc) != g.Len() {
+		return nil, fmt.Errorf("sched %s: allocation has %d entries for %d tasks",
+			algo.Name(), len(alloc), g.Len())
+	}
+	s := MapSchedule(g, alloc, clusterSize, cost, comm)
+	s.Algorithm = algo.Name()
+	if err := s.Validate(clusterSize); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,30 @@
+// Package simgrid is a from-scratch discrete-event simulation kernel for
+// parallel and distributed applications, reproducing the subset of the
+// SimGrid toolkit the paper's simulators rely on (§IV):
+//
+//   - a resource model: hosts with a compute capacity in flop/s and network
+//     links with a bandwidth capacity in bytes/s, shared among concurrent
+//     activities under bounded max-min fairness (the sharing policy SimGrid
+//     validates in [Velho & Legrand 2009]);
+//   - the Ptask_L07 parallel-task model: an activity described by a per-host
+//     computation vector a and a per-host-pair communication matrix B, which
+//     progresses at a single uniform rate so that computation and
+//     communication advance in lockstep and the activity completes when all
+//     of its components do. Setting a≠0, B=0 yields a purely parallel
+//     computation, a=0, B≠0 a data-redistribution, and a≠0, B≠0 a parallel
+//     task with communication;
+//   - fixed-duration activities, used by the profile-based and empirical
+//     simulators whose task execution times come from measurements rather
+//     than flop counts;
+//   - an event loop with completion callbacks, which lets a driver release
+//     new activities when dependencies complete (the scheduling simulators in
+//     internal/experiments are such drivers).
+//
+// The cluster interconnect is a star: each node owns a private full-duplex
+// link (an uplink and a downlink resource) to the switch, and an optional
+// backplane resource bounds aggregate switch traffic. A route between two
+// distinct nodes crosses the source uplink, the backplane (if modelled) and
+// the destination downlink, and carries twice the private-link latency.
+// Network contention between communications sharing a link emerges from the
+// max-min solver exactly as in SimGrid.
+package simgrid

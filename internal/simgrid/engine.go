@@ -1,0 +1,265 @@
+package simgrid
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// timeEps is the relative tolerance used when comparing event times, so that
+// activities finishing "at the same instant" are retired together.
+const timeEps = 1e-9
+
+// workEps is the absolute remaining-work threshold below which an activity
+// is considered complete (guards against floating-point residue).
+const workEps = 1e-12
+
+// ActionState tracks an activity through its lifecycle.
+type ActionState int
+
+const (
+	// StatePending: added but not yet started (still in its latency delay).
+	StatePending ActionState = iota
+	// StateRunning: consuming resources.
+	StateRunning
+	// StateDone: completed.
+	StateDone
+)
+
+// Action is one activity in the simulation: an optional fixed delay followed
+// by an optional resource-consuming work phase.
+type Action struct {
+	// Name labels the action in traces.
+	Name string
+	// Delay is a fixed latency served before the work phase begins
+	// (e.g. network latency, or the whole duration of a fixed action).
+	Delay float64
+	// Work is the abstract amount of work of the resource phase; 1.0 by
+	// convention for parallel tasks (the usage amounts then equal the full
+	// flop/byte quantities). Zero means the action is a pure delay.
+	Work float64
+	// Usage lists resource consumption per unit rate. With Work = 1 and
+	// Usage amounts equal to total flops/bytes, an action running alone
+	// takes max_r(amount_r / capacity_r) seconds, the L07 semantics.
+	Usage map[int]float64
+	// Bound optionally caps the rate (<= 0: unbounded).
+	Bound float64
+	// OnComplete, if non-nil, runs when the action finishes. It may add
+	// new actions to the engine.
+	OnComplete func(e *Engine, a *Action)
+
+	added      bool
+	state      ActionState
+	remaining  float64 // remaining work
+	delayLeft  float64 // remaining delay
+	rate       float64
+	startedAt  float64
+	finishedAt float64
+	v          maxminVar
+}
+
+// State returns the action's lifecycle state.
+func (a *Action) State() ActionState { return a.state }
+
+// StartedAt returns the simulated time the action was added.
+func (a *Action) StartedAt() float64 { return a.startedAt }
+
+// FinishedAt returns the simulated completion time (valid once StateDone).
+func (a *Action) FinishedAt() float64 { return a.finishedAt }
+
+// Rate returns the most recently computed progress rate.
+func (a *Action) Rate() float64 { return a.rate }
+
+// Engine is the discrete-event simulation core: a set of resource capacities
+// and a set of live actions sharing them under bounded max-min fairness.
+type Engine struct {
+	now      float64
+	capacity []float64
+	live     []*Action
+	done     []*Action
+	// MaxEvents guards against runaway simulations; 0 means the default.
+	MaxEvents int
+}
+
+// NewEngine creates an engine with the given resource capacities.
+func NewEngine(capacity []float64) *Engine {
+	return &Engine{capacity: append([]float64(nil), capacity...)}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Capacity returns the capacity of resource r.
+func (e *Engine) Capacity(r int) float64 { return e.capacity[r] }
+
+// NumResources returns the number of resources.
+func (e *Engine) NumResources() int { return len(e.capacity) }
+
+// Completed returns all completed actions in completion order.
+func (e *Engine) Completed() []*Action { return e.done }
+
+// Add schedules an action starting at the current simulated time.
+func (e *Engine) Add(a *Action) {
+	if a.added {
+		panic(fmt.Sprintf("simgrid: action %q added twice", a.Name))
+	}
+	a.added = true
+	if a.Work < 0 || a.Delay < 0 {
+		panic(fmt.Sprintf("simgrid: action %q has negative work or delay", a.Name))
+	}
+	for r, u := range a.Usage {
+		if r < 0 || r >= len(e.capacity) {
+			panic(fmt.Sprintf("simgrid: action %q uses unknown resource %d", a.Name, r))
+		}
+		if u < 0 {
+			panic(fmt.Sprintf("simgrid: action %q has negative usage on resource %d", a.Name, r))
+		}
+	}
+	a.startedAt = e.now
+	a.remaining = a.Work
+	a.delayLeft = a.Delay
+	if a.delayLeft <= 0 && a.remaining <= workEps {
+		// Degenerate instantaneous action: complete immediately on the
+		// next event round by giving it a zero delay.
+		a.delayLeft = 0
+		a.remaining = 0
+	}
+	e.live = append(e.live, a)
+}
+
+// Run advances the simulation until no live actions remain and returns the
+// final simulated time.
+func (e *Engine) Run() (float64, error) {
+	maxEvents := e.MaxEvents
+	if maxEvents == 0 {
+		maxEvents = 10_000_000
+	}
+	for events := 0; len(e.live) > 0; events++ {
+		if events > maxEvents {
+			return e.now, fmt.Errorf("simgrid: exceeded %d events at t=%g with %d live actions",
+				maxEvents, e.now, len(e.live))
+		}
+		if err := e.step(); err != nil {
+			return e.now, err
+		}
+	}
+	return e.now, nil
+}
+
+// step advances to the next completion event and retires finished actions.
+func (e *Engine) step() error {
+	e.solveRates()
+
+	// Earliest event: a delay expiring (which needs a re-solve) or a work
+	// phase completing.
+	next := math.Inf(1)
+	for _, a := range e.live {
+		var t float64
+		switch {
+		case a.delayLeft > 0:
+			t = a.delayLeft
+		case a.remaining <= workEps:
+			t = 0
+		case a.rate <= 0:
+			t = math.Inf(1)
+		default:
+			t = a.remaining / a.rate
+		}
+		if t < next {
+			next = t
+		}
+	}
+	if math.IsInf(next, 1) {
+		names := make([]string, 0, len(e.live))
+		for _, a := range e.live {
+			names = append(names, a.Name)
+		}
+		sort.Strings(names)
+		return fmt.Errorf("simgrid: deadlock at t=%g: %d actions cannot progress (%v)",
+			e.now, len(e.live), names)
+	}
+
+	// Advance time and progress.
+	e.now += next
+	horizon := next * (1 + timeEps)
+	var still []*Action
+	var finished []*Action
+	for _, a := range e.live {
+		if a.delayLeft > 0 {
+			if a.delayLeft <= horizon {
+				a.delayLeft = 0
+				if a.remaining <= workEps {
+					finished = append(finished, a)
+					continue
+				}
+				a.state = StateRunning
+			} else {
+				a.delayLeft -= next
+			}
+			still = append(still, a)
+			continue
+		}
+		a.state = StateRunning
+		if math.IsInf(a.rate, 1) {
+			// Unconstrained action (uses no shared resource): completes
+			// as soon as its delay is served.
+			a.remaining = 0
+		} else {
+			a.remaining -= a.rate * next
+		}
+		if a.remaining <= a.Work*timeEps+workEps {
+			finished = append(finished, a)
+		} else {
+			still = append(still, a)
+		}
+	}
+	e.live = still
+
+	// Retire completions; callbacks may add new actions.
+	for _, a := range finished {
+		a.state = StateDone
+		a.remaining = 0
+		a.finishedAt = e.now
+		e.done = append(e.done, a)
+	}
+	for _, a := range finished {
+		if a.OnComplete != nil {
+			a.OnComplete(e, a)
+		}
+	}
+	return nil
+}
+
+// solveRates recomputes the max-min fair rates of all running actions.
+func (e *Engine) solveRates() {
+	var vars []*maxminVar
+	for _, a := range e.live {
+		if a.delayLeft > 0 || a.remaining <= workEps {
+			a.rate = 0
+			continue
+		}
+		a.v = maxminVar{usage: a.Usage, bound: a.Bound}
+		vars = append(vars, &a.v)
+	}
+	solveMaxMin(vars, e.capacity)
+	for _, a := range e.live {
+		if a.delayLeft > 0 || a.remaining <= workEps {
+			continue
+		}
+		a.rate = a.v.rate
+	}
+}
+
+// UsageOf reports the instantaneous usage of resource r by running actions,
+// for tests and observability.
+func (e *Engine) UsageOf(r int) float64 {
+	e.solveRates()
+	total := 0.0
+	for _, a := range e.live {
+		if a.delayLeft > 0 {
+			continue
+		}
+		total += a.rate * a.Usage[r]
+	}
+	return total
+}

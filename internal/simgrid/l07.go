@@ -1,0 +1,154 @@
+package simgrid
+
+import (
+	"fmt"
+
+	"repro/internal/platform"
+)
+
+// Net maps a platform.Cluster onto engine resources, implementing the star
+// topology of the paper's platform specification: per-node CPU, per-node
+// private uplink and downlink, and an optional switch backplane.
+type Net struct {
+	Cluster platform.Cluster
+	// resource index layout:
+	//   [0, N)    host CPUs
+	//   [N, 2N)   uplinks
+	//   [2N, 3N)  downlinks
+	//   3N        backplane (only if Cluster.BackplaneBandwidth > 0)
+	nHosts int
+}
+
+// NewNet validates the cluster and returns its resource mapping.
+func NewNet(c platform.Cluster) (*Net, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &Net{Cluster: c, nHosts: c.Nodes}, nil
+}
+
+// Capacities returns the engine capacity vector for the cluster.
+func (n *Net) Capacities() []float64 {
+	c := n.Cluster
+	size := 3 * n.nHosts
+	if c.BackplaneBandwidth > 0 {
+		size++
+	}
+	caps := make([]float64, size)
+	for h := 0; h < n.nHosts; h++ {
+		caps[n.CPU(h)] = c.PowerOf(h)
+		caps[n.Uplink(h)] = c.LinkBandwidth
+		caps[n.Downlink(h)] = c.LinkBandwidth
+	}
+	if c.BackplaneBandwidth > 0 {
+		caps[n.Backplane()] = c.BackplaneBandwidth
+	}
+	return caps
+}
+
+// NewEngine builds an engine with the cluster's resources.
+func (n *Net) NewEngine() *Engine { return NewEngine(n.Capacities()) }
+
+// CPU returns the resource index of host h's processor.
+func (n *Net) CPU(h int) int { n.check(h); return h }
+
+// Uplink returns the resource index of host h's private uplink.
+func (n *Net) Uplink(h int) int { n.check(h); return n.nHosts + h }
+
+// Downlink returns the resource index of host h's private downlink.
+func (n *Net) Downlink(h int) int { n.check(h); return 2*n.nHosts + h }
+
+// Backplane returns the resource index of the switch backplane. Only valid
+// when the cluster models one.
+func (n *Net) Backplane() int { return 3 * n.nHosts }
+
+// HasBackplane reports whether the backplane resource exists.
+func (n *Net) HasBackplane() bool { return n.Cluster.BackplaneBandwidth > 0 }
+
+func (n *Net) check(h int) {
+	if h < 0 || h >= n.nHosts {
+		panic(fmt.Sprintf("simgrid: host %d out of range [0,%d)", h, n.nHosts))
+	}
+}
+
+// RouteLatency returns the latency of the route between two hosts: zero
+// within a host, twice the private-link latency otherwise (source link +
+// destination link; the paper models switch and private links with a single
+// 100 µs figure).
+func (n *Net) RouteLatency(src, dst int) float64 {
+	if src == dst {
+		return 0
+	}
+	return 2 * n.Cluster.LinkLatency
+}
+
+// Ptask builds an L07 parallel-task action from a computation vector and a
+// communication matrix, the exact inputs of SimGrid's Ptask_L07 model:
+// comp[i] is the number of flops host hosts[i] executes, bytes[i][j] the
+// number of bytes hosts[i] sends to hosts[j]. Either may be nil (a == 0
+// redistribution, B == 0 pure computation). The action's latency is the
+// maximum route latency over communicating pairs.
+func (n *Net) Ptask(name string, hosts []int, comp []float64, bytes [][]float64) *Action {
+	if comp != nil && len(comp) != len(hosts) {
+		panic(fmt.Sprintf("simgrid: ptask %q: comp length %d != hosts %d", name, len(comp), len(hosts)))
+	}
+	if bytes != nil && len(bytes) != len(hosts) {
+		panic(fmt.Sprintf("simgrid: ptask %q: bytes rows %d != hosts %d", name, len(bytes), len(hosts)))
+	}
+	usage := make(map[int]float64)
+	latency := 0.0
+	for i, h := range hosts {
+		if comp != nil && comp[i] > 0 {
+			usage[n.CPU(h)] += comp[i]
+		}
+		if bytes == nil {
+			continue
+		}
+		if len(bytes[i]) != len(hosts) {
+			panic(fmt.Sprintf("simgrid: ptask %q: bytes row %d has %d cols, want %d",
+				name, i, len(bytes[i]), len(hosts)))
+		}
+		for j, b := range bytes[i] {
+			if b <= 0 || i == j {
+				continue // intra-host transfers are free, as in SimGrid clusters
+			}
+			dst := hosts[j]
+			if h == dst {
+				continue
+			}
+			usage[n.Uplink(h)] += b
+			usage[n.Downlink(dst)] += b
+			if n.HasBackplane() {
+				usage[n.Backplane()] += b
+			}
+			if l := n.RouteLatency(h, dst); l > latency {
+				latency = l
+			}
+		}
+	}
+	return &Action{Name: name, Delay: latency, Work: 1, Usage: usage}
+}
+
+// Fixed builds an action that simply lasts the given duration without
+// consuming shared resources; the profile-based and empirical simulators use
+// it for measured task execution times and overheads.
+func Fixed(name string, duration float64) *Action {
+	if duration < 0 {
+		panic(fmt.Sprintf("simgrid: fixed action %q has negative duration %g", name, duration))
+	}
+	return &Action{Name: name, Delay: duration}
+}
+
+// LoneActionTime predicts how long an action would take if it ran alone on
+// the platform: delay + max over resources of amount/capacity. Useful for
+// analytic expected-time computations and tests.
+func (n *Net) LoneActionTime(a *Action) float64 {
+	caps := n.Capacities()
+	t := 0.0
+	for r, u := range a.Usage {
+		if d := u / caps[r] * a.Work; d > t {
+			t = d
+		}
+	}
+	return a.Delay + t
+}

@@ -1,0 +1,149 @@
+package simgrid
+
+import (
+	"fmt"
+	"math"
+)
+
+// maxminVar is one variable (an activity's progress rate) in a bounded
+// max-min fairness problem.
+type maxminVar struct {
+	// usage maps a resource index to the amount of that resource consumed
+	// per unit of rate. Zero-usage entries must be omitted.
+	usage map[int]float64
+	// bound caps the rate; <= 0 means unbounded.
+	bound float64
+	// rate is the solver's output.
+	rate float64
+	// fixed marks variables whose rate has been decided.
+	fixed bool
+}
+
+// SolveMaxMin computes the bounded max-min fair allocation of rates to
+// variables under per-resource capacity constraints:
+//
+//	for every resource r:  Σ_v usage[v][r]·rate[v] ≤ capacity[r]
+//	for every variable v:  rate[v] ≤ bound[v]  (if bound[v] > 0)
+//
+// The classic bottleneck algorithm is used: repeatedly find the resource
+// whose fair share (remaining capacity divided by the total usage weight of
+// its undecided variables) is smallest, fix all its variables at that share,
+// deduct their consumption everywhere, and iterate. Variables whose bound is
+// tighter than every fair share are fixed at their bound first.
+//
+// The function operates on the engine's internal structures; SolveRates is
+// the public entry point via the Engine.
+func solveMaxMin(vars []*maxminVar, capacity []float64) {
+	remaining := append([]float64(nil), capacity...)
+	for _, v := range vars {
+		v.rate = 0
+		v.fixed = len(v.usage) == 0 // a variable using nothing runs unconstrained
+		if v.fixed && v.bound > 0 {
+			v.rate = v.bound
+		} else if v.fixed {
+			v.rate = math.Inf(1)
+		}
+	}
+
+	for {
+		// Total usage weight of undecided variables per resource.
+		weight := make(map[int]float64)
+		nUnfixed := 0
+		for _, v := range vars {
+			if v.fixed {
+				continue
+			}
+			nUnfixed++
+			for r, u := range v.usage {
+				weight[r] += u
+			}
+		}
+		if nUnfixed == 0 {
+			return
+		}
+
+		// Bottleneck share over resources.
+		share := math.Inf(1)
+		for r, w := range weight {
+			if w <= 0 {
+				continue
+			}
+			s := remaining[r] / w
+			if s < share {
+				share = s
+			}
+		}
+
+		// A bound tighter than the bottleneck share fixes that variable
+		// before the bottleneck resource saturates.
+		bounded := false
+		for _, v := range vars {
+			if v.fixed || v.bound <= 0 || v.bound > share {
+				continue
+			}
+			v.rate = v.bound
+			v.fixed = true
+			bounded = true
+			for r, u := range v.usage {
+				remaining[r] -= u * v.rate
+				if remaining[r] < 0 {
+					remaining[r] = 0
+				}
+			}
+		}
+		if bounded {
+			continue // recompute shares with the bounded variables gone
+		}
+
+		if math.IsInf(share, 1) {
+			// No capacity pressure at all: unreachable for well-formed
+			// inputs (every unfixed variable has usage on some resource).
+			for _, v := range vars {
+				if !v.fixed {
+					v.rate = math.Inf(1)
+					v.fixed = true
+				}
+			}
+			return
+		}
+
+		// Fix every variable on a saturated bottleneck resource.
+		saturated := make(map[int]bool)
+		for r, w := range weight {
+			if w <= 0 {
+				continue
+			}
+			if remaining[r]/w <= share*(1+1e-12) {
+				saturated[r] = true
+			}
+		}
+		progressed := false
+		for _, v := range vars {
+			if v.fixed {
+				continue
+			}
+			hit := false
+			for r := range v.usage {
+				if saturated[r] {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				continue
+			}
+			v.rate = share
+			v.fixed = true
+			progressed = true
+			for r, u := range v.usage {
+				remaining[r] -= u * v.rate
+				if remaining[r] < 0 {
+					remaining[r] = 0
+				}
+			}
+		}
+		if !progressed {
+			panic(fmt.Sprintf("simgrid: max-min solver stalled with %d unfixed variables", nUnfixed))
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKendallTauPerfectAgreement(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{10, 20, 30, 40, 50}
+	almost(t, KendallTau(xs, ys), 1, 1e-12, "tau")
+}
+
+func TestKendallTauPerfectDisagreement(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{4, 3, 2, 1}
+	almost(t, KendallTau(xs, ys), -1, 1e-12, "tau")
+}
+
+func TestKendallTauPartial(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	ys := []float64{1, 3, 2}
+	// pairs: (1,2)c (1,3)c (2,3)d → (2-1)/3
+	almost(t, KendallTau(xs, ys), 1.0/3, 1e-12, "tau")
+}
+
+func TestKendallTauTiesAndDegenerate(t *testing.T) {
+	if KendallTau([]float64{1}, []float64{2}) != 0 {
+		t.Error("single point should give 0")
+	}
+	xs := []float64{1, 1, 2}
+	ys := []float64{5, 6, 7}
+	// tie on xs pair (0,1): neither; others concordant → 2/3
+	almost(t, KendallTau(xs, ys), 2.0/3, 1e-12, "tau with ties")
+}
+
+func TestPearsonR(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	almost(t, PearsonR(xs, xs), 1, 1e-12, "self correlation")
+	neg := []float64{4, 3, 2, 1}
+	almost(t, PearsonR(xs, neg), -1, 1e-12, "anti correlation")
+	flat := []float64{5, 5, 5, 5}
+	if PearsonR(xs, flat) != 0 {
+		t.Error("degenerate series should give 0")
+	}
+	if !math.Signbit(PearsonR([]float64{1, 2, 3}, []float64{1, 0, -4})) {
+		t.Error("descending pairing should be negative")
+	}
+}

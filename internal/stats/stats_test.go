@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %g, want %g", what, got, want)
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	almost(t, Mean(xs), 5, 1e-12, "mean")
+	almost(t, StdDev(xs), math.Sqrt(32.0/7), 1e-12, "stddev")
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(StdDev([]float64{1})) {
+		t.Error("degenerate inputs should yield NaN")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	almost(t, Quantile(xs, 0), 1, 1e-12, "min")
+	almost(t, Quantile(xs, 1), 4, 1e-12, "max")
+	almost(t, Quantile(xs, 0.5), 2.5, 1e-12, "median")
+	almost(t, Median([]float64{3, 1, 2}), 2, 1e-12, "odd median")
+	if !math.IsNaN(Quantile(nil, 0.5)) || !math.IsNaN(Quantile(xs, 2)) {
+		t.Error("invalid quantile inputs should yield NaN")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 100}
+	f := Summarize(xs)
+	if f.Min != 1 || f.Max != 100 || f.Median != 3 {
+		t.Errorf("FiveNum = %+v", f)
+	}
+	if f.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestRelErrPct(t *testing.T) {
+	almost(t, RelErrPct(110, 100), 10, 1e-12, "+10%")
+	almost(t, RelErrPct(90, 100), 10, 1e-12, "-10%")
+	if !math.IsInf(RelErrPct(1, 0), 1) {
+		t.Error("division by zero should be +Inf")
+	}
+}
+
+func TestRelDiff(t *testing.T) {
+	almost(t, RelDiff(90, 100), -0.1, 1e-12, "HCPA 10% shorter")
+	almost(t, RelDiff(120, 100), 0.2, 1e-12, "HCPA 20% longer")
+}
+
+func TestSameSign(t *testing.T) {
+	if !SameSign(-0.2, -0.1, 0) {
+		t.Error("both negative should agree")
+	}
+	if SameSign(-0.2, 0.1, 0) {
+		t.Error("opposite signs should disagree")
+	}
+	if !SameSign(0.001, -0.3, 0.01) {
+		t.Error("near-zero within eps should count as agreement")
+	}
+}
+
+func TestCountDisagreements(t *testing.T) {
+	sim := []float64{-0.3, 0.2, -0.1, 0.4}
+	exp := []float64{-0.1, -0.2, 0.3, 0.5}
+	if got := CountDisagreements(sim, exp, 0); got != 2 {
+		t.Errorf("disagreements = %d, want 2", got)
+	}
+	if got := CountDisagreements(sim, exp[:2], 0); got != 1 {
+		t.Errorf("short-input disagreements = %d, want 1", got)
+	}
+}

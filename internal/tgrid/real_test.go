@@ -1,0 +1,120 @@
+package tgrid
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/sched"
+)
+
+// smallSchedule builds a schedulable small-matrix application.
+func smallSchedule(t *testing.T, g *dag.Graph, clusterSize int) *sched.Schedule {
+	t.Helper()
+	cost := func(task *dag.Task, p int) float64 { return task.Flops() / float64(p) }
+	s, err := sched.Build(sched.HCPA{}, g, clusterSize, cost, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRunRealMatchesSequentialReference(t *testing.T) {
+	g := dag.MustGenerate(dag.GenParams{Tasks: 6, InputMatrices: 4, AddRatio: 0.5, N: 48, Seed: 17})
+	s := smallSchedule(t, g, 8)
+	opts := RealOptions{Seed: 99}
+	res, err := RunReal(s, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := SequentialReference(g, s, opts)
+	if len(res.Outputs) == 0 || len(res.Outputs) != len(want) {
+		t.Fatalf("outputs: got %d, want %d", len(res.Outputs), len(want))
+	}
+	for id, norm := range want {
+		got, ok := res.Outputs[id]
+		if !ok {
+			t.Errorf("exit task %d missing from real outputs", id)
+			continue
+		}
+		if math.Abs(got-norm)/norm > 1e-9 {
+			t.Errorf("exit task %d norm %g, want %g", id, got, norm)
+		}
+	}
+	if res.Makespan <= 0 {
+		t.Error("non-positive wall-clock makespan")
+	}
+}
+
+func TestRunRealDeterministicOutputs(t *testing.T) {
+	g := dag.MustGenerate(dag.GenParams{Tasks: 5, InputMatrices: 2, AddRatio: 0.75, N: 32, Seed: 23})
+	s := smallSchedule(t, g, 4)
+	opts := RealOptions{Seed: 7}
+	a, err := RunReal(s, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunReal(s, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, norm := range a.Outputs {
+		if b.Outputs[id] != norm {
+			t.Errorf("exit %d: runs disagree (%g vs %g)", id, norm, b.Outputs[id])
+		}
+	}
+}
+
+func TestRunRealAddRepeatsDoNotChangeResult(t *testing.T) {
+	g := dag.New("adds")
+	a := g.AddTask(dag.KernelAdd, 24)
+	b := g.AddTask(dag.KernelAdd, 24)
+	g.AddEdge(a.ID, b.ID)
+	s := smallSchedule(t, g, 4)
+	r1, err := RunReal(s, RealOptions{Seed: 5, AddRepeats: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := RunReal(s, RealOptions{Seed: 5, AddRepeats: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := range r1.Outputs {
+		if r1.Outputs[id] != r4.Outputs[id] {
+			t.Errorf("repeats changed output of task %d", id)
+		}
+	}
+}
+
+func TestRunRealRefusesHugeMatrices(t *testing.T) {
+	g := dag.New("huge")
+	g.AddTask(dag.KernelMul, 4096)
+	s := &sched.Schedule{
+		Algorithm: "x",
+		Graph:     g,
+		Alloc:     []int{1},
+		Hosts:     [][]int{{0}},
+		EstStart:  []float64{0},
+		EstFinish: []float64{1},
+	}
+	if _, err := RunReal(s, RealOptions{}); err == nil {
+		t.Fatal("n=4096 real execution accepted")
+	}
+}
+
+func TestRunRealSingleMulTask(t *testing.T) {
+	g := dag.New("one")
+	g.AddTask(dag.KernelMul, 40)
+	s := smallSchedule(t, g, 4)
+	res, err := RunReal(s, RealOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := SequentialReference(g, s, RealOptions{Seed: 3})
+	if math.Abs(res.Outputs[0]-want[0])/want[0] > 1e-9 {
+		t.Errorf("single task norm %g, want %g", res.Outputs[0], want[0])
+	}
+	if res.TaskWall[0] <= 0 {
+		t.Error("task wall time not recorded")
+	}
+}

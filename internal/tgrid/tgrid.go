@@ -1,0 +1,100 @@
+// Package tgrid reproduces the role of the TGrid runtime environment (§III):
+// it executes a mixed-parallel application according to a given schedule,
+// spawning each multiprocessor task on its assigned processors and
+// performing the transparent data redistributions between dependent tasks.
+//
+// Two backends are provided:
+//
+//   - the virtual backend (Run): a virtual-time replay on top of the
+//     internal/simgrid kernel, parameterised by a Timing source. With a
+//     perfmodel-backed Timing it is exactly one of the paper's simulators;
+//     with the hidden ground-truth Timing of internal/cluster it plays the
+//     role of the real 32-node cluster (the "experiment");
+//   - the real backend (RunReal, real.go): actually executes the parallel
+//     matrix kernels with goroutine ranks and channel-based message passing
+//     (internal/mpi, internal/kernels) and measures wall-clock time, for
+//     laptop-scale demonstrations that the runtime genuinely runs
+//     mixed-parallel programs.
+package tgrid
+
+import (
+	"repro/internal/dag"
+)
+
+// Timing supplies the execution-time behaviour of an environment: either a
+// performance model's estimates (the simulators) or the hidden ground truth
+// (the emulated cluster).
+type Timing interface {
+	// TaskStartup returns the task-startup overhead, in seconds, paid when
+	// launching the task on p processors (TGrid's per-processor JVM/SSH
+	// spawning). Called once per task execution.
+	TaskStartup(task *dag.Task, p int) float64
+	// TaskWork describes the kernel execution on the given processor set:
+	// either a fixed duration (comp == nil) or an L07 parallel-task
+	// description (per-rank flops and inter-rank bytes) to be placed on
+	// the network. Host identities matter on heterogeneous platforms —
+	// a load-balanced 1-D kernel runs at its slowest host's pace. Called
+	// once per task execution.
+	TaskWork(task *dag.Task, hosts []int) (fixed float64, comp []float64, bytes [][]float64)
+	// RedistOverhead returns the data-redistribution overhead, in seconds,
+	// paid before the transfer itself (TGrid's subnet-manager
+	// registration). Called once per executed DAG edge.
+	RedistOverhead(pSrc, pDst int) float64
+}
+
+// Result reports one execution of a schedule.
+type Result struct {
+	// Makespan is the application completion time in seconds.
+	Makespan float64
+	// TaskStart and TaskFinish hold the per-task execution window,
+	// including the startup overhead, indexed by task ID.
+	TaskStart, TaskFinish []float64
+	// TaskStartupDur holds the startup overhead each task paid, indexed by
+	// task ID; TaskFinish − TaskStart − TaskStartupDur is the kernel time.
+	TaskStartupDur []float64
+	// RedistStart and RedistFinish hold the per-edge redistribution
+	// windows, keyed by [src, dst] task IDs.
+	RedistStart, RedistFinish map[[2]int]float64
+	// RedistOverheadDur holds the protocol overhead paid per edge; the
+	// remainder of the redistribution window is transfer time.
+	RedistOverheadDur map[[2]int]float64
+}
+
+// KernelDuration returns the kernel execution time of a task (its window
+// minus the startup overhead).
+func (r *Result) KernelDuration(task int) float64 {
+	return r.TaskFinish[task] - r.TaskStart[task] - r.TaskStartupDur[task]
+}
+
+// Breakdown aggregates where the processor-seconds went across the whole
+// execution: kernel work, startup overhead, redistribution overhead and
+// transfer. Times are plain sums over activities (not weighted by processor
+// count), which is how the paper discusses its per-activity overheads.
+type Breakdown struct {
+	Kernel, Startup, RedistOverhead, RedistTransfer float64
+}
+
+// Breakdown computes the aggregate time decomposition of the execution.
+func (r *Result) Breakdown() Breakdown {
+	var b Breakdown
+	for id := range r.TaskStart {
+		b.Startup += r.TaskStartupDur[id]
+		b.Kernel += r.KernelDuration(id)
+	}
+	for edge := range r.RedistStart {
+		oh := r.RedistOverheadDur[edge]
+		b.RedistOverhead += oh
+		b.RedistTransfer += r.RedistFinish[edge] - r.RedistStart[edge] - oh
+	}
+	return b
+}
+
+// RedistDuration returns the duration of the redistribution for edge
+// src→dst, or 0 if that edge was not executed.
+func (r *Result) RedistDuration(src, dst int) float64 {
+	k := [2]int{src, dst}
+	if _, ok := r.RedistStart[k]; !ok {
+		return 0
+	}
+	return r.RedistFinish[k] - r.RedistStart[k]
+}

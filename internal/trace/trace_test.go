@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/dag"
+	"repro/internal/perfmodel"
+	"repro/internal/sched"
+)
+
+func testTrace(t *testing.T) (*Trace, *sched.Schedule) {
+	t.Helper()
+	truth := cluster.Bayreuth()
+	g := dag.MustGenerate(dag.GenParams{Tasks: 10, InputMatrices: 4, AddRatio: 0.5, N: 2000, Seed: 3})
+	model := perfmodel.NewAnalytic(truth.Cluster)
+	s, err := sched.Build(sched.HCPA{}, g, truth.Cluster.Nodes,
+		perfmodel.CostFunc(model), perfmodel.CommFunc(model, truth.Cluster))
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, err := cluster.NewEmulator(truth, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := em.Execute(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return FromResult(s, res), s
+}
+
+func TestFromResultSpans(t *testing.T) {
+	tr, s := testTrace(t)
+	nTasks, nRedist := 0, 0
+	for _, span := range tr.Spans {
+		switch span.Kind {
+		case "task":
+			nTasks++
+		case "redist":
+			nRedist++
+		default:
+			t.Errorf("unknown span kind %q", span.Kind)
+		}
+		if span.Finish < span.Start {
+			t.Errorf("span %s ends before it starts", span.Name)
+		}
+		if span.Finish > tr.Makespan+1e-9 {
+			t.Errorf("span %s ends after the makespan", span.Name)
+		}
+	}
+	if nTasks != s.Graph.Len() {
+		t.Errorf("%d task spans, want %d", nTasks, s.Graph.Len())
+	}
+	if nRedist != s.Graph.EdgeCount() {
+		t.Errorf("%d redistribution spans, want %d", nRedist, s.Graph.EdgeCount())
+	}
+	// Sorted by start.
+	for i := 1; i < len(tr.Spans); i++ {
+		if tr.Spans[i-1].Start > tr.Spans[i].Start {
+			t.Fatal("spans not sorted by start time")
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tr, _ := testTrace(t)
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(tr.Spans)+1 {
+		t.Errorf("CSV has %d lines, want %d", len(lines), len(tr.Spans)+1)
+	}
+	if !strings.HasPrefix(lines[0], "name,kind,start") {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+}
+
+func TestUtilizationBounds(t *testing.T) {
+	tr, _ := testTrace(t)
+	u := tr.Utilization()
+	if len(u) == 0 {
+		t.Fatal("no hosts in utilization")
+	}
+	for h, v := range u {
+		if v < 0 || v > 1+1e-9 {
+			t.Errorf("host %d utilization %g outside [0,1]", h, v)
+		}
+	}
+	mean := tr.MeanUtilization()
+	if mean <= 0 || mean > 1 {
+		t.Errorf("mean utilization %g", mean)
+	}
+}
+
+func TestGanttRenders(t *testing.T) {
+	tr, _ := testTrace(t)
+	var buf bytes.Buffer
+	tr.Gantt(&buf, 60)
+	out := buf.String()
+	if !strings.Contains(out, "host  0 |") {
+		t.Errorf("gantt missing host rows:\n%s", out)
+	}
+	if len(strings.Split(out, "\n")) < tr.Hosts {
+		t.Error("gantt row count too small")
+	}
+}
+
+func TestGanttEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	(&Trace{}).Gantt(&buf, 40)
+	if !strings.Contains(buf.String(), "empty trace") {
+		t.Error("empty trace not handled")
+	}
+}
+
+func TestWriteEventLog(t *testing.T) {
+	tr, _ := testTrace(t)
+	var buf bytes.Buffer
+	tr.WriteEventLog(&buf)
+	if !strings.Contains(buf.String(), "makespan") {
+		t.Error("event log missing header")
+	}
+}

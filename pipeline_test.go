@@ -1,0 +1,282 @@
+package repro
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/dag"
+	"repro/internal/perfmodel"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/tgrid"
+	"repro/internal/trace"
+)
+
+// These integration tests exercise the full pipeline through the public
+// facade: generate → schedule → simulate → execute → trace.
+
+func TestFacadePipeline(t *testing.T) {
+	g, err := GenerateDAG(GenParams{Tasks: 10, InputMatrices: 4, AddRatio: 0.5, N: 2000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Bayreuth()
+	model := NewAnalyticModel(c)
+	for _, algo := range Algorithms() {
+		s, err := BuildSchedule(algo, g, c, model)
+		if err != nil {
+			t.Fatalf("%s: %v", algo.Name(), err)
+		}
+		sim, err := Simulate(c, s, model)
+		if err != nil {
+			t.Fatalf("%s simulate: %v", algo.Name(), err)
+		}
+		exp, err := Experiment(s, 3)
+		if err != nil {
+			t.Fatalf("%s execute: %v", algo.Name(), err)
+		}
+		if sim.Makespan <= 0 || exp.Makespan <= 0 {
+			t.Fatalf("%s: non-positive makespans %g/%g", algo.Name(), sim.Makespan, exp.Makespan)
+		}
+		if exp.Makespan <= sim.Makespan {
+			t.Errorf("%s: experiment (%g) not slower than analytic simulation (%g)",
+				algo.Name(), exp.Makespan, sim.Makespan)
+		}
+	}
+}
+
+func TestFacadeSuite(t *testing.T) {
+	suite, err := GenerateSuite(2011)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite) != 54 {
+		t.Fatalf("suite has %d instances", len(suite))
+	}
+}
+
+// TestFacadeHeteroPipeline exercises the heterogeneous entry points.
+func TestFacadeHeteroPipeline(t *testing.T) {
+	powers := make([]float64, 8)
+	for i := range powers {
+		powers[i] = 250e6
+		if i >= 4 {
+			powers[i] = 500e6
+		}
+	}
+	c := NewHeterogeneousCluster("mix", powers, 125e6, 100e-6)
+	if c.IsHomogeneous() {
+		t.Fatal("cluster should be heterogeneous")
+	}
+	g := dag.Diamond(2000)
+	model := NewAnalyticModel(c)
+	s, err := BuildHeteroSchedule(sched.HCPA{}, g, c, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := Simulate(c, s, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Makespan <= 0 {
+		t.Error("non-positive hetero makespan")
+	}
+}
+
+// TestLabsDeterministic: two labs with the same configuration produce
+// identical suite results.
+func TestLabsDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	a, err := NewLab(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewLab(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := a.RunSuite("empirical")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.RunSuite("empirical")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ra {
+		for _, algo := range []string{"HCPA", "MCPA"} {
+			if ra[i].Sim[algo] != rb[i].Sim[algo] || ra[i].Exp[algo] != rb[i].Exp[algo] {
+				t.Fatalf("labs diverge at instance %d/%s", i, algo)
+			}
+		}
+	}
+}
+
+// TestEmpiricalModelSchedulable: the empirical model's clamped cost curves
+// must not break the schedulers.
+func TestEmpiricalModelSchedulable(t *testing.T) {
+	c := Bayreuth()
+	model := perfmodel.PaperEmpirical()
+	for seed := int64(0); seed < 5; seed++ {
+		g := dag.MustGenerate(dag.GenParams{Tasks: 10, InputMatrices: 8, AddRatio: 1.0, N: 3000, Seed: seed})
+		for _, algo := range []sched.Algorithm{sched.CPA{}, sched.HCPA{}, sched.MCPA{}} {
+			s, err := BuildSchedule(algo, g, c, model)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, algo.Name(), err)
+			}
+			if _, err := Simulate(c, s, model); err != nil {
+				t.Fatalf("seed %d %s simulate: %v", seed, algo.Name(), err)
+			}
+		}
+	}
+}
+
+// TestSimulationReplayConsistency: the virtual replay of a schedule under
+// the same model that scheduled it must finish close to the mapping phase's
+// estimate (differences come only from network contention the list
+// scheduler's comm estimate ignores).
+func TestSimulationReplayConsistency(t *testing.T) {
+	c := Bayreuth()
+	model := NewAnalyticModel(c)
+	for seed := int64(0); seed < 8; seed++ {
+		g := dag.MustGenerate(dag.GenParams{Tasks: 10, InputMatrices: 8, AddRatio: 0.75, N: 3000, Seed: seed})
+		s, err := BuildSchedule(sched.MCPA{}, g, c, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := Simulate(c, s, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est := s.EstMakespan()
+		if sim.Makespan < est*0.5 || sim.Makespan > est*2.0 {
+			t.Errorf("seed %d: simulated %g far from mapping estimate %g", seed, sim.Makespan, est)
+		}
+	}
+}
+
+// TestRefinedModelsTrackExperiment: simulating with the profile model must
+// land within a few percent of the emulated execution for every suite DAG
+// of one size — the §VI-D claim.
+func TestRefinedModelsTrackExperiment(t *testing.T) {
+	cfg := DefaultConfig()
+	lab, err := NewLab(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := lab.RunSuite("profile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := 0.0
+	for _, rec := range recs {
+		for _, algo := range []string{"HCPA", "MCPA"} {
+			e := stats.SimErrPct(rec.Sim[algo], rec.Exp[algo])
+			if e > worst {
+				worst = e
+			}
+		}
+	}
+	if worst > 10 {
+		t.Errorf("profile-model worst simulation error %g%%, want < 10%% (paper: under 10%% on average)", worst)
+	}
+}
+
+// TestScheduleDeterminism: the same inputs always produce the same
+// schedule.
+func TestScheduleDeterminism(t *testing.T) {
+	c := Bayreuth()
+	model := NewAnalyticModel(c)
+	g := dag.MustGenerate(dag.GenParams{Tasks: 10, InputMatrices: 8, AddRatio: 0.5, N: 2000, Seed: 77})
+	a, err := BuildSchedule(sched.HCPA{}, g, c, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildSchedule(sched.HCPA{}, g, c, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Alloc {
+		if a.Alloc[i] != b.Alloc[i] {
+			t.Fatalf("allocation differs at task %d", i)
+		}
+		for j := range a.Hosts[i] {
+			if a.Hosts[i][j] != b.Hosts[i][j] {
+				t.Fatalf("hosts differ at task %d", i)
+			}
+		}
+	}
+}
+
+// TestTraceAccountsForMakespan: the trace of an emulated run covers the
+// whole makespan and no span exceeds it.
+func TestTraceAccountsForMakespan(t *testing.T) {
+	c := Bayreuth()
+	model := NewAnalyticModel(c)
+	g := dag.Diamond(2000)
+	s, err := BuildSchedule(sched.HCPA{}, g, c, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, err := cluster.NewEmulator(cluster.Bayreuth(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := em.Execute(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.FromResult(s, res)
+	if math.Abs(tr.Makespan-res.Makespan) > 1e-9 {
+		t.Errorf("trace makespan %g vs result %g", tr.Makespan, res.Makespan)
+	}
+	last := 0.0
+	for _, span := range tr.Spans {
+		if span.Finish > last {
+			last = span.Finish
+		}
+	}
+	if math.Abs(last-tr.Makespan) > 1e-6 {
+		t.Errorf("last span ends at %g, makespan %g", last, tr.Makespan)
+	}
+}
+
+// TestOverlayAblationDirection: adding measured overheads to the analytic
+// model must move simulated makespans toward the experiment.
+func TestOverlayAblationDirection(t *testing.T) {
+	cfg := DefaultConfig()
+	lab, err := NewLab(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := lab.Suite[0].Graph
+	c := lab.Cluster()
+	overlay, err := perfmodel.NewOverlay(lab.Analytic, lab.Profile, lab.Profile, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	build := func(m Model) (float64, float64) {
+		s, err := sched.Build(sched.HCPA{}, g, c.Nodes, perfmodel.CostFunc(m), perfmodel.CommFunc(m, c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := tgrid.Run(lab.Net, s, tgrid.ModelTiming{Model: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exp, err := lab.Em.MeasureMakespan(s, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim.Makespan, exp
+	}
+	simA, expA := build(lab.Analytic)
+	simO, expO := build(overlay)
+	errA := math.Abs(expA-simA) / simA
+	errO := math.Abs(expO-simO) / simO
+	if errO >= errA {
+		t.Errorf("overheads overlay error %g not below analytic %g", errO, errA)
+	}
+}

@@ -1,0 +1,138 @@
+// Package repro is a from-scratch Go reproduction of
+//
+//	Sascha Hunold, Henri Casanova, Frédéric Suter.
+//	"From Simulation to Experiment: A Case Study on Multiprocessor Task
+//	Scheduling", APDCM/IPDPS 2011.
+//
+// The paper asks whether the analytical simulation models pervasive in the
+// scheduling literature support scientifically valid conclusions, using the
+// scheduling of mixed-parallel applications (DAGs of moldable data-parallel
+// tasks) on a 32-node cluster as a case study. This package is the public
+// façade over the full reproduction:
+//
+//   - a discrete-event simulation kernel with SimGrid's Ptask_L07
+//     parallel-task model (internal/simgrid);
+//   - the CPA, HCPA and MCPA two-phase scheduling algorithms
+//     (internal/sched);
+//   - the three simulator variants — analytic, brute-force profile,
+//     empirical regression (internal/perfmodel, internal/profiler,
+//     internal/regression);
+//   - a calibrated ground-truth environment standing in for the paper's
+//     Bayreuth cluster + TGrid runtime (internal/cluster), plus a real
+//     execution backend with goroutine ranks and message passing
+//     (internal/tgrid, internal/mpi, internal/kernels);
+//   - the full evaluation pipeline regenerating every table and figure
+//     (internal/experiments), also exposed through cmd/mixedsim.
+//
+// The quickest entry points:
+//
+//	lab, _ := repro.NewLab(repro.DefaultConfig())
+//	fig1, _ := lab.CompareHCPAMCPA("analytic", 2000)
+//	fig1.Write(os.Stdout)
+//
+// See README.md for the architecture overview and EXPERIMENTS.md for
+// paper-vs-measured results.
+package repro
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/dag"
+	"repro/internal/experiments"
+	"repro/internal/perfmodel"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/simgrid"
+	"repro/internal/tgrid"
+)
+
+// Core workload types.
+type (
+	// Graph is a mixed-parallel application DAG of moldable tasks.
+	Graph = dag.Graph
+	// Task is one moldable task.
+	Task = dag.Task
+	// GenParams configures the paper's random DAG generator (Table I).
+	GenParams = dag.GenParams
+	// Cluster describes a homogeneous platform.
+	Cluster = platform.Cluster
+	// Schedule is a two-phase scheduling result.
+	Schedule = sched.Schedule
+	// Model is a simulator performance model (analytic, profile, empirical).
+	Model = perfmodel.Model
+	// Result reports one virtual-time execution of a schedule.
+	Result = tgrid.Result
+	// Lab is the assembled experimental setup of the paper's evaluation.
+	Lab = experiments.Lab
+	// Config selects the evaluation's seeds and measurement effort.
+	Config = experiments.Config
+)
+
+// GenerateDAG runs the paper's random-DAG generator.
+func GenerateDAG(p GenParams) (*Graph, error) { return dag.Generate(p) }
+
+// GenerateSuite produces the 54-instance Table I workload.
+func GenerateSuite(baseSeed int64) ([]dag.SuiteInstance, error) {
+	return dag.GenerateSuite(baseSeed)
+}
+
+// Bayreuth returns the paper's platform: 32 nodes at an effective
+// 250 MFlop/s behind Gigabit Ethernet.
+func Bayreuth() Cluster { return platform.Bayreuth() }
+
+// NewAnalyticModel returns the flop-count/latency-bandwidth model of §IV.
+func NewAnalyticModel(c Cluster) Model { return perfmodel.NewAnalytic(c) }
+
+// Algorithms returns the schedulers of the case study plus baselines:
+// CPA, HCPA, MCPA, SEQ, DATAPAR.
+func Algorithms() []sched.Algorithm {
+	return []sched.Algorithm{
+		sched.CPA{}, sched.HCPA{}, sched.MCPA{}, sched.Sequential{}, sched.DataParallel{},
+	}
+}
+
+// BuildSchedule runs a two-phase scheduler under a performance model.
+func BuildSchedule(algo sched.Algorithm, g *Graph, c Cluster, m Model) (*Schedule, error) {
+	return sched.Build(algo, g, c.Nodes, perfmodel.CostFunc(m), perfmodel.CommFunc(m, c))
+}
+
+// NewHeterogeneousCluster builds a platform with explicit per-node speeds;
+// the fastest node becomes the reference speed CPA-family allocations are
+// normalised to (HCPA's original heterogeneous setting).
+func NewHeterogeneousCluster(name string, powers []float64, bandwidth, latency float64) Cluster {
+	return platform.NewHeterogeneous(name, powers, bandwidth, latency)
+}
+
+// BuildHeteroSchedule schedules onto a heterogeneous platform: the
+// allocation phase reasons on the reference cluster and the mapping phase
+// trades node speed against availability.
+func BuildHeteroSchedule(algo sched.Algorithm, g *Graph, c Cluster, m Model) (*Schedule, error) {
+	return sched.BuildHetero(algo, g, c, perfmodel.CostFunc(m), perfmodel.CommFunc(m, c))
+}
+
+// Simulate replays a schedule under a performance model — one of the
+// paper's simulators.
+func Simulate(c Cluster, s *Schedule, m Model) (*Result, error) {
+	net, err := simgrid.NewNet(c)
+	if err != nil {
+		return nil, err
+	}
+	return tgrid.Run(net, s, tgrid.ModelTiming{Model: m})
+}
+
+// Experiment executes a schedule on the emulated ground-truth environment
+// (the reproduction's stand-in for the paper's real cluster), with the
+// given noise seed.
+func Experiment(s *Schedule, seed int64) (*Result, error) {
+	em, err := cluster.NewEmulator(cluster.Bayreuth(), seed)
+	if err != nil {
+		return nil, err
+	}
+	return em.Execute(s)
+}
+
+// DefaultConfig mirrors the paper's evaluation setup.
+func DefaultConfig() Config { return experiments.DefaultConfig() }
+
+// NewLab assembles the full evaluation: environment, profiling campaigns,
+// models and workload.
+func NewLab(cfg Config) (*Lab, error) { return experiments.NewLab(cfg) }
