@@ -75,6 +75,32 @@ func BenchmarkNoiseSensitivity(b *testing.B) {
 	}
 }
 
+// BenchmarkStudySerialVsParallel measures the study-execution engine's
+// speedup: the same suite-wide study (the Figure 1 comparison under one
+// noise level) at workers=1 versus one worker per CPU. The two variants
+// produce byte-identical tables; only wall-clock differs.
+func BenchmarkStudySerialVsParallel(b *testing.B) {
+	sigmas := []float64{0.03}
+	variants := []struct {
+		name    string
+		workers int
+	}{
+		{"workers=1", 1},
+		{"workers=all", 0}, // one per CPU (experiments.DefaultParallelism)
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			cfg := experiments.DefaultConfig()
+			cfg.Parallelism = v.workers
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.NoiseSensitivity(cfg, sigmas); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkMaxMinSolver measures the resource-sharing solver on a
 // contended scenario: 64 transfers over a 32-node star network.
 func BenchmarkMaxMinSolver(b *testing.B) {

@@ -32,6 +32,7 @@ func main() {
 		suiteSeed  = flag.Int64("suite-seed", 2011, "seed for the 54-DAG suite")
 		noiseSeed  = flag.Int64("seed", 42, "seed for the environment's run-to-run noise")
 		trials     = flag.Int("trials", 1, "emulated cluster runs averaged per measured makespan")
+		parallel   = flag.Int("parallel", 0, "study-execution worker pool size (0 = one per CPU); output is identical for every value")
 		jsonPath   = flag.String("json", "", "additionally write the full machine-readable report to this path")
 	)
 	flag.Parse()
@@ -40,6 +41,7 @@ func main() {
 	cfg.SuiteSeed = *suiteSeed
 	cfg.NoiseSeed = *noiseSeed
 	cfg.ExpTrials = *trials
+	cfg.Parallelism = *parallel
 
 	lab, err := experiments.NewLab(cfg)
 	if err != nil {

@@ -18,6 +18,8 @@ import (
 	"sort"
 
 	"repro/internal/cluster"
+	"repro/internal/dag"
+	"repro/internal/experiments"
 	"repro/internal/perfmodel"
 	"repro/internal/profiler"
 )
@@ -51,6 +53,7 @@ func main() {
 	log.SetPrefix("profilecluster: ")
 	var (
 		seed     = flag.Int64("seed", 42, "environment noise seed")
+		parallel = flag.Int("parallel", 0, "worker pool size for the fit-validation sweep (0 = one per CPU)")
 		jsonPath = flag.String("json", "", "write the full profile as JSON to this path")
 	)
 	flag.Parse()
@@ -105,6 +108,51 @@ func main() {
 	fmt.Printf("  startup: (a,b)=(%.3f, %.3f) s\n", emp.StartupFit.A, emp.StartupFit.B)
 	fmt.Printf("  redistribution: (a,b)=(%.2f, %.2f) ms\n",
 		1000*emp.RedistFit.A, 1000*emp.RedistFit.B)
+
+	// Cross-validate the sparse fits against fresh held-out measurements
+	// (draws the campaigns never saw): one (kernel, n) series per cell of
+	// the study engine's worker pool, each on a deterministic private
+	// noise session, so the table is identical for every pool size.
+	fmt.Println()
+	fmt.Println("empirical fits vs held-out measurements (relative error, p=1..32, 3 trials):")
+	type valSeries struct {
+		kernel dag.Kernel
+		n      int
+	}
+	series := []valSeries{
+		{dag.KernelMul, 2000}, {dag.KernelMul, 3000},
+		{dag.KernelAdd, 2000}, {dag.KernelAdd, 3000},
+	}
+	type valRow struct{ mean, max float64 }
+	rows := make([]valRow, len(series))
+	maxP := em.Hidden.Cluster.Nodes
+	runner := experiments.Runner{Workers: *parallel, Seed: *seed, Em: em}
+	if err := runner.Run("validate", len(series), func(i int, sess *cluster.Session) error {
+		s := series[i]
+		c := profiler.Campaign{Em: sess}
+		task := &dag.Task{Kernel: s.kernel, N: s.n}
+		var sum, max float64
+		for p := 1; p <= maxP; p++ {
+			meas := c.MeasureTaskMean(s.kernel, s.n, p, 3)
+			e := emp.TaskTime(task, p) - meas
+			if e < 0 {
+				e = -e
+			}
+			e /= meas
+			sum += e
+			if e > max {
+				max = e
+			}
+		}
+		rows[i] = valRow{mean: sum / float64(maxP), max: max}
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+	for i, s := range series {
+		fmt.Printf("  %-4s n=%d: mean %5.1f%%  max %5.1f%%\n",
+			s.kernel, s.n, 100*rows[i].mean, 100*rows[i].max)
+	}
 
 	if *jsonPath == "" {
 		return

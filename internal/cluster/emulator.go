@@ -49,15 +49,112 @@ func (e *Emulator) noise() float64 {
 	return math.Exp(e.rng.NormFloat64() * e.Hidden.NoiseSigma)
 }
 
-// truthTiming implements tgrid.Timing with the hidden profile plus noise.
-type truthTiming struct{ em *Emulator }
+// noiseSource yields multiplicative run-to-run noise factors.
+type noiseSource interface{ noise() float64 }
+
+// The probe formulas of §VI, shared by the Emulator (shared stream) and
+// Sessions (private streams) so the two paths can never diverge.
+
+func measureTask(h *Hidden, src noiseSource, kernel dag.Kernel, n, p int) float64 {
+	task := &dag.Task{Kernel: kernel, N: n}
+	return h.KernelTime(task, p) * src.noise()
+}
+
+func measureStartup(h *Hidden, src noiseSource, p int) float64 {
+	return h.StartupTime(p) * src.noise()
+}
+
+func measureRedistOverhead(h *Hidden, src noiseSource, pSrc, pDst int) float64 {
+	return h.RedistOverheadTime(pSrc, pDst) * src.noise()
+}
+
+func execute(net *simgrid.Net, h *Hidden, src noiseSource, s *sched.Schedule) (*tgrid.Result, error) {
+	return tgrid.Run(net, s, truthTiming{h: h, src: src})
+}
+
+func measureMakespan(net *simgrid.Net, h *Hidden, src noiseSource, s *sched.Schedule, trials int) (float64, error) {
+	if trials < 1 {
+		trials = 1
+	}
+	sum := 0.0
+	for i := 0; i < trials; i++ {
+		res, err := execute(net, h, src, s)
+		if err != nil {
+			return 0, err
+		}
+		sum += res.Makespan
+	}
+	return sum / float64(trials), nil
+}
+
+// Session is a deterministic measurement stream over the same emulated
+// environment: it shares the emulator's ground truth and network but draws
+// noise from a private RNG. Measurements made through a session depend only
+// on the session's seed — never on what other sessions or the emulator's
+// shared stream consumed before — which is what makes concurrent study
+// cells reproducible regardless of execution order.
+//
+// A Session is NOT safe for concurrent use; give each worker its own.
+type Session struct {
+	em  *Emulator
+	rng *rand.Rand
+}
+
+// Session derives a private measurement stream with its own noise seed.
+func (e *Emulator) Session(seed int64) *Session {
+	return &Session{em: e, rng: rand.New(rand.NewSource(seed))}
+}
+
+// noise draws from the session's private stream.
+func (s *Session) noise() float64 {
+	if s.em.Hidden.NoiseSigma <= 0 {
+		return 1
+	}
+	return math.Exp(s.rng.NormFloat64() * s.em.Hidden.NoiseSigma)
+}
+
+// Execute runs the schedule on the emulated cluster under the session's
+// noise stream.
+func (s *Session) Execute(sc *sched.Schedule) (*tgrid.Result, error) {
+	return execute(s.em.net, s.em.Hidden, s, sc)
+}
+
+// MeasureMakespan executes the schedule trials times and returns the mean
+// measured makespan.
+func (s *Session) MeasureMakespan(sc *sched.Schedule, trials int) (float64, error) {
+	return measureMakespan(s.em.net, s.em.Hidden, s, sc, trials)
+}
+
+// MeasureTask is the session-stream version of Emulator.MeasureTask.
+func (s *Session) MeasureTask(kernel dag.Kernel, n, p int) float64 {
+	return measureTask(s.em.Hidden, s, kernel, n, p)
+}
+
+// MeasureStartup is the session-stream version of Emulator.MeasureStartup.
+func (s *Session) MeasureStartup(p int) float64 {
+	return measureStartup(s.em.Hidden, s, p)
+}
+
+// MeasureRedistOverhead is the session-stream version of
+// Emulator.MeasureRedistOverhead.
+func (s *Session) MeasureRedistOverhead(pSrc, pDst int) float64 {
+	return measureRedistOverhead(s.em.Hidden, s, pSrc, pDst)
+}
+
+// truthTiming implements tgrid.Timing with the hidden profile plus noise
+// drawn from the given source (the emulator's shared stream or a session's
+// private one).
+type truthTiming struct {
+	h   *Hidden
+	src noiseSource
+}
 
 func (t truthTiming) TaskStartup(task *dag.Task, p int) float64 {
-	return t.em.Hidden.StartupTime(p) * t.em.noise()
+	return t.h.StartupTime(p) * t.src.noise()
 }
 
 func (t truthTiming) TaskWork(task *dag.Task, hosts []int) (float64, []float64, [][]float64) {
-	h := t.em.Hidden
+	h := t.h
 	kernel := h.KernelTime(task, len(hosts))
 	// On heterogeneous platforms the load-balanced 1-D kernel runs at the
 	// slowest assigned node's pace; KernelTime is calibrated against the
@@ -74,49 +171,37 @@ func (t truthTiming) TaskWork(task *dag.Task, hosts []int) (float64, []float64, 
 			}
 		}
 	}
-	return kernel * t.em.noise(), nil, nil
+	return kernel * t.src.noise(), nil, nil
 }
 
 func (t truthTiming) RedistOverhead(pSrc, pDst int) float64 {
-	return t.em.Hidden.RedistOverheadTime(pSrc, pDst) * t.em.noise()
+	return t.h.RedistOverheadTime(pSrc, pDst) * t.src.noise()
 }
 
 // Execute runs the schedule on the emulated cluster and returns the
 // measured result. Consecutive calls differ by run-to-run noise, exactly
 // like repeated runs on real hardware.
 func (e *Emulator) Execute(s *sched.Schedule) (*tgrid.Result, error) {
-	return tgrid.Run(e.net, s, truthTiming{em: e})
+	return execute(e.net, e.Hidden, e, s)
 }
 
 // MeasureMakespan executes the schedule trials times and returns the mean
 // measured makespan.
 func (e *Emulator) MeasureMakespan(s *sched.Schedule, trials int) (float64, error) {
-	if trials < 1 {
-		trials = 1
-	}
-	sum := 0.0
-	for i := 0; i < trials; i++ {
-		res, err := e.Execute(s)
-		if err != nil {
-			return 0, err
-		}
-		sum += res.Makespan
-	}
-	return sum / float64(trials), nil
+	return measureMakespan(e.net, e.Hidden, e, s, trials)
 }
 
 // MeasureTask runs a single task in isolation on processors [0, p) and
 // returns the measured kernel time, excluding startup overhead — the probe
 // the brute-force profiling campaign uses (§VI-A).
 func (e *Emulator) MeasureTask(kernel dag.Kernel, n, p int) float64 {
-	task := &dag.Task{Kernel: kernel, N: n}
-	return e.Hidden.KernelTime(task, p) * e.noise()
+	return measureTask(e.Hidden, e, kernel, n, p)
 }
 
 // MeasureStartup launches a no-op application on p processors and returns
 // the measured startup overhead (§VI-B).
 func (e *Emulator) MeasureStartup(p int) float64 {
-	return e.Hidden.StartupTime(p) * e.noise()
+	return measureStartup(e.Hidden, e, p)
 }
 
 // MeasureRedistOverhead performs the mostly-empty-matrix redistribution
@@ -124,7 +209,7 @@ func (e *Emulator) MeasureStartup(p int) float64 {
 // (§VI-C). The one-byte-per-pair payload transfers in negligible time, as
 // designed; the protocol overhead dominates.
 func (e *Emulator) MeasureRedistOverhead(pSrc, pDst int) float64 {
-	return e.Hidden.RedistOverheadTime(pSrc, pDst) * e.noise()
+	return measureRedistOverhead(e.Hidden, e, pSrc, pDst)
 }
 
 // FranklinProfile models the Cray XT4 side of Figure 2: PDGEMM at the

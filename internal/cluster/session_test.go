@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/perfmodel"
+	"repro/internal/sched"
+)
+
+func TestSessionSameSeedSameMeasurements(t *testing.T) {
+	em, err := NewEmulator(Bayreuth(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := em.Session(7), em.Session(7)
+	for i := 0; i < 10; i++ {
+		if va, vb := a.MeasureTask(dag.KernelMul, 2000, 8), b.MeasureTask(dag.KernelMul, 2000, 8); va != vb {
+			t.Fatalf("draw %d: %g != %g", i, va, vb)
+		}
+	}
+	if em.Session(7).MeasureStartup(4) == em.Session(8).MeasureStartup(4) {
+		t.Error("different seeds drew identical noise")
+	}
+}
+
+func TestSessionsIndependentOfSharedStreamAndEachOther(t *testing.T) {
+	em, err := NewEmulator(Bayreuth(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference draws from fresh sessions, before any other consumption.
+	want := make([]float64, 8)
+	for i := range want {
+		want[i] = em.Session(int64(i)).MeasureTask(dag.KernelMul, 2000, 8)
+	}
+	// Interleave shared-stream consumption and run the same sessions
+	// concurrently: every draw must be unchanged.
+	for i := 0; i < 100; i++ {
+		em.MeasureStartup(4)
+	}
+	got := make([]float64, len(want))
+	var wg sync.WaitGroup
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = em.Session(int64(i)).MeasureTask(dag.KernelMul, 2000, 8)
+		}(i)
+	}
+	wg.Wait()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("session %d perturbed: %g != %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSessionExecuteMatchesEmulatorSemantics(t *testing.T) {
+	em, err := NewEmulator(Bayreuth(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := dag.MustGenerate(dag.GenParams{Tasks: 10, InputMatrices: 4, AddRatio: 0.5, N: 2000, Seed: 2})
+	model := perfmodel.NewAnalytic(Bayreuth().Cluster)
+	s, err := sched.Build(sched.HCPA{}, g, 32, perfmodel.CostFunc(model), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := em.Session(3).Execute(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= 0 {
+		t.Fatalf("non-positive makespan %g", res.Makespan)
+	}
+	again, err := em.Session(3).Execute(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != again.Makespan {
+		t.Errorf("same-seed sessions disagree: %g vs %g", res.Makespan, again.Makespan)
+	}
+}

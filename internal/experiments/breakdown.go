@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/cluster"
 	"repro/internal/dag"
 	"repro/internal/perfmodel"
 	"repro/internal/sched"
@@ -32,23 +33,35 @@ func (l *Lab) TimeBreakdown() ([]BreakdownRow, error) {
 	comm := perfmodel.CommFunc(l.Analytic, l.Cluster())
 	var rows []BreakdownRow
 	for _, algo := range ComparedAlgorithms() {
-		var total tgrid.Breakdown
-		var shares []float64
-		for _, inst := range l.Suite {
-			s, err := sched.Build(algo, inst.Graph, l.Cluster().Nodes, cost, comm)
+		type cellOut struct {
+			b     tgrid.Breakdown
+			share float64
+		}
+		cells := make([]cellOut, len(l.Suite))
+		err := l.runner().Run("breakdown/"+algo.Name(), len(l.Suite), func(i int, sess *cluster.Session) error {
+			s, err := sched.Build(algo, l.Suite[i].Graph, l.Cluster().Nodes, cost, comm)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			res, err := l.Em.Execute(s)
+			res, err := sess.Execute(s)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			b := res.Breakdown()
-			total.Kernel += b.Kernel
-			total.Startup += b.Startup
-			total.RedistOverhead += b.RedistOverhead
-			total.RedistTransfer += b.RedistTransfer
-			shares = append(shares, (b.Startup+b.RedistOverhead)/res.Makespan)
+			cells[i] = cellOut{b: b, share: (b.Startup + b.RedistOverhead) / res.Makespan}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: breakdown %s: %w", algo.Name(), err)
+		}
+		var total tgrid.Breakdown
+		var shares []float64
+		for _, c := range cells {
+			total.Kernel += c.b.Kernel
+			total.Startup += c.b.Startup
+			total.RedistOverhead += c.b.RedistOverhead
+			total.RedistTransfer += c.b.RedistTransfer
+			shares = append(shares, c.share)
 		}
 		sum := total.Kernel + total.Startup + total.RedistOverhead + total.RedistTransfer
 		rows = append(rows, BreakdownRow{
@@ -97,47 +110,44 @@ func (l *Lab) ShapeStudy() ([]ShapeRow, error) {
 		dag.Layered(3, 3, 2000),
 		dag.Diamond(2000),
 	}
-	var rows []ShapeRow
-	for _, g := range shapes {
+	rows := make([]ShapeRow, len(shapes))
+	err := l.runner().Run("shapes", len(shapes), func(i int, sess *cluster.Session) error {
+		g := shapes[i]
 		row := ShapeRow{Shape: g.Name, Tasks: g.Len(), Width: g.Width()}
-		winner := func(model perfmodel.Model) (simBest, expBest string, err error) {
-			cost := perfmodel.CostFunc(model)
-			comm := perfmodel.CommFunc(model, l.Cluster())
-			sim := map[string]float64{}
-			exp := map[string]float64{}
-			for _, algo := range ComparedAlgorithms() {
-				s, err := sched.Build(algo, g, l.Cluster().Nodes, cost, comm)
-				if err != nil {
-					return "", "", err
-				}
-				simRes, err := tgrid.Run(l.Net, s, tgrid.ModelTiming{Model: model})
-				if err != nil {
-					return "", "", err
-				}
-				measured, err := l.Em.MeasureMakespan(s, l.Cfg.ExpTrials)
-				if err != nil {
-					return "", "", err
-				}
-				sim[algo.Name()] = simRes.Makespan
-				exp[algo.Name()] = measured
+		model := l.Profile
+		cost := perfmodel.CostFunc(model)
+		comm := perfmodel.CommFunc(model, l.Cluster())
+		sim := map[string]float64{}
+		exp := map[string]float64{}
+		for _, algo := range ComparedAlgorithms() {
+			s, err := sched.Build(algo, g, l.Cluster().Nodes, cost, comm)
+			if err != nil {
+				return err
 			}
-			simBest, expBest = "HCPA", "HCPA"
-			if sim["MCPA"] < sim["HCPA"] {
-				simBest = "MCPA"
+			simRes, err := tgrid.Run(l.Net, s, tgrid.ModelTiming{Model: model})
+			if err != nil {
+				return err
 			}
-			if exp["MCPA"] < exp["HCPA"] {
-				expBest = "MCPA"
+			measured, err := sess.MeasureMakespan(s, l.Cfg.ExpTrials)
+			if err != nil {
+				return err
 			}
-			return simBest, expBest, nil
+			sim[algo.Name()] = simRes.Makespan
+			exp[algo.Name()] = measured
 		}
-		simBest, expBest, err := winner(l.Profile)
-		if err != nil {
-			return nil, err
+		row.BestAlgoSim, row.BestAlgoExp = "HCPA", "HCPA"
+		if sim["MCPA"] < sim["HCPA"] {
+			row.BestAlgoSim = "MCPA"
 		}
-		row.BestAlgoSim = simBest
-		row.BestAlgoExp = expBest
-		row.ProfileAgree = simBest == expBest
-		rows = append(rows, row)
+		if exp["MCPA"] < exp["HCPA"] {
+			row.BestAlgoExp = "MCPA"
+		}
+		row.ProfileAgree = row.BestAlgoSim == row.BestAlgoExp
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: shapes: %w", err)
 	}
 	return rows, nil
 }

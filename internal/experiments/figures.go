@@ -125,17 +125,26 @@ type ErrorSeries struct {
 
 // Figure2Java measures the Java-side series (left plot): the 1-D
 // multiplication on the emulated Bayreuth cluster for n = 2000 and 3000.
+// Each (n, p) probe is one cell of the study engine.
 func (l *Lab) Figure2Java(trials int) []ErrorSeries {
-	c := profiler.Campaign{Em: l.Em}
-	var out []ErrorSeries
-	for _, n := range []int{2000, 3000} {
-		s := ErrorSeries{Label: fmt.Sprintf("1D MM/Java n=%d", n)}
+	sizes := []int{2000, 3000}
+	maxP := l.Cluster().Nodes
+	errs := make([]float64, len(sizes)*maxP)
+	// Probes cannot fail; the error return exists for the engine's sake.
+	_ = l.runner().Run("fig2java", len(errs), func(i int, sess *cluster.Session) error {
+		n, p := sizes[i/maxP], i%maxP+1
 		task := &dag.Task{Kernel: dag.KernelMul, N: n}
-		for p := 1; p <= l.Cluster().Nodes; p++ {
-			pred := task.Flops() / float64(p) / l.Cluster().NodePower
-			meas := c.MeasureTaskMean(dag.KernelMul, n, p, trials)
+		pred := task.Flops() / float64(p) / l.Cluster().NodePower
+		meas := profiler.Campaign{Em: sess}.MeasureTaskMean(dag.KernelMul, n, p, trials)
+		errs[i] = abs(pred-meas) / meas
+		return nil
+	})
+	var out []ErrorSeries
+	for ni, n := range sizes {
+		s := ErrorSeries{Label: fmt.Sprintf("1D MM/Java n=%d", n)}
+		for p := 1; p <= maxP; p++ {
 			s.P = append(s.P, p)
-			s.Err = append(s.Err, abs(pred-meas)/meas)
+			s.Err = append(s.Err, errs[ni*maxP+p-1])
 		}
 		out = append(out, s)
 	}
@@ -187,12 +196,18 @@ type StartupSeries struct {
 	Seconds []float64
 }
 
-// Figure3 measures the startup overheads (20 trials each, as in the paper).
+// Figure3 measures the startup overheads (20 trials each, as in the paper),
+// one processor count per study cell.
 func (l *Lab) Figure3() StartupSeries {
-	c := profiler.Campaign{Em: l.Em}
-	series := c.StartupSeries(l.Cluster().Nodes, l.Cfg.Profile.StartupTrials)
+	maxP := l.Cluster().Nodes
+	seconds := make([]float64, maxP)
+	// Probes cannot fail; the error return exists for the engine's sake.
+	_ = l.runner().Run("fig3", maxP, func(i int, sess *cluster.Session) error {
+		seconds[i] = profiler.Campaign{Em: sess}.MeasureStartupMean(i+1, l.Cfg.Profile.StartupTrials)
+		return nil
+	})
 	out := StartupSeries{}
-	for p, v := range series {
+	for p, v := range seconds {
 		out.P = append(out.P, p+1)
 		out.Seconds = append(out.Seconds, v)
 	}
@@ -219,10 +234,21 @@ type RedistSurface struct {
 	ByDst map[int]float64
 }
 
-// Figure4 probes the full (p(src), p(dst)) surface (3 trials per point).
+// Figure4 probes the full (p(src), p(dst)) surface (3 trials per point),
+// one source count — a full row of destinations — per study cell.
 func (l *Lab) Figure4() RedistSurface {
-	c := profiler.Campaign{Em: l.Em}
-	surface := c.RedistSurface(l.Cluster().Nodes, l.Cfg.Profile.RedistTrials)
+	maxP := l.Cluster().Nodes
+	surface := make([][]float64, maxP)
+	// Probes cannot fail; the error return exists for the engine's sake.
+	_ = l.runner().Run("fig4", maxP, func(i int, sess *cluster.Session) error {
+		c := profiler.Campaign{Em: sess}
+		row := make([]float64, maxP)
+		for d := 1; d <= maxP; d++ {
+			row[d-1] = c.MeasureRedistMean(i+1, d, l.Cfg.Profile.RedistTrials)
+		}
+		surface[i] = row
+		return nil
+	})
 	return RedistSurface{Overhead: surface, ByDst: profiler.RedistByDst(surface)}
 }
 
@@ -268,9 +294,11 @@ type FitStudy struct {
 }
 
 // Figure6 fits both point sets for one matrix size and scores them against
-// the full measured profile.
+// the full measured profile. The whole fit study is one cell: its probes
+// interleave with the regression logic, so it runs serially on a private
+// session and stays reproducible regardless of what ran before it.
 func (l *Lab) Figure6(n int) (*FitStudy, error) {
-	c := profiler.Campaign{Em: l.Em}
+	c := profiler.Campaign{Em: l.Em.Session(CellSeed(l.Cfg.NoiseSeed, fmt.Sprintf("fig6/%d", n), 0))}
 	trials := l.Cfg.Empirical.Trials
 	study := &FitStudy{N: n}
 

@@ -7,6 +7,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/cluster"
 	"repro/internal/dag"
@@ -27,6 +28,10 @@ type Config struct {
 	// ExpTrials is the number of emulated cluster runs averaged per
 	// measured makespan (the paper executes each schedule once).
 	ExpTrials int
+	// Parallelism bounds the study-execution worker pool; zero selects one
+	// worker per logical CPU. Study reports are byte-identical for every
+	// value, including 1.
+	Parallelism int
 	// Profile configures the brute-force campaign of §VI.
 	Profile profiler.ProfileOptions
 	// Empirical configures the sparse campaign of §VII.
@@ -59,7 +64,13 @@ type Lab struct {
 	Profile   *perfmodel.Profile
 	Empirical *perfmodel.Empirical
 
+	mu      sync.Mutex
 	records map[string][]Record // cached pipeline runs per model name
+}
+
+// runner returns the lab's study-execution engine.
+func (l *Lab) runner() Runner {
+	return Runner{Workers: l.Cfg.Parallelism, Seed: l.Cfg.NoiseSeed, Em: l.Em}
 }
 
 // NewLab builds the full setup, including both profiling campaigns.
@@ -134,9 +145,13 @@ func ComparedAlgorithms() []sched.Algorithm {
 
 // RunSuite pushes the whole 54-DAG suite through the pipeline with the
 // given model: schedule (per algorithm) → simulate → execute on the
-// emulated cluster. Results are cached per model name.
+// emulated cluster. Instances run as independent cells on the study engine;
+// results are cached per model name.
 func (l *Lab) RunSuite(modelName string) ([]Record, error) {
-	if recs, ok := l.records[modelName]; ok {
+	l.mu.Lock()
+	recs, ok := l.records[modelName]
+	l.mu.Unlock()
+	if ok {
 		return recs, nil
 	}
 	model, err := l.Model(modelName)
@@ -147,8 +162,9 @@ func (l *Lab) RunSuite(modelName string) ([]Record, error) {
 	comm := perfmodel.CommFunc(model, l.Cluster())
 	algos := ComparedAlgorithms()
 
-	recs := make([]Record, 0, len(l.Suite))
-	for _, inst := range l.Suite {
+	recs = make([]Record, len(l.Suite))
+	err = l.runner().Run("suite/"+modelName, len(l.Suite), func(i int, sess *cluster.Session) error {
+		inst := l.Suite[i]
 		rec := Record{
 			Instance: inst,
 			Sim:      make(map[string]float64, len(algos)),
@@ -157,25 +173,35 @@ func (l *Lab) RunSuite(modelName string) ([]Record, error) {
 		for _, algo := range algos {
 			s, err := sched.Build(algo, inst.Graph, l.Cluster().Nodes, cost, comm)
 			if err != nil {
-				return nil, fmt.Errorf("experiments: %s/%s on %s: %w",
+				return fmt.Errorf("experiments: %s/%s on %s: %w",
 					modelName, algo.Name(), inst.Params.Name(), err)
 			}
 			s.Model = modelName
 			simRes, err := tgrid.Run(l.Net, s, tgrid.ModelTiming{Model: model})
 			if err != nil {
-				return nil, fmt.Errorf("experiments: simulate %s/%s on %s: %w",
+				return fmt.Errorf("experiments: simulate %s/%s on %s: %w",
 					modelName, algo.Name(), inst.Params.Name(), err)
 			}
-			exp, err := l.Em.MeasureMakespan(s, l.Cfg.ExpTrials)
+			exp, err := sess.MeasureMakespan(s, l.Cfg.ExpTrials)
 			if err != nil {
-				return nil, fmt.Errorf("experiments: execute %s/%s on %s: %w",
+				return fmt.Errorf("experiments: execute %s/%s on %s: %w",
 					modelName, algo.Name(), inst.Params.Name(), err)
 			}
 			rec.Sim[algo.Name()] = simRes.Makespan
 			rec.Exp[algo.Name()] = exp
 		}
-		recs = append(recs, rec)
+		recs[i] = rec
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	l.records[modelName] = recs
+	l.mu.Lock()
+	if cached, ok := l.records[modelName]; ok {
+		recs = cached // a concurrent caller won the race; keep one slice
+	} else {
+		l.records[modelName] = recs
+	}
+	l.mu.Unlock()
 	return recs, nil
 }

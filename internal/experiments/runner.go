@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cluster"
+)
+
+// This file is the concurrent study-execution engine. Every study in this
+// package decomposes into independent cells — one (DAG instance, algorithm
+// set, model/variant/environment) unit of work — and runs them on a bounded
+// worker pool. Two properties make the parallelism invisible in the output:
+//
+//   - each cell draws its run-to-run noise from a cluster.Session seeded
+//     deterministically from (lab noise seed, study name, cell index), so a
+//     cell's measurements never depend on which worker ran it or on what
+//     ran before it;
+//   - cell results are written into index-addressed slots and aggregated in
+//     cell order after the pool drains.
+//
+// Together these make every study report byte-identical for any worker
+// count, including 1.
+
+// DefaultParallelism is the worker count used when Config.Parallelism is
+// zero: one worker per logical CPU.
+func DefaultParallelism() int { return runtime.NumCPU() }
+
+// CellSeed derives the deterministic noise seed of one study cell from the
+// lab-wide noise seed, the study name and the cell index (FNV-1a over the
+// three). Distinct studies and distinct cells get decorrelated streams;
+// the same triple always gets the same stream.
+func CellSeed(noiseSeed int64, study string, cell int) int64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(noiseSeed))
+	h.Write(buf[:])
+	h.Write([]byte(study))
+	binary.LittleEndian.PutUint64(buf[:], uint64(cell))
+	h.Write(buf[:])
+	return int64(h.Sum64())
+}
+
+// ForEachCell runs fn(0) … fn(n-1) on at most workers goroutines
+// (DefaultParallelism if workers <= 0) and returns the error of the
+// lowest-index failing cell, so error reporting is as deterministic as the
+// results. fn must confine its writes to per-index state.
+func ForEachCell(workers, n int, fn func(cell int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = DefaultParallelism()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				// Once any cell fails, skip cells that have not started:
+				// the results will be discarded anyway. In-flight cells
+				// finish, keeping the lowest-index error deterministic
+				// among the cells that ran.
+				if failed.Load() {
+					return
+				}
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Runner executes the cells of named studies against one emulated
+// environment: a bounded worker pool plus per-cell deterministic noise
+// sessions.
+type Runner struct {
+	// Workers bounds the pool; <= 0 selects DefaultParallelism.
+	Workers int
+	// Seed is the lab-wide noise seed cell seeds derive from.
+	Seed int64
+	// Em is the environment cells measure against.
+	Em *cluster.Emulator
+}
+
+// Run executes fn for every cell of the named study, handing each cell a
+// private measurement session.
+func (r Runner) Run(study string, n int, fn func(cell int, sess *cluster.Session) error) error {
+	return ForEachCell(r.Workers, n, func(i int) error {
+		return fn(i, r.Em.Session(CellSeed(r.Seed, study, i)))
+	})
+}

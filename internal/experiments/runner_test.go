@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCellCoversAllCells(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		n := 37
+		hit := make([]int32, n)
+		if err := ForEachCell(workers, n, func(i int) error {
+			atomic.AddInt32(&hit[i], 1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, h := range hit {
+			if h != 1 {
+				t.Fatalf("workers=%d: cell %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachCellBoundsWorkers(t *testing.T) {
+	const workers, n = 3, 40
+	var cur, peak int32
+	var mu sync.Mutex
+	err := ForEachCell(workers, n, func(i int) error {
+		c := atomic.AddInt32(&cur, 1)
+		mu.Lock()
+		if c > peak {
+			peak = c
+		}
+		mu.Unlock()
+		atomic.AddInt32(&cur, -1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak > workers {
+		t.Errorf("observed %d concurrent cells, pool bound is %d", peak, workers)
+	}
+}
+
+func TestForEachCellReturnsLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := ForEachCell(workers, 20, func(i int) error {
+			if i == 7 || i == 13 {
+				return fmt.Errorf("cell %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "cell 7 failed" {
+			t.Errorf("workers=%d: err = %v, want cell 7's", workers, err)
+		}
+	}
+	if err := ForEachCell(4, 0, func(int) error { return errors.New("no") }); err != nil {
+		t.Errorf("n=0: err = %v", err)
+	}
+}
+
+func TestCellSeedDeterministicAndDecorrelated(t *testing.T) {
+	if CellSeed(42, "suite/analytic", 3) != CellSeed(42, "suite/analytic", 3) {
+		t.Error("same triple yields different seeds")
+	}
+	seen := map[int64]string{}
+	for _, study := range []string{"suite/analytic", "suite/profile", "ablation/full-profile"} {
+		for cell := 0; cell < 54; cell++ {
+			s := CellSeed(42, study, cell)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision: %s/%d vs %s", study, cell, prev)
+			}
+			seen[s] = fmt.Sprintf("%s/%d", study, cell)
+		}
+	}
+}
+
+// studyTranscript writes a representative batch of studies — suite cells,
+// breakdown cells, shape cells and campaign-figure cells — to one buffer.
+func studyTranscript(t *testing.T, l *Lab) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	l.Table1().Write(&buf)
+	for _, n := range []int{2000, 3000} {
+		c, err := l.CompareHCPAMCPA("analytic", n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Write(&buf)
+	}
+	WriteErrorSeries(&buf, "fig2", l.Figure2Java(2))
+	l.Figure3().Write(&buf)
+	l.Figure4().Write(&buf)
+	breakdown, err := l.TimeBreakdown()
+	if err != nil {
+		t.Fatal(err)
+	}
+	WriteBreakdown(&buf, breakdown)
+	shapes, err := l.ShapeStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	WriteShapes(&buf, shapes)
+	return buf.Bytes()
+}
+
+// TestStudyDeterminismAcrossWorkerCounts is the engine's core contract:
+// study reports are byte-identical at workers=1 and workers=8, because
+// every cell's noise stream is seeded from (study, cell index), not from
+// execution order.
+func TestStudyDeterminismAcrossWorkerCounts(t *testing.T) {
+	transcripts := make([][]byte, 2)
+	for i, workers := range []int{1, 8} {
+		cfg := DefaultConfig()
+		cfg.Parallelism = workers
+		l, err := NewLab(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		transcripts[i] = studyTranscript(t, l)
+	}
+	if !bytes.Equal(transcripts[0], transcripts[1]) {
+		t.Errorf("study transcripts differ between workers=1 and workers=8:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s",
+			transcripts[0], transcripts[1])
+	}
+}
+
+// TestStandaloneStudyDeterminism covers the studies that assemble their own
+// environments (and thus their own Runner) rather than going through Lab.
+func TestStandaloneStudyDeterminism(t *testing.T) {
+	transcripts := make([][]byte, 2)
+	for i, workers := range []int{1, 8} {
+		cfg := DefaultConfig()
+		cfg.Parallelism = workers
+		var buf bytes.Buffer
+		sens, err := NoiseSensitivity(cfg, []float64{0, 0.03})
+		if err != nil {
+			t.Fatal(err)
+		}
+		WriteSensitivity(&buf, sens)
+		envs, err := EnvironmentStudy(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		WriteEnvironments(&buf, envs)
+		transcripts[i] = buf.Bytes()
+	}
+	if !bytes.Equal(transcripts[0], transcripts[1]) {
+		t.Errorf("standalone study transcripts differ between workers=1 and workers=8:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s",
+			transcripts[0], transcripts[1])
+	}
+}

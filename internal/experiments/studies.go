@@ -24,6 +24,102 @@ import (
 //     instantiated for an existing execution environment and scaled to
 //     simulate an hypothetical execution environment");
 //   - rank-correlation summaries of each simulator's ordering fidelity.
+//
+// Every study runs on the cell engine of runner.go: one cell per suite
+// instance, scheduled onto a bounded worker pool, with per-cell
+// deterministic noise sessions and stable-order aggregation.
+
+// scheduleBuilder produces the schedule of one algorithm for one DAG.
+type scheduleBuilder func(algo sched.Algorithm, g *dag.Graph) (*sched.Schedule, error)
+
+// buildWith returns the homogeneous-mapping builder of a model on a cluster.
+func buildWith(model perfmodel.Model, c platform.Cluster) scheduleBuilder {
+	cost := perfmodel.CostFunc(model)
+	comm := perfmodel.CommFunc(model, c)
+	return func(algo sched.Algorithm, g *dag.Graph) (*sched.Schedule, error) {
+		return sched.Build(algo, g, c.Nodes, cost, comm)
+	}
+}
+
+// buildHeteroWith returns the heterogeneous-mapping builder (allocation on
+// the reference cluster, speed-vs-availability mapping).
+func buildHeteroWith(model perfmodel.Model, c platform.Cluster) scheduleBuilder {
+	cost := perfmodel.CostFunc(model)
+	comm := perfmodel.CommFunc(model, c)
+	return func(algo sched.Algorithm, g *dag.Graph) (*sched.Schedule, error) {
+		return sched.BuildHetero(algo, g, c, cost, comm)
+	}
+}
+
+// pairStudy is one (model, environment) scoring pass over a suite: each
+// cell schedules both compared algorithms for one DAG instance, simulates
+// them under the model and measures them on the cell's private session.
+type pairStudy struct {
+	run    Runner
+	study  string
+	suite  []dag.SuiteInstance
+	net    *simgrid.Net
+	model  perfmodel.Model
+	trials int
+	build  scheduleBuilder
+}
+
+// pairSeries is a pairStudy's aggregated outcome, in suite order (and, per
+// instance, compared-algorithm order for errs).
+type pairSeries struct {
+	simRels, expRels, errs []float64
+	maxErr                 float64
+}
+
+// execute runs the study's cells on the worker pool and aggregates.
+func (ps pairStudy) execute() (pairSeries, error) {
+	type cellOut struct {
+		simRel, expRel float64
+		errs           []float64
+	}
+	cells := make([]cellOut, len(ps.suite))
+	err := ps.run.Run(ps.study, len(ps.suite), func(i int, sess *cluster.Session) error {
+		sim := map[string]float64{}
+		exp := map[string]float64{}
+		var out cellOut
+		for _, algo := range ComparedAlgorithms() {
+			s, err := ps.build(algo, ps.suite[i].Graph)
+			if err != nil {
+				return err
+			}
+			simRes, err := tgrid.Run(ps.net, s, tgrid.ModelTiming{Model: ps.model})
+			if err != nil {
+				return err
+			}
+			measured, err := sess.MeasureMakespan(s, ps.trials)
+			if err != nil {
+				return err
+			}
+			sim[algo.Name()] = simRes.Makespan
+			exp[algo.Name()] = measured
+			out.errs = append(out.errs, stats.SimErrPct(simRes.Makespan, measured))
+		}
+		out.simRel = stats.RelDiff(sim["HCPA"], sim["MCPA"])
+		out.expRel = stats.RelDiff(exp["HCPA"], exp["MCPA"])
+		cells[i] = out
+		return nil
+	})
+	if err != nil {
+		return pairSeries{}, err
+	}
+	var agg pairSeries
+	for _, c := range cells {
+		agg.simRels = append(agg.simRels, c.simRel)
+		agg.expRels = append(agg.expRels, c.expRel)
+		for _, e := range c.errs {
+			agg.errs = append(agg.errs, e)
+			if e > agg.maxErr {
+				agg.maxErr = e
+			}
+		}
+	}
+	return agg, nil
+}
 
 // AblationRow is one simulator variant of the ablation study.
 type AblationRow struct {
@@ -74,40 +170,24 @@ func (l *Lab) Ablation() ([]AblationRow, error) {
 // scoreModel pushes the suite through the pipeline with an arbitrary model
 // (bypassing the Lab's named-model cache) and summarises the outcome.
 func (l *Lab) scoreModel(model perfmodel.Model) (AblationRow, error) {
-	cost := perfmodel.CostFunc(model)
-	comm := perfmodel.CommFunc(model, l.Cluster())
-	algos := ComparedAlgorithms()
-
-	var simRels, expRels, errs []float64
-	for _, inst := range l.Suite {
-		sim := map[string]float64{}
-		exp := map[string]float64{}
-		for _, algo := range algos {
-			s, err := sched.Build(algo, inst.Graph, l.Cluster().Nodes, cost, comm)
-			if err != nil {
-				return AblationRow{}, err
-			}
-			simRes, err := tgrid.Run(l.Net, s, tgrid.ModelTiming{Model: model})
-			if err != nil {
-				return AblationRow{}, err
-			}
-			measured, err := l.Em.MeasureMakespan(s, l.Cfg.ExpTrials)
-			if err != nil {
-				return AblationRow{}, err
-			}
-			sim[algo.Name()] = simRes.Makespan
-			exp[algo.Name()] = measured
-			errs = append(errs, stats.SimErrPct(simRes.Makespan, measured))
-		}
-		simRels = append(simRels, stats.RelDiff(sim["HCPA"], sim["MCPA"]))
-		expRels = append(expRels, stats.RelDiff(exp["HCPA"], exp["MCPA"]))
+	agg, err := pairStudy{
+		run:    l.runner(),
+		study:  "ablation/" + model.Name(),
+		suite:  l.Suite,
+		net:    l.Net,
+		model:  model,
+		trials: l.Cfg.ExpTrials,
+		build:  buildWith(model, l.Cluster()),
+	}.execute()
+	if err != nil {
+		return AblationRow{}, err
 	}
 	return AblationRow{
 		Model:        model.Name(),
-		Mispredicted: stats.CountDisagreements(simRels, expRels, 0),
-		Total:        len(simRels),
-		MedianErrPct: stats.Median(errs),
-		KendallTau:   stats.KendallTau(simRels, expRels),
+		Mispredicted: stats.CountDisagreements(agg.simRels, agg.expRels, 0),
+		Total:        len(agg.simRels),
+		MedianErrPct: stats.Median(agg.errs),
+		KendallTau:   stats.KendallTau(agg.simRels, agg.expRels),
 	}, nil
 }
 
@@ -132,7 +212,9 @@ type ScalingRow struct {
 // ScalingStudy instantiates hypothetical clusters by scaling the Bayreuth
 // environment to the given node counts, fits an empirical model on each
 // (sparse measurements only, per §VII) and scores it over the suite — the
-// §IX scenario of simulating platforms one does not have.
+// §IX scenario of simulating platforms one does not have. The sparse
+// campaign runs serially (it models one operator probing one cluster); the
+// suite scoring runs on the cell engine.
 func ScalingStudy(cfg Config, nodeCounts []int) ([]ScalingRow, error) {
 	var rows []ScalingRow
 	for _, nodes := range nodeCounts {
@@ -162,37 +244,23 @@ func ScalingStudy(cfg Config, nodeCounts []int) ([]ScalingRow, error) {
 			return nil, err
 		}
 
-		cost := perfmodel.CostFunc(model)
-		comm := perfmodel.CommFunc(model, truth.Cluster)
-		var simRels, expRels, errs []float64
-		for _, inst := range suite {
-			sim := map[string]float64{}
-			exp := map[string]float64{}
-			for _, algo := range ComparedAlgorithms() {
-				s, err := sched.Build(algo, inst.Graph, nodes, cost, comm)
-				if err != nil {
-					return nil, err
-				}
-				simRes, err := tgrid.Run(net, s, tgrid.ModelTiming{Model: model})
-				if err != nil {
-					return nil, err
-				}
-				measured, err := em.MeasureMakespan(s, cfg.ExpTrials)
-				if err != nil {
-					return nil, err
-				}
-				sim[algo.Name()] = simRes.Makespan
-				exp[algo.Name()] = measured
-				errs = append(errs, stats.SimErrPct(simRes.Makespan, measured))
-			}
-			simRels = append(simRels, stats.RelDiff(sim["HCPA"], sim["MCPA"]))
-			expRels = append(expRels, stats.RelDiff(exp["HCPA"], exp["MCPA"]))
+		agg, err := pairStudy{
+			run:    Runner{Workers: cfg.Parallelism, Seed: cfg.NoiseSeed, Em: em},
+			study:  fmt.Sprintf("scaling/%d", nodes),
+			suite:  suite,
+			net:    net,
+			model:  model,
+			trials: cfg.ExpTrials,
+			build:  buildWith(model, truth.Cluster),
+		}.execute()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: scaling %d nodes: %w", nodes, err)
 		}
 		rows = append(rows, ScalingRow{
 			Nodes:        nodes,
-			Mispredicted: stats.CountDisagreements(simRels, expRels, 0),
-			Total:        len(simRels),
-			MedianErrPct: stats.Median(errs),
+			Mispredicted: stats.CountDisagreements(agg.simRels, agg.expRels, 0),
+			Total:        len(agg.simRels),
+			MedianErrPct: stats.Median(agg.errs),
 		})
 	}
 	return rows, nil
@@ -264,37 +332,23 @@ func HeterogeneityStudy(cfg Config) ([]HeteroRow, error) {
 
 	var rows []HeteroRow
 	for _, model := range models {
-		cost := perfmodel.CostFunc(model)
-		comm := perfmodel.CommFunc(model, hc)
-		var simRels, expRels, errs []float64
-		for _, inst := range suite {
-			sim := map[string]float64{}
-			exp := map[string]float64{}
-			for _, algo := range ComparedAlgorithms() {
-				s, err := sched.BuildHetero(algo, inst.Graph, hc, cost, comm)
-				if err != nil {
-					return nil, err
-				}
-				simRes, err := tgrid.Run(net, s, tgrid.ModelTiming{Model: model})
-				if err != nil {
-					return nil, err
-				}
-				measured, err := em.MeasureMakespan(s, cfg.ExpTrials)
-				if err != nil {
-					return nil, err
-				}
-				sim[algo.Name()] = simRes.Makespan
-				exp[algo.Name()] = measured
-				errs = append(errs, stats.SimErrPct(simRes.Makespan, measured))
-			}
-			simRels = append(simRels, stats.RelDiff(sim["HCPA"], sim["MCPA"]))
-			expRels = append(expRels, stats.RelDiff(exp["HCPA"], exp["MCPA"]))
+		agg, err := pairStudy{
+			run:    Runner{Workers: cfg.Parallelism, Seed: cfg.NoiseSeed, Em: em},
+			study:  "hetero/" + model.Name(),
+			suite:  suite,
+			net:    net,
+			model:  model,
+			trials: cfg.ExpTrials,
+			build:  buildHeteroWith(model, hc),
+		}.execute()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: hetero %s: %w", model.Name(), err)
 		}
 		rows = append(rows, HeteroRow{
 			Model:        model.Name(),
-			Mispredicted: stats.CountDisagreements(simRels, expRels, 0),
-			Total:        len(simRels),
-			MedianErrPct: stats.Median(errs),
+			Mispredicted: stats.CountDisagreements(agg.simRels, agg.expRels, 0),
+			Total:        len(agg.simRels),
+			MedianErrPct: stats.Median(agg.errs),
 		})
 	}
 	return rows, nil
@@ -353,44 +407,24 @@ func StragglerStudy(cfg Config) ([]StragglerRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		cost := perfmodel.CostFunc(model)
-		comm := perfmodel.CommFunc(model, env.truth.Cluster)
-
-		var simRels, expRels, errs []float64
-		maxErr := 0.0
-		for _, inst := range suite {
-			sim := map[string]float64{}
-			exp := map[string]float64{}
-			for _, algo := range ComparedAlgorithms() {
-				s, err := sched.Build(algo, inst.Graph, env.truth.Cluster.Nodes, cost, comm)
-				if err != nil {
-					return nil, err
-				}
-				simRes, err := tgrid.Run(net, s, tgrid.ModelTiming{Model: model})
-				if err != nil {
-					return nil, err
-				}
-				measured, err := em.MeasureMakespan(s, cfg.ExpTrials)
-				if err != nil {
-					return nil, err
-				}
-				sim[algo.Name()] = simRes.Makespan
-				exp[algo.Name()] = measured
-				e := stats.SimErrPct(simRes.Makespan, measured)
-				errs = append(errs, e)
-				if e > maxErr {
-					maxErr = e
-				}
-			}
-			simRels = append(simRels, stats.RelDiff(sim["HCPA"], sim["MCPA"]))
-			expRels = append(expRels, stats.RelDiff(exp["HCPA"], exp["MCPA"]))
+		agg, err := pairStudy{
+			run:    Runner{Workers: cfg.Parallelism, Seed: cfg.NoiseSeed, Em: em},
+			study:  "straggler/" + env.name,
+			suite:  suite,
+			net:    net,
+			model:  model,
+			trials: cfg.ExpTrials,
+			build:  buildWith(model, env.truth.Cluster),
+		}.execute()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: straggler %s: %w", env.name, err)
 		}
 		rows = append(rows, StragglerRow{
 			Environment:  env.name,
-			Mispredicted: stats.CountDisagreements(simRels, expRels, 0),
-			Total:        len(simRels),
-			MedianErrPct: stats.Median(errs),
-			MaxErrPct:    maxErr,
+			Mispredicted: stats.CountDisagreements(agg.simRels, agg.expRels, 0),
+			Total:        len(agg.simRels),
+			MedianErrPct: stats.Median(agg.errs),
+			MaxErrPct:    agg.maxErr,
 		})
 	}
 	return rows, nil
@@ -445,39 +479,24 @@ func EnvironmentStudy(cfg Config) ([]EnvironmentRow, error) {
 			return nil, err
 		}
 		model := perfmodel.NewAnalytic(env.truth.Cluster)
-		cost := perfmodel.CostFunc(model)
-		comm := perfmodel.CommFunc(model, env.truth.Cluster)
-
-		var simRels, expRels, errs []float64
-		for _, inst := range suite {
-			sim := map[string]float64{}
-			exp := map[string]float64{}
-			for _, algo := range ComparedAlgorithms() {
-				s, err := sched.Build(algo, inst.Graph, env.truth.Cluster.Nodes, cost, comm)
-				if err != nil {
-					return nil, err
-				}
-				simRes, err := tgrid.Run(net, s, tgrid.ModelTiming{Model: model})
-				if err != nil {
-					return nil, err
-				}
-				measured, err := em.MeasureMakespan(s, cfg.ExpTrials)
-				if err != nil {
-					return nil, err
-				}
-				sim[algo.Name()] = simRes.Makespan
-				exp[algo.Name()] = measured
-				errs = append(errs, stats.SimErrPct(simRes.Makespan, measured))
-			}
-			simRels = append(simRels, stats.RelDiff(sim["HCPA"], sim["MCPA"]))
-			expRels = append(expRels, stats.RelDiff(exp["HCPA"], exp["MCPA"]))
+		agg, err := pairStudy{
+			run:    Runner{Workers: cfg.Parallelism, Seed: cfg.NoiseSeed, Em: em},
+			study:  "environments/" + env.name,
+			suite:  suite,
+			net:    net,
+			model:  model,
+			trials: cfg.ExpTrials,
+			build:  buildWith(model, env.truth.Cluster),
+		}.execute()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: environment %s: %w", env.name, err)
 		}
 		rows = append(rows, EnvironmentRow{
 			Environment:  env.name,
-			Mispredicted: stats.CountDisagreements(simRels, expRels, 0),
-			Total:        len(simRels),
-			MedianErrPct: stats.Median(errs),
-			KendallTau:   stats.KendallTau(simRels, expRels),
+			Mispredicted: stats.CountDisagreements(agg.simRels, agg.expRels, 0),
+			Total:        len(agg.simRels),
+			MedianErrPct: stats.Median(agg.errs),
+			KendallTau:   stats.KendallTau(agg.simRels, agg.expRels),
 		})
 	}
 	return rows, nil
@@ -525,37 +544,23 @@ func NoiseSensitivity(cfg Config, sigmas []float64) ([]SensitivityRow, error) {
 			return nil, err
 		}
 		model := perfmodel.NewAnalytic(truth.Cluster)
-		cost := perfmodel.CostFunc(model)
-		comm := perfmodel.CommFunc(model, truth.Cluster)
-
-		var simRels, expRels []float64
-		for _, inst := range suite {
-			sim := map[string]float64{}
-			exp := map[string]float64{}
-			for _, algo := range ComparedAlgorithms() {
-				s, err := sched.Build(algo, inst.Graph, truth.Cluster.Nodes, cost, comm)
-				if err != nil {
-					return nil, err
-				}
-				simRes, err := tgrid.Run(net, s, tgrid.ModelTiming{Model: model})
-				if err != nil {
-					return nil, err
-				}
-				measured, err := em.MeasureMakespan(s, cfg.ExpTrials)
-				if err != nil {
-					return nil, err
-				}
-				sim[algo.Name()] = simRes.Makespan
-				exp[algo.Name()] = measured
-			}
-			simRels = append(simRels, stats.RelDiff(sim["HCPA"], sim["MCPA"]))
-			expRels = append(expRels, stats.RelDiff(exp["HCPA"], exp["MCPA"]))
+		agg, err := pairStudy{
+			run:    Runner{Workers: cfg.Parallelism, Seed: cfg.NoiseSeed, Em: em},
+			study:  fmt.Sprintf("sensitivity/%g", sigma),
+			suite:  suite,
+			net:    net,
+			model:  model,
+			trials: cfg.ExpTrials,
+			build:  buildWith(model, truth.Cluster),
+		}.execute()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: sensitivity sigma=%g: %w", sigma, err)
 		}
 		rows = append(rows, SensitivityRow{
 			NoiseSigma:   sigma,
-			Mispredicted: stats.CountDisagreements(simRels, expRels, 0),
-			Total:        len(simRels),
-			KendallTau:   stats.KendallTau(simRels, expRels),
+			Mispredicted: stats.CountDisagreements(agg.simRels, agg.expRels, 0),
+			Total:        len(agg.simRels),
+			KendallTau:   stats.KendallTau(agg.simRels, agg.expRels),
 		})
 	}
 	return rows, nil

@@ -16,60 +16,74 @@ import (
 	"repro/internal/regression"
 )
 
+// Env is the measurable surface of an emulated environment: the probes the
+// paper's campaigns issue (§VI). Both *cluster.Emulator (shared noise
+// stream, order-dependent like a real cluster) and *cluster.Session
+// (private deterministic stream, used by the concurrent study engine)
+// satisfy it.
+type Env interface {
+	MeasureTask(kernel dag.Kernel, n, p int) float64
+	MeasureStartup(p int) float64
+	MeasureRedistOverhead(pSrc, pDst int) float64
+}
+
 // Campaign runs measurements against an emulated environment.
 type Campaign struct {
 	// Em is the environment under measurement.
-	Em *cluster.Emulator
+	Em Env
 }
 
 // TaskProfile measures the mean execution time of every (kernel, size,
 // processor-count) combination over the given number of trials — the
 // brute-force approach of §VI-A.
 func (c Campaign) TaskProfile(kernels []dag.Kernel, sizes []int, maxP, trials int) map[perfmodel.TaskKey]float64 {
-	if trials < 1 {
-		trials = 1
-	}
 	out := make(map[perfmodel.TaskKey]float64)
 	for _, k := range kernels {
 		for _, n := range sizes {
 			for p := 1; p <= maxP; p++ {
-				sum := 0.0
-				for i := 0; i < trials; i++ {
-					sum += c.Em.MeasureTask(k, n, p)
-				}
-				out[perfmodel.TaskKey{Kernel: k, N: n, P: p}] = sum / float64(trials)
+				out[perfmodel.TaskKey{Kernel: k, N: n, P: p}] = c.MeasureTaskMean(k, n, p, trials)
 			}
 		}
 	}
 	return out
 }
 
-// MeasureTaskMean measures one configuration over trials.
-func (c Campaign) MeasureTaskMean(kernel dag.Kernel, n, p, trials int) float64 {
+// mean averages trials draws of one probe (at least one).
+func mean(trials int, probe func() float64) float64 {
 	if trials < 1 {
 		trials = 1
 	}
 	sum := 0.0
 	for i := 0; i < trials; i++ {
-		sum += c.Em.MeasureTask(kernel, n, p)
+		sum += probe()
 	}
 	return sum / float64(trials)
+}
+
+// MeasureTaskMean measures one task configuration over trials.
+func (c Campaign) MeasureTaskMean(kernel dag.Kernel, n, p, trials int) float64 {
+	return mean(trials, func() float64 { return c.Em.MeasureTask(kernel, n, p) })
+}
+
+// MeasureStartupMean measures one allocation size's startup overhead over
+// trials.
+func (c Campaign) MeasureStartupMean(p, trials int) float64 {
+	return mean(trials, func() float64 { return c.Em.MeasureStartup(p) })
+}
+
+// MeasureRedistMean measures one (p(src), p(dst)) pair's redistribution
+// overhead over trials.
+func (c Campaign) MeasureRedistMean(src, dst, trials int) float64 {
+	return mean(trials, func() float64 { return c.Em.MeasureRedistOverhead(src, dst) })
 }
 
 // StartupSeries launches no-op applications on p = 1..maxP processors,
 // trials times each, and returns the mean startup overhead per p (index
 // p−1) — the Figure 3 measurement (the paper averages 20 trials).
 func (c Campaign) StartupSeries(maxP, trials int) []float64 {
-	if trials < 1 {
-		trials = 1
-	}
 	out := make([]float64, maxP)
 	for p := 1; p <= maxP; p++ {
-		sum := 0.0
-		for i := 0; i < trials; i++ {
-			sum += c.Em.MeasureStartup(p)
-		}
-		out[p-1] = sum / float64(trials)
+		out[p-1] = c.MeasureStartupMean(p, trials)
 	}
 	return out
 }
@@ -78,18 +92,11 @@ func (c Campaign) StartupSeries(maxP, trials int) []float64 {
 // (p(src), p(dst)) pair in [1, maxP]², trials times each (the paper uses
 // 3), and returns the mean surface indexed [src−1][dst−1] — Figure 4.
 func (c Campaign) RedistSurface(maxP, trials int) [][]float64 {
-	if trials < 1 {
-		trials = 1
-	}
 	out := make([][]float64, maxP)
 	for s := 1; s <= maxP; s++ {
 		out[s-1] = make([]float64, maxP)
 		for d := 1; d <= maxP; d++ {
-			sum := 0.0
-			for i := 0; i < trials; i++ {
-				sum += c.Em.MeasureRedistOverhead(s, d)
-			}
-			out[s-1][d-1] = sum / float64(trials)
+			out[s-1][d-1] = c.MeasureRedistMean(s, d, trials)
 		}
 	}
 	return out

@@ -22,7 +22,12 @@
 //     execution backend with goroutine ranks and message passing
 //     (internal/tgrid, internal/mpi, internal/kernels);
 //   - the full evaluation pipeline regenerating every table and figure
-//     (internal/experiments), also exposed through cmd/mixedsim.
+//     (internal/experiments), also exposed through cmd/mixedsim. Studies
+//     decompose into independent (instance × algorithm × model/variant)
+//     cells executed on a bounded worker pool with deterministic per-cell
+//     noise seeding, so reports are byte-identical for every worker count;
+//     Config.Parallelism (and the commands' -parallel flag) bounds the
+//     pool.
 //
 // The quickest entry points:
 //
@@ -130,8 +135,14 @@ func Experiment(s *Schedule, seed int64) (*Result, error) {
 	return em.Execute(s)
 }
 
-// DefaultConfig mirrors the paper's evaluation setup.
+// DefaultConfig mirrors the paper's evaluation setup. Config.Parallelism
+// bounds the study-execution worker pool (zero: one worker per CPU);
+// reports are byte-identical for every value.
 func DefaultConfig() Config { return experiments.DefaultConfig() }
+
+// DefaultParallelism returns the worker count the study engine uses when
+// Config.Parallelism is zero: one per logical CPU.
+func DefaultParallelism() int { return experiments.DefaultParallelism() }
 
 // NewLab assembles the full evaluation: environment, profiling campaigns,
 // models and workload.
