@@ -3,6 +3,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"testing"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/perfmodel"
 	"repro/internal/redist"
 	"repro/internal/sched"
+	"repro/internal/service"
 	"repro/internal/simgrid"
 	"repro/internal/tgrid"
 )
@@ -99,6 +101,46 @@ func BenchmarkStudySerialVsParallel(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkServiceScheduleThroughput measures the service layer's schedule
+// path under the empirical model: "cold" pays the §VII fitting campaign on
+// every request (a fresh registry each iteration — the one-shot CLI
+// economics), "warm" reuses the registry-cached fit (the service
+// economics). The gap is the measurement cost the registry amortises.
+func BenchmarkServiceScheduleThroughput(b *testing.B) {
+	g := dag.MustGenerate(dag.GenParams{Tasks: 10, InputMatrices: 8, AddRatio: 0.5, N: 2000, Seed: 1})
+	req := service.ScheduleRequest{DAG: g, Algorithm: "HCPA", Model: "empirical"}
+	ctx := context.Background()
+
+	b.Run("cold-registry", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			svc := service.New(service.DefaultOptions())
+			if _, err := svc.Schedule(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+			if err := svc.Close(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm-cache", func(b *testing.B) {
+		svc := service.New(service.DefaultOptions())
+		defer svc.Close(ctx)
+		if _, err := svc.Schedule(ctx, req); err != nil { // prime the cache
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := svc.Schedule(ctx, req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !resp.CacheHit {
+				b.Fatal("warm request missed the registry cache")
+			}
+		}
+	})
 }
 
 // BenchmarkMaxMinSolver measures the resource-sharing solver on a

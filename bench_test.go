@@ -139,7 +139,10 @@ func BenchmarkFigure7EmpiricalVsExperiment(b *testing.B) {
 // environments.
 func BenchmarkFigure2AnalyticModelError(b *testing.B) {
 	l := sharedLab(b)
-	java := l.Figure2Java(3)
+	java, err := l.Figure2Java(3)
+	if err != nil {
+		b.Fatal(err)
+	}
 	franklin := experiments.Figure2Franklin()
 	printArtifact("fig2", func() {
 		experiments.WriteErrorSeries(os.Stdout,
@@ -159,7 +162,9 @@ func BenchmarkFigure2AnalyticModelError(b *testing.B) {
 	b.ReportMetric(100*maxErr, "maxerr%")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = l.Figure2Java(1)
+		if _, err := l.Figure2Java(1); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -167,7 +172,10 @@ func BenchmarkFigure2AnalyticModelError(b *testing.B) {
 // measurement of task startup overheads (20 trials per p).
 func BenchmarkFigure3StartupOverhead(b *testing.B) {
 	l := sharedLab(b)
-	s := l.Figure3()
+	s, err := l.Figure3()
+	if err != nil {
+		b.Fatal(err)
+	}
 	printArtifact("fig3", func() { s.Write(os.Stdout) })
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -180,7 +188,10 @@ func BenchmarkFigure3StartupOverhead(b *testing.B) {
 // matrix redistribution probe over the (p(src), p(dst)) grid (3 trials).
 func BenchmarkFigure4RedistOverhead(b *testing.B) {
 	l := sharedLab(b)
-	r := l.Figure4()
+	r, err := l.Figure4()
+	if err != nil {
+		b.Fatal(err)
+	}
 	printArtifact("fig4", func() { r.Write(os.Stdout) })
 	b.ReportMetric(1000*r.ByDst[32], "ms@dst32")
 	b.ResetTimer()

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -49,108 +50,14 @@ func main() {
 	}
 
 	w := os.Stdout
+	labFn := func() (*experiments.Lab, error) { return lab, nil }
 	run := func(name string) error {
-		switch name {
-		case "table1":
-			lab.Table1().Write(w)
-		case "fig1", "fig5", "fig7":
-			model := map[string]string{"fig1": "analytic", "fig5": "profile", "fig7": "empirical"}[name]
-			for _, n := range []int{2000, 3000} {
-				c, err := lab.CompareHCPAMCPA(model, n)
-				if err != nil {
-					return err
-				}
-				c.Write(w)
-				fmt.Fprintln(w)
-			}
-		case "fig2":
-			experiments.WriteErrorSeries(w,
-				"Figure 2 (left) — relative error of the analytic model, 1D MM/Java",
-				lab.Figure2Java(3))
-			fmt.Fprintln(w)
-			experiments.WriteErrorSeries(w,
-				"Figure 2 (right) — relative error of the analytic model, PDGEMM/Cray XT4",
-				experiments.Figure2Franklin())
-		case "fig3":
-			lab.Figure3().Write(w)
-		case "fig4":
-			lab.Figure4().Write(w)
-		case "fig6":
-			for _, n := range []int{2000, 3000} {
-				study, err := lab.Figure6(n)
-				if err != nil {
-					return err
-				}
-				study.Write(w)
-				fmt.Fprintln(w)
-			}
-		case "fig8":
-			boxes, err := lab.Figure8()
-			if err != nil {
-				return err
-			}
-			experiments.WriteFigure8(w, boxes)
-		case "table2":
-			lab.Table2(w)
-		case "ablation":
-			rows, err := lab.Ablation()
-			if err != nil {
-				return err
-			}
-			experiments.WriteAblation(w, rows)
-		case "scaling":
-			rows, err := experiments.ScalingStudy(cfg, []int{32, 64, 128})
-			if err != nil {
-				return err
-			}
-			experiments.WriteScaling(w, rows)
-		case "sensitivity":
-			rows, err := experiments.NoiseSensitivity(cfg, []float64{0, 0.01, 0.03, 0.1, 0.2})
-			if err != nil {
-				return err
-			}
-			experiments.WriteSensitivity(w, rows)
-		case "straggler":
-			rows, err := experiments.StragglerStudy(cfg)
-			if err != nil {
-				return err
-			}
-			experiments.WriteStraggler(w, rows)
-		case "hetero":
-			rows, err := experiments.HeterogeneityStudy(cfg)
-			if err != nil {
-				return err
-			}
-			experiments.WriteHetero(w, rows)
-		case "environments":
-			rows, err := experiments.EnvironmentStudy(cfg)
-			if err != nil {
-				return err
-			}
-			experiments.WriteEnvironments(w, rows)
-		case "breakdown":
-			rows, err := lab.TimeBreakdown()
-			if err != nil {
-				return err
-			}
-			experiments.WriteBreakdown(w, rows)
-		case "shapes":
-			rows, err := lab.ShapeStudy()
-			if err != nil {
-				return err
-			}
-			experiments.WriteShapes(w, rows)
-		default:
-			return fmt.Errorf("unknown experiment %q", name)
-		}
-		return nil
+		return experiments.RenderStudy(context.Background(), name, cfg, labFn, w)
 	}
 
 	names := []string{*experiment}
 	if *experiment == "all" {
-		names = []string{"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
-			"fig8", "table2", "ablation", "scaling", "sensitivity", "breakdown", "shapes",
-			"environments", "hetero", "straggler"}
+		names = experiments.StudyNames()
 	}
 	for i, name := range names {
 		if i > 0 {

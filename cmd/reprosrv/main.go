@@ -1,0 +1,82 @@
+// Command reprosrv serves the reproduction as a long-running HTTP daemon:
+// scheduling and simulation requests are answered synchronously over
+// registry-cached performance models (fitted once per environment and seed,
+// reused across all requests — the paper's §VI/§VII measurement economics),
+// and whole studies (fig1…table2, ablation, …) run asynchronously on a
+// bounded job queue.
+//
+// Usage:
+//
+//	reprosrv -addr :8080
+//	curl localhost:8080/healthz
+//	curl -X POST localhost:8080/v1/schedule -d @request.json
+//
+// See docs/SERVICE.md for the API reference and a walkthrough.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("reprosrv: ")
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		seed       = flag.Int64("seed", 42, "default measurement-campaign noise seed")
+		suiteSeed  = flag.Int64("suite-seed", 2011, "default seed for the 54-DAG study suite")
+		parallel   = flag.Int("parallel", 0, "per-study cell-engine worker pool size (0 = one per CPU)")
+		jobWorkers = flag.Int("job-workers", 2, "concurrent study jobs")
+		queueCap   = flag.Int("queue", 16, "pending-job queue capacity")
+		retain     = flag.Int("retain", 64, "finished jobs whose results are retained")
+		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget")
+	)
+	flag.Parse()
+
+	opts := service.DefaultOptions()
+	opts.Seed = *seed
+	opts.SuiteSeed = *suiteSeed
+	opts.Parallelism = *parallel
+	opts.JobWorkers = *jobWorkers
+	opts.QueueCap = *queueCap
+	opts.Retain = *retain
+	svc := service.New(opts)
+
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("shutting down (budget %s)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := svc.Close(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("job shutdown: %v", err)
+	}
+	log.Printf("bye")
+}

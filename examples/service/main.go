@@ -1,0 +1,98 @@
+// Service example: start the scheduling service in-process, then drive it
+// through the typed HTTP client exactly as a remote caller would — schedule
+// the same DAG twice (the second request hits the fitted-model registry
+// cache), run a study on the job queue, and inspect the registry.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/dag"
+	"repro/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. The service and an HTTP server on a loopback port.
+	svc := service.New(service.DefaultOptions())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	go srv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("reprosrv serving on %s\n", base)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	client := service.NewClient(base)
+	if err := client.Health(ctx); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. A DAG to schedule: 10 moldable matrix tasks (one Table I cell).
+	g, err := dag.Generate(dag.GenParams{
+		Tasks: 10, InputMatrices: 4, AddRatio: 0.5, N: 2000, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Schedule it twice under the empirical model. The first request
+	//    runs the §VII campaign and fits the model; the second reuses it.
+	req := service.ScheduleRequest{DAG: g, Algorithm: "HCPA", Model: "empirical"}
+	for i := 1; i <= 2; i++ {
+		start := time.Now()
+		resp, err := client.Schedule(ctx, req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nschedule #%d (%s/%s): cache_hit=%v predicted makespan %.1fs (%.0f ms round trip)\n",
+			i, resp.Algorithm, resp.Model, resp.CacheHit, resp.SimMakespan,
+			float64(time.Since(start))/float64(time.Millisecond))
+		if i == 1 {
+			for _, t := range resp.Tasks {
+				fmt.Printf("  %-10s p=%-2d start=%6.1fs hosts=%v\n", t.Name, t.P, t.EstStart, t.Hosts)
+			}
+		}
+	}
+
+	// 4. A study on the job queue: Figure 3's startup-overhead curve.
+	job, err := client.SubmitStudy(ctx, service.StudyRequest{Study: "fig3"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsubmitted %s (%s), polling…\n", job.ID, job.Kind)
+	done, err := client.WaitJob(ctx, job.ID, 50*time.Millisecond)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("job %s: %s\n%s", done.ID, done.State, done.Output)
+
+	// 5. The registry: which models were fitted, at what cost.
+	models, err := client.Models(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nfitted-model registry:")
+	for _, m := range models {
+		fmt.Printf("  %-9s env=%-9s seed=%-6d build=%6.1fms hits=%d\n",
+			m.Kind, m.Environment, m.Seed, m.BuildMillis, m.Hits)
+	}
+
+	// 6. Graceful shutdown.
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+	if err := svc.Close(ctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nshut down cleanly")
+}

@@ -128,7 +128,10 @@ func TestComparisonWriteFormat(t *testing.T) {
 }
 
 func TestFigure2JavaErrors(t *testing.T) {
-	series := lab.Figure2Java(3)
+	series, err := lab.Figure2Java(3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(series) != 2 {
 		t.Fatalf("%d series", len(series))
 	}
@@ -166,7 +169,10 @@ func TestFigure2FranklinErrors(t *testing.T) {
 }
 
 func TestFigure3Startup(t *testing.T) {
-	s := lab.Figure3()
+	s, err := lab.Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(s.P) != 32 {
 		t.Fatalf("%d points", len(s.P))
 	}
@@ -187,7 +193,10 @@ func TestFigure3Startup(t *testing.T) {
 }
 
 func TestFigure4Surface(t *testing.T) {
-	r := lab.Figure4()
+	r, err := lab.Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.Overhead) != 32 {
 		t.Fatalf("surface has %d rows", len(r.Overhead))
 	}

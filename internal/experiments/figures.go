@@ -125,13 +125,13 @@ type ErrorSeries struct {
 
 // Figure2Java measures the Java-side series (left plot): the 1-D
 // multiplication on the emulated Bayreuth cluster for n = 2000 and 3000.
-// Each (n, p) probe is one cell of the study engine.
-func (l *Lab) Figure2Java(trials int) []ErrorSeries {
+// Each (n, p) probe is one cell of the study engine. Probes cannot fail;
+// the only possible error is a WithContext cancellation.
+func (l *Lab) Figure2Java(trials int) ([]ErrorSeries, error) {
 	sizes := []int{2000, 3000}
 	maxP := l.Cluster().Nodes
 	errs := make([]float64, len(sizes)*maxP)
-	// Probes cannot fail; the error return exists for the engine's sake.
-	_ = l.runner().Run("fig2java", len(errs), func(i int, sess *cluster.Session) error {
+	err := l.runner().Run("fig2java", len(errs), func(i int, sess *cluster.Session) error {
 		n, p := sizes[i/maxP], i%maxP+1
 		task := &dag.Task{Kernel: dag.KernelMul, N: n}
 		pred := task.Flops() / float64(p) / l.Cluster().NodePower
@@ -139,6 +139,9 @@ func (l *Lab) Figure2Java(trials int) []ErrorSeries {
 		errs[i] = abs(pred-meas) / meas
 		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	var out []ErrorSeries
 	for ni, n := range sizes {
 		s := ErrorSeries{Label: fmt.Sprintf("1D MM/Java n=%d", n)}
@@ -148,7 +151,7 @@ func (l *Lab) Figure2Java(trials int) []ErrorSeries {
 		}
 		out = append(out, s)
 	}
-	return out
+	return out, nil
 }
 
 // Figure2Franklin produces the PDGEMM/Cray series (right plot) for
@@ -197,21 +200,24 @@ type StartupSeries struct {
 }
 
 // Figure3 measures the startup overheads (20 trials each, as in the paper),
-// one processor count per study cell.
-func (l *Lab) Figure3() StartupSeries {
+// one processor count per study cell. Probes cannot fail; the only
+// possible error is a WithContext cancellation.
+func (l *Lab) Figure3() (StartupSeries, error) {
 	maxP := l.Cluster().Nodes
 	seconds := make([]float64, maxP)
-	// Probes cannot fail; the error return exists for the engine's sake.
-	_ = l.runner().Run("fig3", maxP, func(i int, sess *cluster.Session) error {
+	err := l.runner().Run("fig3", maxP, func(i int, sess *cluster.Session) error {
 		seconds[i] = profiler.Campaign{Em: sess}.MeasureStartupMean(i+1, l.Cfg.Profile.StartupTrials)
 		return nil
 	})
+	if err != nil {
+		return StartupSeries{}, err
+	}
 	out := StartupSeries{}
 	for p, v := range seconds {
 		out.P = append(out.P, p+1)
 		out.Seconds = append(out.Seconds, v)
 	}
-	return out
+	return out, nil
 }
 
 // Write prints the startup curve.
@@ -235,12 +241,12 @@ type RedistSurface struct {
 }
 
 // Figure4 probes the full (p(src), p(dst)) surface (3 trials per point),
-// one source count — a full row of destinations — per study cell.
-func (l *Lab) Figure4() RedistSurface {
+// one source count — a full row of destinations — per study cell. Probes
+// cannot fail; the only possible error is a WithContext cancellation.
+func (l *Lab) Figure4() (RedistSurface, error) {
 	maxP := l.Cluster().Nodes
 	surface := make([][]float64, maxP)
-	// Probes cannot fail; the error return exists for the engine's sake.
-	_ = l.runner().Run("fig4", maxP, func(i int, sess *cluster.Session) error {
+	err := l.runner().Run("fig4", maxP, func(i int, sess *cluster.Session) error {
 		c := profiler.Campaign{Em: sess}
 		row := make([]float64, maxP)
 		for d := 1; d <= maxP; d++ {
@@ -249,7 +255,10 @@ func (l *Lab) Figure4() RedistSurface {
 		surface[i] = row
 		return nil
 	})
-	return RedistSurface{Overhead: surface, ByDst: profiler.RedistByDst(surface)}
+	if err != nil {
+		return RedistSurface{}, err
+	}
+	return RedistSurface{Overhead: surface, ByDst: profiler.RedistByDst(surface)}, nil
 }
 
 // Write prints a condensed view of the surface: the per-destination average

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -64,27 +65,49 @@ type Lab struct {
 	Profile   *perfmodel.Profile
 	Empirical *perfmodel.Empirical
 
-	mu      sync.Mutex
-	records map[string][]Record // cached pipeline runs per model name
+	// ctx, when non-nil, cancels the lab's studies (see WithContext).
+	ctx context.Context
+	// cache is shared between a lab and its WithContext copies.
+	cache *recordCache
+}
+
+// recordCache holds the cached pipeline runs per model name, plus the
+// in-flight markers that let concurrent RunSuite callers coalesce on one
+// computation instead of racing to duplicate it.
+type recordCache struct {
+	mu       sync.Mutex
+	records  map[string][]Record
+	inflight map[string]chan struct{} // closed when the winner finishes
+}
+
+// WithContext returns a lab view whose studies abort once ctx is done:
+// cells that have not started are skipped and the study returns ctx.Err().
+// The view shares the environment, the models and the record cache with the
+// receiver, so a long-running service can hand each request its own
+// cancellable view of one lab.
+func (l *Lab) WithContext(ctx context.Context) *Lab {
+	view := *l
+	view.ctx = ctx
+	return &view
+}
+
+// context returns the lab's cancellation context (Background if unset).
+func (l *Lab) context() context.Context {
+	if l.ctx == nil {
+		return context.Background()
+	}
+	return l.ctx
 }
 
 // runner returns the lab's study-execution engine.
 func (l *Lab) runner() Runner {
-	return Runner{Workers: l.Cfg.Parallelism, Seed: l.Cfg.NoiseSeed, Em: l.Em}
+	return Runner{Workers: l.Cfg.Parallelism, Seed: l.Cfg.NoiseSeed, Em: l.Em, Ctx: l.ctx}
 }
 
 // NewLab builds the full setup, including both profiling campaigns.
 func NewLab(cfg Config) (*Lab, error) {
 	truth := cluster.Bayreuth()
 	em, err := cluster.NewEmulator(truth, cfg.NoiseSeed)
-	if err != nil {
-		return nil, err
-	}
-	net, err := simgrid.NewNet(truth.Cluster)
-	if err != nil {
-		return nil, err
-	}
-	suite, err := dag.GenerateSuite(cfg.SuiteSeed)
 	if err != nil {
 		return nil, err
 	}
@@ -96,6 +119,27 @@ func NewLab(cfg Config) (*Lab, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: empirical campaign: %w", err)
 	}
+	return AssembleLab(cfg, truth, em, prof, emp)
+}
+
+// AssembleLab builds a lab around an already-measured environment: the
+// caller supplies the ground truth, the emulator the campaigns probed and
+// the two fitted models (typically from a registry cache that ran the
+// campaigns once and reuses the fits across many labs — the paper's
+// fit-once/reuse-many economics). Studies on the assembled lab are
+// byte-identical to NewLab's for the same Config, provided the models were
+// built the way NewLab builds them: profile campaign first, then empirical,
+// on a fresh emulator seeded with Config.NoiseSeed.
+func AssembleLab(cfg Config, truth *cluster.Hidden, em *cluster.Emulator,
+	prof *perfmodel.Profile, emp *perfmodel.Empirical) (*Lab, error) {
+	net, err := simgrid.NewNet(truth.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	suite, err := dag.GenerateSuite(cfg.SuiteSeed)
+	if err != nil {
+		return nil, err
+	}
 	return &Lab{
 		Cfg:       cfg,
 		Truth:     truth,
@@ -105,7 +149,10 @@ func NewLab(cfg Config) (*Lab, error) {
 		Analytic:  perfmodel.NewAnalytic(truth.Cluster),
 		Profile:   prof,
 		Empirical: emp,
-		records:   make(map[string][]Record),
+		cache: &recordCache{
+			records:  make(map[string][]Record),
+			inflight: make(map[string]chan struct{}),
+		},
 	}, nil
 }
 
@@ -146,14 +193,48 @@ func ComparedAlgorithms() []sched.Algorithm {
 // RunSuite pushes the whole 54-DAG suite through the pipeline with the
 // given model: schedule (per algorithm) → simulate → execute on the
 // emulated cluster. Instances run as independent cells on the study engine;
-// results are cached per model name.
+// results are cached per model name, and concurrent callers for the same
+// model coalesce on a single computation.
 func (l *Lab) RunSuite(modelName string) ([]Record, error) {
-	l.mu.Lock()
-	recs, ok := l.records[modelName]
-	l.mu.Unlock()
-	if ok {
-		return recs, nil
+	ctx := l.context()
+	c := l.cache
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err // honour WithContext even when the cache could answer
+		}
+		c.mu.Lock()
+		if recs, ok := c.records[modelName]; ok {
+			c.mu.Unlock()
+			return recs, nil
+		}
+		wait, running := c.inflight[modelName]
+		if !running {
+			c.inflight[modelName] = make(chan struct{})
+			c.mu.Unlock()
+			break // this caller computes
+		}
+		c.mu.Unlock()
+		select {
+		case <-wait:
+			// The winner finished (or failed — then the next lap retries).
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
+	recs, err := l.runSuite(modelName)
+	c.mu.Lock()
+	if err == nil {
+		c.records[modelName] = recs
+	}
+	wait := c.inflight[modelName]
+	delete(c.inflight, modelName)
+	c.mu.Unlock()
+	close(wait)
+	return recs, err
+}
+
+// runSuite computes the suite records of one model (the cache-miss path).
+func (l *Lab) runSuite(modelName string) ([]Record, error) {
 	model, err := l.Model(modelName)
 	if err != nil {
 		return nil, err
@@ -162,7 +243,7 @@ func (l *Lab) RunSuite(modelName string) ([]Record, error) {
 	comm := perfmodel.CommFunc(model, l.Cluster())
 	algos := ComparedAlgorithms()
 
-	recs = make([]Record, len(l.Suite))
+	recs := make([]Record, len(l.Suite))
 	err = l.runner().Run("suite/"+modelName, len(l.Suite), func(i int, sess *cluster.Session) error {
 		inst := l.Suite[i]
 		rec := Record{
@@ -196,12 +277,5 @@ func (l *Lab) RunSuite(modelName string) ([]Record, error) {
 	if err != nil {
 		return nil, err
 	}
-	l.mu.Lock()
-	if cached, ok := l.records[modelName]; ok {
-		recs = cached // a concurrent caller won the race; keep one slice
-	} else {
-		l.records[modelName] = recs
-	}
-	l.mu.Unlock()
 	return recs, nil
 }

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+)
+
+// This file is the single study-dispatch point shared by cmd/mixedsim and
+// the service layer: both render a study by name through RenderStudy, so
+// their outputs are byte-identical by construction rather than by keeping
+// two hand-copied switches in sync.
+
+// StudyNames lists every renderable study, in cmd/mixedsim's "all" order.
+func StudyNames() []string {
+	return []string{
+		"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+		"fig8", "table2", "ablation", "scaling", "sensitivity", "breakdown",
+		"shapes", "environments", "hetero", "straggler",
+	}
+}
+
+// LabFunc lazily supplies the lab for lab-based studies, so rendering a
+// standalone study (scaling, sensitivity, straggler, hetero, environments —
+// they assemble their own environments from cfg) never builds one.
+type LabFunc func() (*Lab, error)
+
+// RenderStudy writes one study's report to w, aborting between cells once
+// ctx is done. cfg drives the standalone studies; labFn supplies the lab
+// for the rest.
+func RenderStudy(ctx context.Context, name string, cfg Config, labFn LabFunc, w io.Writer) error {
+	switch name {
+	case "scaling":
+		rows, err := ScalingStudyCtx(ctx, cfg, []int{32, 64, 128})
+		if err != nil {
+			return err
+		}
+		WriteScaling(w, rows)
+		return nil
+	case "sensitivity":
+		rows, err := NoiseSensitivityCtx(ctx, cfg, []float64{0, 0.01, 0.03, 0.1, 0.2})
+		if err != nil {
+			return err
+		}
+		WriteSensitivity(w, rows)
+		return nil
+	case "straggler":
+		rows, err := StragglerStudyCtx(ctx, cfg)
+		if err != nil {
+			return err
+		}
+		WriteStraggler(w, rows)
+		return nil
+	case "hetero":
+		rows, err := HeterogeneityStudyCtx(ctx, cfg)
+		if err != nil {
+			return err
+		}
+		WriteHetero(w, rows)
+		return nil
+	case "environments":
+		rows, err := EnvironmentStudyCtx(ctx, cfg)
+		if err != nil {
+			return err
+		}
+		WriteEnvironments(w, rows)
+		return nil
+	}
+
+	lab, err := labFn()
+	if err != nil {
+		return err
+	}
+	lab = lab.WithContext(ctx)
+
+	switch name {
+	case "table1":
+		lab.Table1().Write(w)
+	case "fig1", "fig5", "fig7":
+		model := map[string]string{"fig1": "analytic", "fig5": "profile", "fig7": "empirical"}[name]
+		for _, n := range []int{2000, 3000} {
+			c, err := lab.CompareHCPAMCPA(model, n)
+			if err != nil {
+				return err
+			}
+			c.Write(w)
+			fmt.Fprintln(w)
+		}
+	case "fig2":
+		series, err := lab.Figure2Java(3)
+		if err != nil {
+			return err
+		}
+		WriteErrorSeries(w,
+			"Figure 2 (left) — relative error of the analytic model, 1D MM/Java",
+			series)
+		fmt.Fprintln(w)
+		WriteErrorSeries(w,
+			"Figure 2 (right) — relative error of the analytic model, PDGEMM/Cray XT4",
+			Figure2Franklin())
+	case "fig3":
+		series, err := lab.Figure3()
+		if err != nil {
+			return err
+		}
+		series.Write(w)
+	case "fig4":
+		surface, err := lab.Figure4()
+		if err != nil {
+			return err
+		}
+		surface.Write(w)
+	case "fig6":
+		for _, n := range []int{2000, 3000} {
+			study, err := lab.Figure6(n)
+			if err != nil {
+				return err
+			}
+			study.Write(w)
+			fmt.Fprintln(w)
+		}
+	case "fig8":
+		boxes, err := lab.Figure8()
+		if err != nil {
+			return err
+		}
+		WriteFigure8(w, boxes)
+	case "table2":
+		lab.Table2(w)
+	case "ablation":
+		rows, err := lab.Ablation()
+		if err != nil {
+			return err
+		}
+		WriteAblation(w, rows)
+	case "breakdown":
+		rows, err := lab.TimeBreakdown()
+		if err != nil {
+			return err
+		}
+		WriteBreakdown(w, rows)
+	case "shapes":
+		rows, err := lab.ShapeStudy()
+		if err != nil {
+			return err
+		}
+		WriteShapes(w, rows)
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	// The serial lab studies (table1, fig6, table2) ignore ctx mid-run;
+	// never report a cancelled render as success.
+	return ctx.Err()
+}

@@ -85,8 +85,15 @@ func (l *Lab) BuildReport() (*Report, error) {
 			Min: b.Box.Min, Q1: b.Box.Q1, Median: b.Box.Median, Q3: b.Box.Q3, Max: b.Box.Max,
 		})
 	}
-	r.Startup = l.Figure3().Seconds
-	fig4 := l.Figure4()
+	fig3, err := l.Figure3()
+	if err != nil {
+		return nil, err
+	}
+	r.Startup = fig3.Seconds
+	fig4, err := l.Figure4()
+	if err != nil {
+		return nil, err
+	}
 	for d := 1; d <= len(fig4.Overhead); d++ {
 		r.RedistByDst = append(r.RedistByDst, fig4.ByDst[d])
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/binary"
 	"hash/fnv"
 	"runtime"
@@ -49,8 +50,19 @@ func CellSeed(noiseSeed int64, study string, cell int) int64 {
 // lowest-index failing cell, so error reporting is as deterministic as the
 // results. fn must confine its writes to per-index state.
 func ForEachCell(workers, n int, fn func(cell int) error) error {
+	return ForEachCellCtx(context.Background(), workers, n, fn)
+}
+
+// ForEachCellCtx is ForEachCell with cancellation: once ctx is done, cells
+// that have not started are skipped (in-flight cells finish — fn is never
+// interrupted mid-cell) and ctx.Err() is returned. A cancelled run never
+// returns partial results as success; a run whose every cell completed
+// returns nil even if ctx was cancelled at the very end, so the outcome
+// does not depend on the worker count. A run that is not cancelled is
+// byte-for-byte the same as ForEachCell.
+func ForEachCellCtx(ctx context.Context, workers, n int, fn func(cell int) error) error {
 	if n <= 0 {
-		return nil
+		return ctx.Err()
 	}
 	if workers <= 0 {
 		workers = DefaultParallelism()
@@ -60,6 +72,9 @@ func ForEachCell(workers, n int, fn func(cell int) error) error {
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -67,7 +82,7 @@ func ForEachCell(workers, n int, fn func(cell int) error) error {
 		return nil
 	}
 	errs := make([]error, n)
-	var next int64
+	var next, completed int64
 	var failed atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -75,11 +90,12 @@ func ForEachCell(workers, n int, fn func(cell int) error) error {
 		go func() {
 			defer wg.Done()
 			for {
-				// Once any cell fails, skip cells that have not started:
-				// the results will be discarded anyway. In-flight cells
-				// finish, keeping the lowest-index error deterministic
-				// among the cells that ran.
-				if failed.Load() {
+				// Once any cell fails (or the context is cancelled), skip
+				// cells that have not started: the results will be
+				// discarded anyway. In-flight cells finish, keeping the
+				// lowest-index error deterministic among the cells that
+				// ran.
+				if failed.Load() || ctx.Err() != nil {
 					return
 				}
 				i := int(atomic.AddInt64(&next, 1)) - 1
@@ -89,6 +105,8 @@ func ForEachCell(workers, n int, fn func(cell int) error) error {
 				if err := fn(i); err != nil {
 					errs[i] = err
 					failed.Store(true)
+				} else {
+					atomic.AddInt64(&completed, 1)
 				}
 			}
 		}()
@@ -99,7 +117,10 @@ func ForEachCell(workers, n int, fn func(cell int) error) error {
 			return err
 		}
 	}
-	return nil
+	if int(atomic.LoadInt64(&completed)) == n {
+		return nil // every cell ran: a last-moment cancellation is moot
+	}
+	return ctx.Err()
 }
 
 // Runner executes the cells of named studies against one emulated
@@ -112,12 +133,20 @@ type Runner struct {
 	Seed int64
 	// Em is the environment cells measure against.
 	Em *cluster.Emulator
+	// Ctx, when non-nil, cancels the study: cells that have not started are
+	// skipped once it is done and Run returns its error. Results are
+	// unaffected for runs that complete.
+	Ctx context.Context
 }
 
 // Run executes fn for every cell of the named study, handing each cell a
 // private measurement session.
 func (r Runner) Run(study string, n int, fn func(cell int, sess *cluster.Session) error) error {
-	return ForEachCell(r.Workers, n, func(i int) error {
+	ctx := r.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return ForEachCellCtx(ctx, r.Workers, n, func(i int) error {
 		return fn(i, r.Em.Session(CellSeed(r.Seed, study, i)))
 	})
 }

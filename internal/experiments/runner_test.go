@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -82,6 +83,76 @@ func TestCellSeedDeterministicAndDecorrelated(t *testing.T) {
 	}
 }
 
+func TestForEachCellCtxCancelled(t *testing.T) {
+	// An already-cancelled context runs nothing.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int32
+		err := ForEachCellCtx(ctx, workers, 20, func(i int) error {
+			ran.Add(1)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if workers == 1 && ran.Load() != 0 {
+			t.Errorf("workers=1: %d cells ran under a cancelled context", ran.Load())
+		}
+	}
+
+	// Cancelling mid-run stops scheduling new cells and reports ctx.Err().
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int32
+		err := ForEachCellCtx(ctx, workers, 1000, func(i int) error {
+			if ran.Add(1) == 5 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if n := ran.Load(); n >= 1000 {
+			t.Errorf("workers=%d: all %d cells ran despite cancellation", workers, n)
+		}
+	}
+
+	// A cell error still wins over the cancellation it caused.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	err := ForEachCellCtx(ctx2, 1, 10, func(i int) error {
+		if i == 3 {
+			cancel2()
+			return fmt.Errorf("cell 3 failed")
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "cell 3 failed" {
+		t.Errorf("err = %v, want cell 3's", err)
+	}
+}
+
+// TestRunnerCtxCancelsLabStudies exercises the Lab.WithContext path: a
+// cancelled view aborts suite studies with ctx.Err() instead of results.
+func TestRunnerCtxCancelsLabStudies(t *testing.T) {
+	l, err := NewLab(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := l.WithContext(ctx).RunSuite("analytic"); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunSuite on cancelled lab view: err = %v, want context.Canceled", err)
+	}
+	// The original lab is unaffected and still works.
+	if _, err := l.RunSuite("analytic"); err != nil {
+		t.Errorf("RunSuite on original lab: %v", err)
+	}
+}
+
 // studyTranscript writes a representative batch of studies — suite cells,
 // breakdown cells, shape cells and campaign-figure cells — to one buffer.
 func studyTranscript(t *testing.T, l *Lab) []byte {
@@ -95,9 +166,21 @@ func studyTranscript(t *testing.T, l *Lab) []byte {
 		}
 		c.Write(&buf)
 	}
-	WriteErrorSeries(&buf, "fig2", l.Figure2Java(2))
-	l.Figure3().Write(&buf)
-	l.Figure4().Write(&buf)
+	fig2, err := l.Figure2Java(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	WriteErrorSeries(&buf, "fig2", fig2)
+	fig3, err := l.Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig3.Write(&buf)
+	fig4, err := l.Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig4.Write(&buf)
 	breakdown, err := l.TimeBreakdown()
 	if err != nil {
 		t.Fatal(err)

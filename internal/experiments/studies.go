@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -216,8 +217,18 @@ type ScalingRow struct {
 // campaign runs serially (it models one operator probing one cluster); the
 // suite scoring runs on the cell engine.
 func ScalingStudy(cfg Config, nodeCounts []int) ([]ScalingRow, error) {
+	return ScalingStudyCtx(context.Background(), cfg, nodeCounts)
+}
+
+// ScalingStudyCtx is ScalingStudy with cancellation: ctx aborts both the
+// per-size sparse campaigns (between sizes) and the suite scoring (between
+// cells).
+func ScalingStudyCtx(ctx context.Context, cfg Config, nodeCounts []int) ([]ScalingRow, error) {
 	var rows []ScalingRow
 	for _, nodes := range nodeCounts {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		truth := cluster.Bayreuth()
 		truth.Cluster = truth.Cluster.Scaled(nodes)
 		em, err := cluster.NewEmulator(truth, cfg.NoiseSeed)
@@ -245,7 +256,7 @@ func ScalingStudy(cfg Config, nodeCounts []int) ([]ScalingRow, error) {
 		}
 
 		agg, err := pairStudy{
-			run:    Runner{Workers: cfg.Parallelism, Seed: cfg.NoiseSeed, Em: em},
+			run:    Runner{Workers: cfg.Parallelism, Seed: cfg.NoiseSeed, Em: em, Ctx: ctx},
 			study:  fmt.Sprintf("scaling/%d", nodes),
 			suite:  suite,
 			net:    net,
@@ -301,6 +312,11 @@ type HeteroRow struct {
 // runs each task at its slowest assigned node's pace. The analytic and
 // profile simulators are scored exactly as in Figures 1/5.
 func HeterogeneityStudy(cfg Config) ([]HeteroRow, error) {
+	return HeterogeneityStudyCtx(context.Background(), cfg)
+}
+
+// HeterogeneityStudyCtx is HeterogeneityStudy with cancellation.
+func HeterogeneityStudyCtx(ctx context.Context, cfg Config) ([]HeteroRow, error) {
 	powers := make([]float64, 32)
 	for i := range powers {
 		if i < 16 {
@@ -333,7 +349,7 @@ func HeterogeneityStudy(cfg Config) ([]HeteroRow, error) {
 	var rows []HeteroRow
 	for _, model := range models {
 		agg, err := pairStudy{
-			run:    Runner{Workers: cfg.Parallelism, Seed: cfg.NoiseSeed, Em: em},
+			run:    Runner{Workers: cfg.Parallelism, Seed: cfg.NoiseSeed, Em: em, Ctx: ctx},
 			study:  "hetero/" + model.Name(),
 			suite:  suite,
 			net:    net,
@@ -380,6 +396,11 @@ type StragglerRow struct {
 // the profile simulator on a healthy environment and on one whose node 13
 // runs 3× slower, using the same measurement methodology on each.
 func StragglerStudy(cfg Config) ([]StragglerRow, error) {
+	return StragglerStudyCtx(context.Background(), cfg)
+}
+
+// StragglerStudyCtx is StragglerStudy with cancellation.
+func StragglerStudyCtx(ctx context.Context, cfg Config) ([]StragglerRow, error) {
 	suite, err := dag.GenerateSuite(cfg.SuiteSeed)
 	if err != nil {
 		return nil, err
@@ -395,6 +416,9 @@ func StragglerStudy(cfg Config) ([]StragglerRow, error) {
 
 	var rows []StragglerRow
 	for _, env := range envs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		em, err := cluster.NewEmulator(env.truth, cfg.NoiseSeed)
 		if err != nil {
 			return nil, err
@@ -408,7 +432,7 @@ func StragglerStudy(cfg Config) ([]StragglerRow, error) {
 			return nil, err
 		}
 		agg, err := pairStudy{
-			run:    Runner{Workers: cfg.Parallelism, Seed: cfg.NoiseSeed, Em: em},
+			run:    Runner{Workers: cfg.Parallelism, Seed: cfg.NoiseSeed, Em: em, Ctx: ctx},
 			study:  "straggler/" + env.name,
 			suite:  suite,
 			net:    net,
@@ -457,6 +481,11 @@ type EnvironmentRow struct {
 // environment's idiosyncrasies: on the tuned environment the analytic
 // simulator becomes nearly sound.
 func EnvironmentStudy(cfg Config) ([]EnvironmentRow, error) {
+	return EnvironmentStudyCtx(context.Background(), cfg)
+}
+
+// EnvironmentStudyCtx is EnvironmentStudy with cancellation.
+func EnvironmentStudyCtx(ctx context.Context, cfg Config) ([]EnvironmentRow, error) {
 	suite, err := dag.GenerateSuite(cfg.SuiteSeed)
 	if err != nil {
 		return nil, err
@@ -470,6 +499,9 @@ func EnvironmentStudy(cfg Config) ([]EnvironmentRow, error) {
 	}
 	var rows []EnvironmentRow
 	for _, env := range envs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		em, err := cluster.NewEmulator(env.truth, cfg.NoiseSeed)
 		if err != nil {
 			return nil, err
@@ -480,7 +512,7 @@ func EnvironmentStudy(cfg Config) ([]EnvironmentRow, error) {
 		}
 		model := perfmodel.NewAnalytic(env.truth.Cluster)
 		agg, err := pairStudy{
-			run:    Runner{Workers: cfg.Parallelism, Seed: cfg.NoiseSeed, Em: em},
+			run:    Runner{Workers: cfg.Parallelism, Seed: cfg.NoiseSeed, Em: em, Ctx: ctx},
 			study:  "environments/" + env.name,
 			suite:  suite,
 			net:    net,
@@ -527,12 +559,20 @@ type SensitivityRow struct {
 // caused by measurement noise on near-ties. The paper ran each schedule
 // once on a real machine, so its counts include both components.
 func NoiseSensitivity(cfg Config, sigmas []float64) ([]SensitivityRow, error) {
+	return NoiseSensitivityCtx(context.Background(), cfg, sigmas)
+}
+
+// NoiseSensitivityCtx is NoiseSensitivity with cancellation.
+func NoiseSensitivityCtx(ctx context.Context, cfg Config, sigmas []float64) ([]SensitivityRow, error) {
 	suite, err := dag.GenerateSuite(cfg.SuiteSeed)
 	if err != nil {
 		return nil, err
 	}
 	var rows []SensitivityRow
 	for _, sigma := range sigmas {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		truth := cluster.Bayreuth()
 		truth.NoiseSigma = sigma
 		em, err := cluster.NewEmulator(truth, cfg.NoiseSeed)
@@ -545,7 +585,7 @@ func NoiseSensitivity(cfg Config, sigmas []float64) ([]SensitivityRow, error) {
 		}
 		model := perfmodel.NewAnalytic(truth.Cluster)
 		agg, err := pairStudy{
-			run:    Runner{Workers: cfg.Parallelism, Seed: cfg.NoiseSeed, Em: em},
+			run:    Runner{Workers: cfg.Parallelism, Seed: cfg.NoiseSeed, Em: em, Ctx: ctx},
 			study:  fmt.Sprintf("sensitivity/%g", sigma),
 			suite:  suite,
 			net:    net,

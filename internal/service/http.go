@@ -1,0 +1,133 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// apiError is the JSON error payload every handler returns on failure.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, apiError{Error: err.Error()})
+}
+
+// writeServiceError distinguishes request faults (400) from server-side
+// failures (500).
+func writeServiceError(w http.ResponseWriter, err error) {
+	if IsBadRequest(err) {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeError(w, http.StatusInternalServerError, err)
+}
+
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return false
+	}
+	return true
+}
+
+// Handler returns the service's HTTP API:
+//
+//	GET  /healthz            liveness
+//	POST /v1/schedule        schedule a DAG, get schedule + predicted makespan
+//	POST /v1/simulate        schedule a DAG, get the simulated timeline
+//	POST /v1/jobs            submit an async study run
+//	GET  /v1/jobs            list retained jobs
+//	GET  /v1/jobs/{id}       poll one job
+//	GET  /v1/models          fitted-model registry contents and build cost
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
+	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
+	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("GET /v1/models", s.handleModels)
+	return mux
+}
+
+// HealthResponse is the /healthz payload.
+type HealthResponse struct {
+	Status string `json:"status"`
+}
+
+func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok"})
+}
+
+func (s *Service) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	var req ScheduleRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	resp, err := s.Schedule(r.Context(), req)
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req ScheduleRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	resp, err := s.Simulate(r.Context(), req)
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	var req StudyRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	status, err := s.SubmitStudy(req)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case err != nil:
+		writeServiceError(w, err)
+	default:
+		writeJSON(w, http.StatusAccepted, status)
+	}
+}
+
+func (s *Service) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.jobs.List())
+}
+
+func (s *Service) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	status, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("service: no such job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, status)
+}
+
+func (s *Service) handleModels(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.registry.Models())
+}

@@ -1,0 +1,287 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// JobState is the lifecycle of a queued study run.
+type JobState string
+
+const (
+	// JobQueued means the job is waiting for a worker.
+	JobQueued JobState = "queued"
+	// JobRunning means a worker is executing the job.
+	JobRunning JobState = "running"
+	// JobDone means the job finished and its output is retained.
+	JobDone JobState = "done"
+	// JobFailed means the job returned an error.
+	JobFailed JobState = "failed"
+	// JobCancelled means the job was aborted by shutdown before or while
+	// running.
+	JobCancelled JobState = "cancelled"
+)
+
+// JobStatus is the externally visible record of a job. Started and Ended
+// are pointers so omitempty elides them while unset (encoding/json never
+// considers a plain time.Time empty); once set they are never mutated.
+type JobStatus struct {
+	ID      string     `json:"id"`
+	Kind    string     `json:"kind"`
+	State   JobState   `json:"state"`
+	Created time.Time  `json:"created"`
+	Started *time.Time `json:"started,omitempty"`
+	Ended   *time.Time `json:"ended,omitempty"`
+	// Output is the job's result (a rendered study report) once done.
+	Output string `json:"output,omitempty"`
+	// Error is the failure message for failed/cancelled jobs.
+	Error string `json:"error,omitempty"`
+}
+
+// JobFunc is the work a job performs; it must honour ctx promptly.
+type JobFunc func(ctx context.Context) (string, error)
+
+type job struct {
+	status JobStatus
+	fn     JobFunc
+}
+
+// ErrQueueFull is returned by Submit when the bounded queue is at capacity.
+var ErrQueueFull = errors.New("service: job queue full")
+
+// ErrShuttingDown is returned by Submit after Shutdown started.
+var ErrShuttingDown = errors.New("service: shutting down")
+
+// JobManager runs submitted jobs on a fixed worker pool over a bounded
+// queue, tracks their states, and retains the results of the most recent
+// finished jobs.
+type JobManager struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	queue  chan *job
+	wg     sync.WaitGroup
+	retain int
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	finished []string // finished job IDs, oldest first, for retention
+	nextID   int
+	closed   bool
+}
+
+// NewJobManager starts workers goroutines over a queue of queueCap pending
+// jobs, retaining the last retain finished jobs (all values are clamped to
+// at least 1).
+func NewJobManager(workers, queueCap, retain int) *JobManager {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueCap < 1 {
+		queueCap = 1
+	}
+	if retain < 1 {
+		retain = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &JobManager{
+		ctx:    ctx,
+		cancel: cancel,
+		queue:  make(chan *job, queueCap),
+		retain: retain,
+		jobs:   make(map[string]*job),
+	}
+	for i := 0; i < workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+func (m *JobManager) worker() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.ctx.Done():
+			return
+		case j, ok := <-m.queue:
+			if !ok {
+				return
+			}
+			m.run(j)
+		}
+	}
+}
+
+func (m *JobManager) run(j *job) {
+	m.mu.Lock()
+	if j.status.State != JobQueued { // cancelled while queued
+		m.mu.Unlock()
+		return
+	}
+	j.status.State = JobRunning
+	started := time.Now()
+	j.status.Started = &started
+	m.mu.Unlock()
+
+	out, err := j.fn(m.ctx)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ended := time.Now()
+	j.status.Ended = &ended
+	switch {
+	case err == nil:
+		j.status.State = JobDone
+		j.status.Output = out
+	case errors.Is(err, context.Canceled) || m.ctx.Err() != nil:
+		j.status.State = JobCancelled
+		j.status.Error = err.Error()
+	default:
+		j.status.State = JobFailed
+		j.status.Error = err.Error()
+	}
+	m.finish(j.status.ID)
+}
+
+// finish records a finished job and evicts beyond the retention window.
+// Callers hold m.mu.
+func (m *JobManager) finish(id string) {
+	m.finished = append(m.finished, id)
+	for len(m.finished) > m.retain {
+		evict := m.finished[0]
+		m.finished = m.finished[1:]
+		delete(m.jobs, evict)
+	}
+}
+
+// Submit enqueues a job and returns its initial status. It never blocks:
+// a full queue returns ErrQueueFull.
+func (m *JobManager) Submit(kind string, fn JobFunc) (JobStatus, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return JobStatus{}, ErrShuttingDown
+	}
+	m.nextID++
+	j := &job{
+		status: JobStatus{
+			ID:      fmt.Sprintf("job-%d", m.nextID),
+			Kind:    kind,
+			State:   JobQueued,
+			Created: time.Now(),
+		},
+		fn: fn,
+	}
+	m.jobs[j.status.ID] = j
+	// Copy before enqueueing: a worker may start mutating j.status the
+	// moment it leaves the queue.
+	status := j.status
+	m.mu.Unlock()
+
+	select {
+	case m.queue <- j:
+		return status, nil
+	default:
+		m.mu.Lock()
+		delete(m.jobs, status.ID)
+		m.mu.Unlock()
+		return JobStatus{}, ErrQueueFull
+	}
+}
+
+// Get returns a job's status by ID.
+func (m *JobManager) Get(id string) (JobStatus, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	return j.status, true
+}
+
+// List returns all retained jobs, oldest submission first.
+func (m *JobManager) List() []JobStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]JobStatus, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		out = append(out, j.status)
+	}
+	sortJobs(out)
+	return out
+}
+
+// Shutdown cancels the shared context (aborting running jobs at their next
+// cancellation point), marks still-queued jobs cancelled, and waits for the
+// workers to drain or ctx to expire.
+func (m *JobManager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	m.mu.Unlock()
+
+	m.cancel()
+	// Drain jobs still sitting in the queue; run() skips any it raced with.
+	for {
+		select {
+		case j := <-m.queue:
+			m.mu.Lock()
+			if j.status.State == JobQueued {
+				j.status.State = JobCancelled
+				ended := time.Now()
+				j.status.Ended = &ended
+				j.status.Error = context.Canceled.Error()
+				m.finish(j.status.ID)
+			}
+			m.mu.Unlock()
+			continue
+		default:
+		}
+		break
+	}
+
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		// Workers raced the drain loop for queued jobs; whatever they
+		// pulled after cancellation was marked cancelled in run(). Mark any
+		// survivors (enqueued between drain and worker exit).
+		m.mu.Lock()
+		for _, j := range m.jobs {
+			if j.status.State == JobQueued {
+				j.status.State = JobCancelled
+				ended := time.Now()
+				j.status.Ended = &ended
+				j.status.Error = context.Canceled.Error()
+				m.finish(j.status.ID)
+			}
+		}
+		m.mu.Unlock()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// sortJobs orders by submission (IDs are "job-<n>").
+func sortJobs(jobs []JobStatus) {
+	num := func(id string) int {
+		n, _ := strconv.Atoi(strings.TrimPrefix(id, "job-"))
+		return n
+	}
+	sort.Slice(jobs, func(a, b int) bool { return num(jobs[a].ID) < num(jobs[b].ID) })
+}

@@ -1,0 +1,259 @@
+// Package service turns the reproduction into a long-running scheduling
+// service: a registry that fits the measured performance models once and
+// caches them across requests (the paper's §VI/§VII economics — models are
+// expensive to build, cheap to reuse), a bounded job queue for asynchronous
+// study runs, and HTTP handlers plus a typed client used by cmd/reprosrv.
+package service
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/perfmodel"
+	"repro/internal/profiler"
+)
+
+// ModelKey identifies one fitted model: the environment it was measured on,
+// the model kind ("analytic", "profile", "empirical") and the noise seed of
+// the measurement campaign. The analytic model needs no measurements; the
+// other two are built by running the §VI/§VII campaigns against the
+// environment exactly once per (environment, seed) and reused afterwards.
+type ModelKey struct {
+	Environment string `json:"environment"`
+	Kind        string `json:"kind"`
+	Seed        int64  `json:"seed"`
+}
+
+// ModelInfo describes one registry entry for GET /v1/models.
+type ModelInfo struct {
+	ModelKey
+	// BuildMillis is the wall-clock cost this entry paid when it was first
+	// requested: the full campaign for the key that triggered the build,
+	// ~0 for keys that reused an existing campaign or the analytic model.
+	BuildMillis float64 `json:"build_millis"`
+	// Hits counts requests served from cache (requests after the first).
+	Hits int64 `json:"hits"`
+}
+
+// EnvFunc constructs a ground-truth environment (a fresh value per call;
+// Hidden is treated as immutable once built).
+type EnvFunc func() *cluster.Hidden
+
+// Environments lists the ground-truth environments the registry can serve,
+// by name.
+func Environments() map[string]EnvFunc {
+	return map[string]EnvFunc{
+		"bayreuth": cluster.Bayreuth,
+		"modern":   cluster.Modern,
+	}
+}
+
+// ModelKinds lists the model kinds in paper order.
+func ModelKinds() []string { return []string{"analytic", "profile", "empirical"} }
+
+// campaign is the measured state of one (environment, seed): the emulator
+// the campaigns probed and both fitted models. Models are built in NewLab
+// order — profile first, then empirical, on a fresh emulator — so labs
+// assembled from a campaign reproduce NewLab byte-for-byte.
+type campaign struct {
+	once  sync.Once
+	truth *cluster.Hidden
+	em    *cluster.Emulator
+	prof  *perfmodel.Profile
+	emp   *perfmodel.Empirical
+	err   error
+	dur   time.Duration
+}
+
+type campaignKey struct {
+	env  string
+	seed int64
+}
+
+// entry tracks per-ModelKey cache statistics.
+type entry struct {
+	built       bool
+	buildMillis float64
+	hits        int64
+}
+
+// ModelRegistry lazily builds and caches fitted performance models. It is
+// safe for concurrent use; concurrent first requests for the same
+// (environment, seed) run the measurement campaigns exactly once.
+type ModelRegistry struct {
+	profile   profiler.ProfileOptions
+	empirical profiler.EmpiricalOptions
+	envs      map[string]EnvFunc
+
+	mu        sync.Mutex
+	campaigns map[campaignKey]*campaign
+	entries   map[ModelKey]*entry
+	analytic  map[string]*perfmodel.Analytic
+}
+
+// NewModelRegistry builds an empty registry over the standard environments.
+func NewModelRegistry(profile profiler.ProfileOptions, empirical profiler.EmpiricalOptions) *ModelRegistry {
+	return &ModelRegistry{
+		profile:   profile,
+		empirical: empirical,
+		envs:      Environments(),
+		campaigns: make(map[campaignKey]*campaign),
+		entries:   make(map[ModelKey]*entry),
+		analytic:  make(map[string]*perfmodel.Analytic),
+	}
+}
+
+// Environment resolves an environment name to a fresh ground truth.
+func (r *ModelRegistry) Environment(name string) (*cluster.Hidden, error) {
+	mk, ok := r.envs[name]
+	if !ok {
+		return nil, fmt.Errorf("service: unknown environment %q", name)
+	}
+	return mk(), nil
+}
+
+// build runs both campaigns for a (environment, seed), exactly once, and
+// reports whether this call was the one that ran them (callers that merely
+// blocked on another goroutine's build get false).
+func (c *campaign) build(env EnvFunc, seed int64, p profiler.ProfileOptions, e profiler.EmpiricalOptions) bool {
+	ran := false
+	c.once.Do(func() {
+		ran = true
+		start := time.Now()
+		c.truth = env()
+		em, err := cluster.NewEmulator(c.truth, seed)
+		if err != nil {
+			c.err = err
+			return
+		}
+		c.em = em
+		if c.prof, c.err = profiler.BuildProfileModel(em, p); c.err != nil {
+			return
+		}
+		if c.emp, c.err = profiler.BuildEmpiricalModel(em, e); c.err != nil {
+			return
+		}
+		c.dur = time.Since(start)
+	})
+	return ran
+}
+
+// campaignFor returns the measured state of (environment, seed), running
+// the campaigns on first use. The bool reports whether this call ran them.
+func (r *ModelRegistry) campaignFor(env string, seed int64) (*campaign, bool, error) {
+	mk, ok := r.envs[env]
+	if !ok {
+		return nil, false, fmt.Errorf("service: unknown environment %q", env)
+	}
+	key := campaignKey{env: env, seed: seed}
+	r.mu.Lock()
+	c, ok := r.campaigns[key]
+	if !ok {
+		c = &campaign{}
+		r.campaigns[key] = c
+	}
+	r.mu.Unlock()
+	ran := c.build(mk, seed, r.profile, r.empirical)
+	if c.err != nil {
+		return nil, false, c.err
+	}
+	return c, ran, nil
+}
+
+// Campaign returns the measured state of (environment, seed), running the
+// campaigns on first use. The returned values are shared and read-only.
+func (r *ModelRegistry) Campaign(env string, seed int64) (*cluster.Hidden, *cluster.Emulator,
+	*perfmodel.Profile, *perfmodel.Empirical, error) {
+	c, _, err := r.campaignFor(env, seed)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	return c.truth, c.em, c.prof, c.emp, nil
+}
+
+// Get returns the fitted model for a key, building it on first use. The
+// second return reports whether this request was a cache hit (the model
+// had already been requested under the same key).
+func (r *ModelRegistry) Get(key ModelKey) (perfmodel.Model, bool, error) {
+	var model perfmodel.Model
+	var buildMillis float64
+	switch key.Kind {
+	case "analytic":
+		truth, err := r.Environment(key.Environment)
+		if err != nil {
+			return nil, false, err
+		}
+		r.mu.Lock()
+		a, ok := r.analytic[key.Environment]
+		if !ok {
+			a = perfmodel.NewAnalytic(truth.Cluster)
+			r.analytic[key.Environment] = a
+		}
+		r.mu.Unlock()
+		model = a
+	case "profile", "empirical":
+		c, ran, err := r.campaignFor(key.Environment, key.Seed)
+		if err != nil {
+			return nil, false, err
+		}
+		if ran { // only the call that ran the campaigns owns their cost
+			buildMillis = float64(c.dur) / float64(time.Millisecond)
+		}
+		if key.Kind == "profile" {
+			model = c.prof
+		} else {
+			model = c.emp
+		}
+	default:
+		return nil, false, fmt.Errorf("service: unknown model kind %q", key.Kind)
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[key]
+	if !ok {
+		e = &entry{}
+		r.entries[key] = e
+	}
+	hit := e.built
+	if hit {
+		e.hits++
+	} else {
+		e.built = true
+		e.buildMillis = buildMillis
+	}
+	return model, hit, nil
+}
+
+// Models lists the registry contents in a stable order.
+func (r *ModelRegistry) Models() []ModelInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]ModelInfo, 0, len(r.entries))
+	for key, e := range r.entries {
+		out = append(out, ModelInfo{ModelKey: key, BuildMillis: e.buildMillis, Hits: e.hits})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		ka, kb := out[a].ModelKey, out[b].ModelKey
+		if ka.Environment != kb.Environment {
+			return ka.Environment < kb.Environment
+		}
+		if ka.Seed != kb.Seed {
+			return ka.Seed < kb.Seed
+		}
+		return kindOrder(ka.Kind) < kindOrder(kb.Kind)
+	})
+	return out
+}
+
+func kindOrder(kind string) int {
+	for i, k := range ModelKinds() {
+		if k == kind {
+			return i
+		}
+	}
+	return len(ModelKinds())
+}

@@ -1,0 +1,458 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/dag"
+	"repro/internal/experiments"
+	"repro/internal/perfmodel"
+	"repro/internal/profiler"
+	"repro/internal/sched"
+	"repro/internal/simgrid"
+	"repro/internal/tgrid"
+)
+
+// Options configures a Service.
+type Options struct {
+	// Seed is the default measurement-campaign noise seed (DefaultConfig's
+	// when zero).
+	Seed int64
+	// SuiteSeed is the default Table I suite seed for study jobs.
+	SuiteSeed int64
+	// Parallelism bounds each study's cell-engine worker pool (0 = one
+	// worker per CPU).
+	Parallelism int
+	// JobWorkers is the number of concurrent study jobs (default 2).
+	JobWorkers int
+	// QueueCap bounds the pending-job queue (default 16).
+	QueueCap int
+	// Retain is how many finished jobs keep their results (default 64).
+	Retain int
+	// Profile and Empirical configure the fitting campaigns the registry
+	// runs (defaults mirror the paper).
+	Profile   profiler.ProfileOptions
+	Empirical profiler.EmpiricalOptions
+}
+
+// DefaultOptions mirrors the paper's evaluation setup.
+func DefaultOptions() Options {
+	cfg := experiments.DefaultConfig()
+	return Options{
+		Seed:       cfg.NoiseSeed,
+		SuiteSeed:  cfg.SuiteSeed,
+		JobWorkers: 2,
+		QueueCap:   16,
+		Retain:     64,
+		Profile:    cfg.Profile,
+		Empirical:  cfg.Empirical,
+	}
+}
+
+// Service is the scheduling-as-a-service layer: it serves schedule and
+// simulate requests synchronously over registry-cached models, and study
+// runs asynchronously on the job queue. Safe for concurrent use.
+type Service struct {
+	opts     Options
+	registry *ModelRegistry
+	jobs     *JobManager
+
+	labMu sync.Mutex
+	labs  map[labKey]*labEntry
+}
+
+// labKey identifies one assembled lab (one workload × one environment).
+type labKey struct {
+	env       string
+	seed      int64
+	suiteSeed int64
+	trials    int
+}
+
+type labEntry struct {
+	once sync.Once
+	lab  *experiments.Lab
+	err  error
+}
+
+// New assembles a service; fields of opts left zero fall back to defaults.
+func New(opts Options) *Service {
+	def := DefaultOptions()
+	if opts.Seed == 0 {
+		opts.Seed = def.Seed
+	}
+	if opts.SuiteSeed == 0 {
+		opts.SuiteSeed = def.SuiteSeed
+	}
+	if opts.JobWorkers == 0 {
+		opts.JobWorkers = def.JobWorkers
+	}
+	if opts.QueueCap == 0 {
+		opts.QueueCap = def.QueueCap
+	}
+	if opts.Retain == 0 {
+		opts.Retain = def.Retain
+	}
+	if opts.Profile.Sizes == nil {
+		opts.Profile = def.Profile
+	}
+	if opts.Empirical.Sizes == nil {
+		opts.Empirical = def.Empirical
+	}
+	return &Service{
+		opts:     opts,
+		registry: NewModelRegistry(opts.Profile, opts.Empirical),
+		jobs:     NewJobManager(opts.JobWorkers, opts.QueueCap, opts.Retain),
+		labs:     make(map[labKey]*labEntry),
+	}
+}
+
+// Registry exposes the fitted-model registry.
+func (s *Service) Registry() *ModelRegistry { return s.registry }
+
+// Jobs exposes the job manager.
+func (s *Service) Jobs() *JobManager { return s.jobs }
+
+// Close shuts the job queue down, cancelling queued and running jobs.
+func (s *Service) Close(ctx context.Context) error { return s.jobs.Shutdown(ctx) }
+
+// ---------------------------------------------------------------- schedule
+
+// ScheduleRequest asks for a schedule of one DAG.
+type ScheduleRequest struct {
+	// DAG is the application, in the cmd/daggen node/edge-list format.
+	DAG *dag.Graph `json:"dag"`
+	// Algorithm selects the scheduler (default "HCPA"); one of CPA, HCPA,
+	// MCPA, SEQ, DATAPAR.
+	Algorithm string `json:"algorithm,omitempty"`
+	// Model selects the performance model (default "analytic").
+	Model string `json:"model,omitempty"`
+	// Environment selects the modelled environment (default "bayreuth").
+	Environment string `json:"environment,omitempty"`
+	// Seed selects the measurement campaign (0 = the service default).
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// ScheduledTask is one task of a computed schedule.
+type ScheduledTask struct {
+	ID        int     `json:"id"`
+	Name      string  `json:"name"`
+	P         int     `json:"p"`
+	Hosts     []int   `json:"hosts"`
+	EstStart  float64 `json:"est_start"`
+	EstFinish float64 `json:"est_finish"`
+}
+
+// ScheduleResponse is the computed schedule plus the simulated (predicted)
+// makespan under the requested model.
+type ScheduleResponse struct {
+	Algorithm   string `json:"algorithm"`
+	Model       string `json:"model"`
+	Environment string `json:"environment"`
+	Seed        int64  `json:"seed"`
+	// CacheHit reports whether the model came from the registry cache.
+	CacheHit bool `json:"cache_hit"`
+	// EstMakespan is the mapping phase's own estimate; SimMakespan is the
+	// simulator's replay of the schedule under the same model.
+	EstMakespan float64         `json:"est_makespan"`
+	SimMakespan float64         `json:"sim_makespan"`
+	Tasks       []ScheduledTask `json:"tasks"`
+}
+
+// badRequest marks an error as caused by the request itself (unknown
+// names, missing DAG) rather than a server-side failure; the HTTP layer
+// maps it to 400 and everything else to 500.
+type badRequest struct{ err error }
+
+func (b badRequest) Error() string { return b.err.Error() }
+func (b badRequest) Unwrap() error { return b.err }
+
+// IsBadRequest reports whether err was caused by the request itself.
+func IsBadRequest(err error) bool {
+	var b badRequest
+	return errors.As(err, &b)
+}
+
+// normalize fills request defaults and validates the request-supplied
+// names, so every error past this point is a server-side failure.
+func (s *Service) normalize(req *ScheduleRequest) error {
+	if req.DAG == nil || req.DAG.Len() == 0 {
+		return badRequest{fmt.Errorf("service: request has no dag")}
+	}
+	if req.Algorithm == "" {
+		req.Algorithm = "HCPA"
+	}
+	if req.Model == "" {
+		req.Model = "analytic"
+	}
+	validKind := false
+	for _, k := range ModelKinds() {
+		if req.Model == k {
+			validKind = true
+		}
+	}
+	if !validKind {
+		return badRequest{fmt.Errorf("service: unknown model kind %q (want one of %v)", req.Model, ModelKinds())}
+	}
+	if req.Environment == "" {
+		req.Environment = "bayreuth"
+	}
+	if req.Seed == 0 {
+		req.Seed = s.opts.Seed
+	}
+	return nil
+}
+
+// algorithmByName resolves a scheduler name.
+func algorithmByName(name string) (sched.Algorithm, error) {
+	for _, algo := range []sched.Algorithm{
+		sched.CPA{}, sched.HCPA{}, sched.MCPA{}, sched.Sequential{}, sched.DataParallel{},
+	} {
+		if algo.Name() == name {
+			return algo, nil
+		}
+	}
+	return nil, fmt.Errorf("service: unknown algorithm %q", name)
+}
+
+// build resolves a request into a schedule, the model it used and the
+// environment's cluster, pulling the fitted model from the registry.
+func (s *Service) build(req *ScheduleRequest) (*sched.Schedule, perfmodel.Model, *simgrid.Net, bool, error) {
+	if err := s.normalize(req); err != nil {
+		return nil, nil, nil, false, err
+	}
+	algo, err := algorithmByName(req.Algorithm)
+	if err != nil {
+		return nil, nil, nil, false, badRequest{err}
+	}
+	truth, err := s.registry.Environment(req.Environment)
+	if err != nil {
+		return nil, nil, nil, false, badRequest{err}
+	}
+	model, hit, err := s.registry.Get(ModelKey{Environment: req.Environment, Kind: req.Model, Seed: req.Seed})
+	if err != nil {
+		return nil, nil, nil, false, err
+	}
+	c := truth.Cluster
+	cost := perfmodel.CostFunc(model)
+	comm := perfmodel.CommFunc(model, c)
+	var schedule *sched.Schedule
+	if c.IsHomogeneous() {
+		schedule, err = sched.Build(algo, req.DAG, c.Nodes, cost, comm)
+	} else {
+		schedule, err = sched.BuildHetero(algo, req.DAG, c, cost, comm)
+	}
+	if err != nil {
+		return nil, nil, nil, false, err
+	}
+	schedule.Model = req.Model
+	net, err := simgrid.NewNet(c)
+	if err != nil {
+		return nil, nil, nil, false, err
+	}
+	return schedule, model, net, hit, nil
+}
+
+// Schedule computes a schedule and its simulated makespan.
+func (s *Service) Schedule(ctx context.Context, req ScheduleRequest) (*ScheduleResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	schedule, model, net, hit, err := s.build(&req)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := tgrid.Run(net, schedule, tgrid.ModelTiming{Model: model})
+	if err != nil {
+		return nil, err
+	}
+	resp := &ScheduleResponse{
+		Algorithm:   req.Algorithm,
+		Model:       req.Model,
+		Environment: req.Environment,
+		Seed:        req.Seed,
+		CacheHit:    hit,
+		EstMakespan: schedule.EstMakespan(),
+		SimMakespan: sim.Makespan,
+	}
+	for _, id := range schedule.Order() {
+		resp.Tasks = append(resp.Tasks, ScheduledTask{
+			ID:        id,
+			Name:      req.DAG.Task(id).Name,
+			P:         schedule.Alloc[id],
+			Hosts:     schedule.Hosts[id],
+			EstStart:  schedule.EstStart[id],
+			EstFinish: schedule.EstFinish[id],
+		})
+	}
+	return resp, nil
+}
+
+// ---------------------------------------------------------------- simulate
+
+// SimulatedTask is one task of a simulated execution timeline.
+type SimulatedTask struct {
+	ID      int     `json:"id"`
+	Name    string  `json:"name"`
+	P       int     `json:"p"`
+	Hosts   []int   `json:"hosts"`
+	Start   float64 `json:"start"`
+	Finish  float64 `json:"finish"`
+	Startup float64 `json:"startup"`
+}
+
+// SimulateResponse is the simulated timeline of a schedule.
+type SimulateResponse struct {
+	Algorithm   string          `json:"algorithm"`
+	Model       string          `json:"model"`
+	Environment string          `json:"environment"`
+	Seed        int64           `json:"seed"`
+	CacheHit    bool            `json:"cache_hit"`
+	Makespan    float64         `json:"makespan"`
+	Tasks       []SimulatedTask `json:"tasks"`
+}
+
+// Simulate computes a schedule and returns the simulator's full per-task
+// timeline — one of the paper's simulators as a service call.
+func (s *Service) Simulate(ctx context.Context, req ScheduleRequest) (*SimulateResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	schedule, model, net, hit, err := s.build(&req)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := tgrid.Run(net, schedule, tgrid.ModelTiming{Model: model})
+	if err != nil {
+		return nil, err
+	}
+	resp := &SimulateResponse{
+		Algorithm:   req.Algorithm,
+		Model:       req.Model,
+		Environment: req.Environment,
+		Seed:        req.Seed,
+		CacheHit:    hit,
+		Makespan:    sim.Makespan,
+	}
+	for _, id := range schedule.Order() {
+		resp.Tasks = append(resp.Tasks, SimulatedTask{
+			ID:      id,
+			Name:    req.DAG.Task(id).Name,
+			P:       schedule.Alloc[id],
+			Hosts:   schedule.Hosts[id],
+			Start:   sim.TaskStart[id],
+			Finish:  sim.TaskFinish[id],
+			Startup: sim.TaskStartupDur[id],
+		})
+	}
+	return resp, nil
+}
+
+// ------------------------------------------------------------- study jobs
+
+// StudyRequest submits one of the evaluation's studies as an async job.
+type StudyRequest struct {
+	// Study names the artifact, as in cmd/mixedsim: table1, fig1..fig8,
+	// table2, ablation, breakdown, shapes, scaling, sensitivity, straggler,
+	// hetero, environments.
+	Study string `json:"study"`
+	// Environment selects the lab's ground truth for lab-based studies
+	// (default "bayreuth"). Standalone studies (scaling, sensitivity,
+	// straggler, hetero, environments) assemble their own environments and
+	// ignore it.
+	Environment string `json:"environment,omitempty"`
+	// Seed overrides the noise seed (0 = service default).
+	Seed int64 `json:"seed,omitempty"`
+	// SuiteSeed overrides the Table I suite seed (0 = service default).
+	SuiteSeed int64 `json:"suite_seed,omitempty"`
+	// Trials overrides the emulated runs per measured makespan (0 = 1).
+	Trials int `json:"trials,omitempty"`
+}
+
+// StudyNames lists the studies SubmitStudy accepts.
+func StudyNames() []string { return experiments.StudyNames() }
+
+func validStudy(name string) bool {
+	for _, s := range StudyNames() {
+		if s == name {
+			return true
+		}
+	}
+	return false
+}
+
+// config materialises the experiments.Config of a study request.
+func (s *Service) config(req StudyRequest) experiments.Config {
+	cfg := experiments.DefaultConfig()
+	cfg.NoiseSeed = req.Seed
+	if cfg.NoiseSeed == 0 {
+		cfg.NoiseSeed = s.opts.Seed
+	}
+	cfg.SuiteSeed = req.SuiteSeed
+	if cfg.SuiteSeed == 0 {
+		cfg.SuiteSeed = s.opts.SuiteSeed
+	}
+	if req.Trials > 0 {
+		cfg.ExpTrials = req.Trials
+	}
+	cfg.Parallelism = s.opts.Parallelism
+	cfg.Profile = s.opts.Profile
+	cfg.Empirical = s.opts.Empirical
+	return cfg
+}
+
+// lab returns the lazily assembled lab for a study request, reusing the
+// registry's fitted models: the campaigns run once per (environment, seed)
+// no matter how many labs and requests share them.
+func (s *Service) lab(env string, cfg experiments.Config) (*experiments.Lab, error) {
+	key := labKey{env: env, seed: cfg.NoiseSeed, suiteSeed: cfg.SuiteSeed, trials: cfg.ExpTrials}
+	s.labMu.Lock()
+	e, ok := s.labs[key]
+	if !ok {
+		e = &labEntry{}
+		s.labs[key] = e
+	}
+	s.labMu.Unlock()
+	e.once.Do(func() {
+		truth, em, prof, emp, err := s.registry.Campaign(env, cfg.NoiseSeed)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.lab, e.err = experiments.AssembleLab(cfg, truth, em, prof, emp)
+	})
+	return e.lab, e.err
+}
+
+// SubmitStudy queues a study run and returns its job status.
+func (s *Service) SubmitStudy(req StudyRequest) (JobStatus, error) {
+	if !validStudy(req.Study) {
+		return JobStatus{}, badRequest{fmt.Errorf("service: unknown study %q (want one of %v)", req.Study, StudyNames())}
+	}
+	if req.Environment == "" {
+		req.Environment = "bayreuth"
+	}
+	if _, err := s.registry.Environment(req.Environment); err != nil {
+		return JobStatus{}, badRequest{err}
+	}
+	return s.jobs.Submit(req.Study, func(ctx context.Context) (string, error) {
+		return s.RunStudy(ctx, req)
+	})
+}
+
+// RunStudy executes one study synchronously and returns the rendered
+// report, byte-identical to cmd/mixedsim's output for the same seeds (both
+// render through experiments.RenderStudy; only the lab's provenance
+// differs — the service assembles its labs from registry-cached fits).
+func (s *Service) RunStudy(ctx context.Context, req StudyRequest) (string, error) {
+	cfg := s.config(req)
+	labFn := func() (*experiments.Lab, error) { return s.lab(req.Environment, cfg) }
+	var buf bytes.Buffer
+	if err := experiments.RenderStudy(ctx, req.Study, cfg, labFn, &buf); err != nil {
+		return "", err
+	}
+	return buf.String(), nil
+}

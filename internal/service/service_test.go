@@ -1,0 +1,358 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dag"
+	"repro/internal/experiments"
+)
+
+func testDAG(t *testing.T) *dag.Graph {
+	t.Helper()
+	g, err := dag.Generate(dag.GenParams{
+		Tasks: 8, InputMatrices: 4, AddRatio: 0.5, N: 2000, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestRegistryFitsEachModelOnce(t *testing.T) {
+	opts := DefaultOptions()
+	r := NewModelRegistry(opts.Profile, opts.Empirical)
+	key := ModelKey{Environment: "bayreuth", Kind: "empirical", Seed: 42}
+
+	first, hit, err := r.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("first Get reported a cache hit")
+	}
+	second, hit, err := r.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Error("second Get was not a cache hit")
+	}
+	if first != second {
+		t.Error("second Get returned a different model instance: the fit was rebuilt")
+	}
+
+	// The profile model shares the campaign: requesting it must not re-run
+	// anything, and it must be the same instance on repeat requests.
+	p1, _, err := r.Get(ModelKey{Environment: "bayreuth", Kind: "profile", Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, hit, err := r.Get(ModelKey{Environment: "bayreuth", Kind: "profile", Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit || p1 != p2 {
+		t.Error("profile model was rebuilt on repeat request")
+	}
+
+	infos := r.Models()
+	if len(infos) != 2 {
+		t.Fatalf("registry lists %d entries, want 2: %+v", len(infos), infos)
+	}
+	for _, info := range infos {
+		if info.Hits != 1 {
+			t.Errorf("%s: hits = %d, want 1", info.Kind, info.Hits)
+		}
+	}
+}
+
+func TestRegistryConcurrentFirstRequestsBuildOnce(t *testing.T) {
+	opts := DefaultOptions()
+	r := NewModelRegistry(opts.Profile, opts.Empirical)
+	key := ModelKey{Environment: "bayreuth", Kind: "empirical", Seed: 7}
+
+	const callers = 8
+	models := make([]any, callers)
+	hits := make([]bool, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m, hit, err := r.Get(key)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			models[i] = m
+			hits[i] = hit
+		}(i)
+	}
+	wg.Wait()
+
+	misses := 0
+	for i := 1; i < callers; i++ {
+		if models[i] != models[0] {
+			t.Fatalf("caller %d got a different model instance", i)
+		}
+	}
+	for _, h := range hits {
+		if !h {
+			misses++
+		}
+	}
+	if misses != 1 {
+		t.Errorf("%d cache misses across %d concurrent first requests, want exactly 1", misses, callers)
+	}
+}
+
+func TestServiceScheduleMatchesDirectPipeline(t *testing.T) {
+	svc := New(DefaultOptions())
+	defer svc.Close(context.Background())
+	g := testDAG(t)
+
+	resp, err := svc.Schedule(context.Background(), ScheduleRequest{DAG: g, Algorithm: "MCPA", Model: "analytic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.SimMakespan <= 0 || resp.EstMakespan <= 0 {
+		t.Fatalf("non-positive makespans: %+v", resp)
+	}
+	if len(resp.Tasks) != g.Len() {
+		t.Fatalf("schedule has %d tasks, want %d", len(resp.Tasks), g.Len())
+	}
+
+	sim, err := svc.Simulate(context.Background(), ScheduleRequest{DAG: g, Algorithm: "MCPA", Model: "analytic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Makespan != resp.SimMakespan {
+		t.Errorf("simulate makespan %g != schedule's predicted %g", sim.Makespan, resp.SimMakespan)
+	}
+}
+
+// TestStudyJobMatchesNewLab pins the registry's fit-once path to the
+// reference pipeline: a study run through the service must be byte-identical
+// to the same study on a NewLab-built lab (which runs its own campaigns).
+func TestStudyJobMatchesNewLab(t *testing.T) {
+	svc := New(DefaultOptions())
+	defer svc.Close(context.Background())
+
+	got, err := svc.RunStudy(context.Background(), StudyRequest{Study: "fig3", Environment: "bayreuth"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lab, err := experiments.NewLab(experiments.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig3, err := lab.Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	fig3.Write(&want)
+
+	if got != want.String() {
+		t.Errorf("service study output differs from NewLab's:\n--- service ---\n%s\n--- NewLab ---\n%s", got, want.String())
+	}
+}
+
+func TestHTTPScheduleRoundTripAndCacheHit(t *testing.T) {
+	svc := New(DefaultOptions())
+	defer svc.Close(context.Background())
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	client := NewClient(srv.URL)
+	ctx := context.Background()
+
+	if err := client.Health(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	req := ScheduleRequest{DAG: testDAG(t), Algorithm: "HCPA", Model: "empirical"}
+	first, err := client.Schedule(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheHit {
+		t.Error("first request reported a cache hit")
+	}
+	second, err := client.Schedule(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.CacheHit {
+		t.Error("second identical request missed the registry cache")
+	}
+	if first.SimMakespan != second.SimMakespan {
+		t.Errorf("cached model predicts %g, first prediction was %g", second.SimMakespan, first.SimMakespan)
+	}
+
+	models, err := client.Models(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range models {
+		if m.Kind == "empirical" && m.Environment == "bayreuth" {
+			found = true
+			if m.Hits < 1 {
+				t.Errorf("empirical model hits = %d, want >= 1", m.Hits)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("empirical/bayreuth missing from /v1/models: %+v", models)
+	}
+}
+
+func TestHTTPConcurrentScheduleRequests(t *testing.T) {
+	svc := New(DefaultOptions())
+	defer svc.Close(context.Background())
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	client := NewClient(srv.URL)
+	g := testDAG(t)
+
+	const callers = 8
+	makespans := make([]float64, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := client.Schedule(context.Background(),
+				ScheduleRequest{DAG: g, Algorithm: "HCPA", Model: "empirical"})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			makespans[i] = resp.SimMakespan
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if makespans[i] != makespans[0] {
+			t.Fatalf("caller %d predicted %g, caller 0 predicted %g: model not shared",
+				i, makespans[i], makespans[0])
+		}
+	}
+}
+
+func TestHTTPJobLifecycle(t *testing.T) {
+	svc := New(DefaultOptions())
+	defer svc.Close(context.Background())
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	client := NewClient(srv.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	job, err := client.SubmitStudy(ctx, StudyRequest{Study: "table1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != JobQueued {
+		t.Errorf("submitted state = %s, want queued", job.State)
+	}
+	done, err := client.WaitJob(ctx, job.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.State != JobDone {
+		t.Fatalf("job ended %s (%s), want done", done.State, done.Error)
+	}
+	if !strings.Contains(done.Output, "Table I") {
+		t.Errorf("job output missing Table I header:\n%s", done.Output)
+	}
+
+	list, err := client.Jobs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].ID != job.ID {
+		t.Errorf("job list = %+v, want just %s", list, job.ID)
+	}
+
+	if _, err := client.Job(ctx, "job-999"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Errorf("missing job: err = %v, want HTTP 404", err)
+	}
+	if _, err := client.SubmitStudy(ctx, StudyRequest{Study: "figure-nine"}); err == nil {
+		t.Error("unknown study accepted")
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	svc := New(DefaultOptions())
+	defer svc.Close(context.Background())
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	client := NewClient(srv.URL)
+	ctx := context.Background()
+	g := testDAG(t)
+
+	cases := []ScheduleRequest{
+		{},                                  // no DAG
+		{DAG: g, Algorithm: "SJF"},          // unknown algorithm
+		{DAG: g, Model: "oracular"},         // unknown model
+		{DAG: g, Environment: "perlmutter"}, // unknown environment
+	}
+	for i, req := range cases {
+		if _, err := client.Schedule(ctx, req); err == nil {
+			t.Errorf("case %d: bad request accepted", i)
+		}
+	}
+}
+
+func TestServiceShutdownCancelsInFlightStudy(t *testing.T) {
+	opts := DefaultOptions()
+	opts.JobWorkers = 1
+	opts.QueueCap = 4
+	svc := New(opts)
+
+	// A slow suite-wide study plus queued followers.
+	running, err := svc.SubmitStudy(StudyRequest{Study: "fig8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := svc.SubmitStudy(StudyRequest{Study: "fig1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Give the worker a moment to pick the first job up, then shut down.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		status, _ := svc.Jobs().Get(running.ID)
+		if status.State == JobRunning || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := svc.Close(ctx); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	for _, id := range []string{running.ID, queued.ID} {
+		status, ok := svc.Jobs().Get(id)
+		if !ok {
+			t.Fatalf("job %s evicted during shutdown", id)
+		}
+		if status.State != JobCancelled && status.State != JobDone {
+			t.Errorf("job %s ended %s, want cancelled (or done if it won the race)", id, status.State)
+		}
+		if status.State == JobCancelled && status.Output != "" {
+			t.Errorf("cancelled job %s retained output", id)
+		}
+	}
+}

@@ -27,7 +27,11 @@
 //     cells executed on a bounded worker pool with deterministic per-cell
 //     noise seeding, so reports are byte-identical for every worker count;
 //     Config.Parallelism (and the commands' -parallel flag) bounds the
-//     pool.
+//     pool;
+//   - a scheduling service (internal/service, served by cmd/reprosrv):
+//     a registry that fits the measured models once per (environment, seed)
+//     and reuses them across concurrent schedule/simulate requests, plus a
+//     bounded job queue running whole studies asynchronously.
 //
 // The quickest entry points:
 //
@@ -35,8 +39,8 @@
 //	fig1, _ := lab.CompareHCPAMCPA("analytic", 2000)
 //	fig1.Write(os.Stdout)
 //
-// See README.md for the architecture overview and EXPERIMENTS.md for
-// paper-vs-measured results.
+// See README.md for the architecture overview, docs/PAPER_MAP.md for the
+// paper-section-to-code map, and docs/SERVICE.md for the HTTP API.
 package repro
 
 import (
@@ -46,6 +50,7 @@ import (
 	"repro/internal/perfmodel"
 	"repro/internal/platform"
 	"repro/internal/sched"
+	"repro/internal/service"
 	"repro/internal/simgrid"
 	"repro/internal/tgrid"
 )
@@ -71,6 +76,35 @@ type (
 	// Config selects the evaluation's seeds and measurement effort.
 	Config = experiments.Config
 )
+
+// Service-layer types (internal/service, served over HTTP by cmd/reprosrv).
+type (
+	// Service is the scheduling-as-a-service layer: registry-cached fitted
+	// models, synchronous schedule/simulate calls, async study jobs.
+	Service = service.Service
+	// ServiceOptions configures a Service.
+	ServiceOptions = service.Options
+	// ServiceClient is the typed HTTP client for a reprosrv daemon.
+	ServiceClient = service.Client
+	// ScheduleRequest asks the service to schedule one DAG.
+	ScheduleRequest = service.ScheduleRequest
+	// StudyRequest submits an evaluation study as an async job.
+	StudyRequest = service.StudyRequest
+	// JobStatus is the externally visible record of a queued study run.
+	JobStatus = service.JobStatus
+	// ModelRegistry lazily builds and caches fitted performance models.
+	ModelRegistry = service.ModelRegistry
+)
+
+// NewService assembles the scheduling service; zero fields of opts fall
+// back to DefaultServiceOptions.
+func NewService(opts ServiceOptions) *Service { return service.New(opts) }
+
+// DefaultServiceOptions mirrors the paper's evaluation setup.
+func DefaultServiceOptions() ServiceOptions { return service.DefaultOptions() }
+
+// NewServiceClient returns a typed client for a reprosrv base URL.
+func NewServiceClient(base string) *ServiceClient { return service.NewClient(base) }
 
 // GenerateDAG runs the paper's random-DAG generator.
 func GenerateDAG(p GenParams) (*Graph, error) { return dag.Generate(p) }
