@@ -1,13 +1,16 @@
 // Command mixedsim reproduces the paper's evaluation: it assembles the
 // emulated Bayreuth environment, runs the profiling campaigns, pushes the
 // 54-DAG suite through the three simulators and the emulated cluster, and
-// prints any (or all) of the paper's tables and figures.
+// prints any (or all) of the paper's tables and figures. With -campaign it
+// instead executes a declarative what-if sweep (docs/CAMPAIGNS.md) over
+// hypothetical platforms, workloads, algorithms and models.
 //
 // Usage:
 //
 //	mixedsim -experiment all
 //	mixedsim -experiment fig1            # analytic sim vs experiment
 //	mixedsim -experiment fig8 -seed 7    # error boxplots, different noise
+//	mixedsim -campaign spec.json         # declarative §IX what-if sweep
 //
 // Experiments: table1, fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8,
 // table2, all.
@@ -15,6 +18,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -22,19 +26,22 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/campaign"
 	"repro/internal/experiments"
+	"repro/internal/service"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mixedsim: ")
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run (table1, fig1..fig8, table2, ablation, scaling, all)")
-		suiteSeed  = flag.Int64("suite-seed", 2011, "seed for the 54-DAG suite")
-		noiseSeed  = flag.Int64("seed", 42, "seed for the environment's run-to-run noise")
-		trials     = flag.Int("trials", 1, "emulated cluster runs averaged per measured makespan")
-		parallel   = flag.Int("parallel", 0, "study-execution worker pool size (0 = one per CPU); output is identical for every value")
-		jsonPath   = flag.String("json", "", "additionally write the full machine-readable report to this path")
+		experiment   = flag.String("experiment", "all", "which experiment to run (table1, fig1..fig8, table2, ablation, scaling, all)")
+		campaignPath = flag.String("campaign", "", "run the campaign spec (JSON) at this path instead of an experiment")
+		suiteSeed    = flag.Int64("suite-seed", 2011, "seed for the 54-DAG suite")
+		noiseSeed    = flag.Int64("seed", 42, "seed for the environment's run-to-run noise")
+		trials       = flag.Int("trials", 1, "emulated cluster runs averaged per measured makespan")
+		parallel     = flag.Int("parallel", 0, "study-execution worker pool size (0 = one per CPU); output is identical for every value")
+		jsonPath     = flag.String("json", "", "additionally write the full machine-readable report to this path")
 	)
 	flag.Parse()
 
@@ -43,6 +50,18 @@ func main() {
 	cfg.NoiseSeed = *noiseSeed
 	cfg.ExpTrials = *trials
 	cfg.Parallelism = *parallel
+
+	if *campaignPath != "" {
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "experiment" || f.Name == "json" {
+				log.Fatalf("-%s is not supported in -campaign mode", f.Name)
+			}
+		})
+		if err := runCampaign(*campaignPath, cfg, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	lab, err := experiments.NewLab(cfg)
 	if err != nil {
@@ -83,6 +102,36 @@ func main() {
 		}
 		fmt.Fprintln(w, "wrote", *jsonPath)
 	}
+}
+
+// runCampaign loads a declarative what-if spec and sweeps it against a
+// fresh fit-once registry; the CLI flags supply the spec's seed defaults.
+func runCampaign(path string, cfg experiments.Config, w io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var spec campaign.Spec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return fmt.Errorf("campaign spec %s: %w", path, err)
+	}
+	if spec.Seed == 0 {
+		spec.Seed = cfg.NoiseSeed
+	}
+	if len(spec.Workloads.SuiteSeeds) == 0 {
+		spec.Workloads.SuiteSeeds = []int64{cfg.SuiteSeed}
+	}
+	if spec.Trials == 0 && cfg.ExpTrials > 1 {
+		spec.Trials = cfg.ExpTrials
+	}
+	reg := service.NewModelRegistry(cfg.Profile, cfg.Empirical)
+	eng := campaign.Engine{Source: reg, Workers: cfg.Parallelism}
+	res, err := eng.Run(context.Background(), spec)
+	if err != nil {
+		return err
+	}
+	res.Write(w)
+	return nil
 }
 
 func separator(w io.Writer) {

@@ -2,16 +2,20 @@
 // scheduling and simulation requests are answered synchronously over
 // registry-cached performance models (fitted once per environment and seed,
 // reused across all requests — the paper's §VI/§VII measurement economics),
-// and whole studies (fig1…table2, ablation, …) run asynchronously on a
-// bounded job queue.
+// whole studies (fig1…table2, ablation, …) run asynchronously on a bounded
+// job queue, and declarative what-if campaigns (POST /v1/campaigns) sweep
+// hypothetical platforms, workloads, algorithms and models over the same
+// fit-once registry.
 //
 // Usage:
 //
 //	reprosrv -addr :8080
 //	curl localhost:8080/healthz
 //	curl -X POST localhost:8080/v1/schedule -d @request.json
+//	curl -X POST localhost:8080/v1/campaigns -d @campaign.json
 //
-// See docs/SERVICE.md for the API reference and a walkthrough.
+// See docs/SERVICE.md for the API reference and a walkthrough, and
+// docs/CAMPAIGNS.md for the campaign spec schema.
 package main
 
 import (

@@ -1,0 +1,79 @@
+package repro
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestMarkdownLinks checks every relative link in README.md and docs/*.md:
+// the referenced file or directory must exist in the repository, so the
+// documentation cannot drift ahead of (or behind) the tree. External links
+// and pure anchors are skipped. CI runs this as the docs job's link gate.
+func TestMarkdownLinks(t *testing.T) {
+	files := []string{"README.md"}
+	docs, err := filepath.Glob("docs/*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	files = append(files, docs...)
+	if len(files) < 2 {
+		t.Fatalf("found only %v; the docs tree moved?", files)
+	}
+
+	linkRe := regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			target, _, _ = strings.Cut(target, "#")
+			if target == "" {
+				continue // pure in-page anchor
+			}
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s links to %s, which does not exist (%v)", file, m[1], err)
+			}
+		}
+	}
+}
+
+// TestMarkdownFileReferences spot-checks that the paths the README and docs
+// name in backtick code spans still exist — the references most likely to
+// rot when packages move.
+func TestMarkdownFileReferences(t *testing.T) {
+	files := []string{"README.md"}
+	docs, err := filepath.Glob("docs/*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	files = append(files, docs...)
+
+	// Backtick spans that look like in-repo paths: start with a known
+	// top-level directory and contain a slash. A trailing ".Symbol" marks a
+	// Go identifier qualified by its package path (`internal/service.Client`)
+	// — strip it and check the package directory instead.
+	refRe := regexp.MustCompile("`((?:internal|cmd|examples|docs)/[A-Za-z0-9_./-]+)`")
+	symRe := regexp.MustCompile(`\.[A-Z][A-Za-z0-9_]*$`)
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range refRe.FindAllStringSubmatch(string(data), -1) {
+			path := symRe.ReplaceAllString(m[1], "")
+			if _, err := os.Stat(path); err != nil {
+				t.Errorf("%s references `%s`, which does not exist", file, m[1])
+			}
+		}
+	}
+}

@@ -1,0 +1,341 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/dag"
+	"repro/internal/experiments"
+	"repro/internal/perfmodel"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/simgrid"
+	"repro/internal/stats"
+	"repro/internal/tgrid"
+)
+
+// ModelSource is the fit-once model registry the engine executes against
+// (service.ModelRegistry implements it). Derived platforms are registered
+// under deterministic names, so every campaign — and every schedule request
+// outside campaigns — shares one fitted model per (platform, kind, seed).
+type ModelSource interface {
+	// Environment resolves an environment name to a fresh ground truth.
+	Environment(name string) (*cluster.Hidden, error)
+	// RegisterEnv adds a derived environment; first registration of a
+	// name wins.
+	RegisterEnv(name string, mk func() *cluster.Hidden) error
+	// GetModel returns the fitted model for (env, kind, seed), building it
+	// on first use; the bool reports a cache hit.
+	GetModel(env, kind string, seed int64) (perfmodel.Model, bool, error)
+}
+
+// Engine executes campaign plans: it derives the platform points from the
+// base environment, pulls each run's model from the fit-once registry, and
+// scores every grid cell's suite on the experiments worker pool with
+// deterministic per-cell noise sessions.
+type Engine struct {
+	// Source supplies ground truths and registry-cached fitted models.
+	Source ModelSource
+	// Workers bounds the cell-engine worker pool (<= 0: one per CPU).
+	// Reports are byte-identical for every value.
+	Workers int
+}
+
+// AlgoScore summarises one algorithm over one grid cell's suite.
+type AlgoScore struct {
+	Algorithm string
+	// MedianExp is the median measured makespan in seconds.
+	MedianExp float64
+	// MedianErrPct, P90ErrPct and P99ErrPct summarise the simulation
+	// error |exp−sim|/sim (stats.SimErrPct, Figure 8's metric — normalised
+	// by the simulated makespan) over the cell's instances.
+	MedianErrPct, P90ErrPct, P99ErrPct float64
+}
+
+// PairScore summarises one algorithm pair over one grid cell — the §V
+// question of whether simulation picks the experimentally better algorithm.
+type PairScore struct {
+	A, B string
+	// Flips counts instances where the simulated winner differs from the
+	// measured winner; Total is the instance count.
+	Flips, Total int
+	// KendallTau is the rank correlation between simulated and measured
+	// relative makespan differences.
+	KendallTau float64
+	// MedianSimRatio and MedianExpRatio are the median makespan ratios
+	// B/A under simulation and experiment.
+	MedianSimRatio, MedianExpRatio float64
+}
+
+// CellScore is the outcome of one (platform, workload, model) grid cell.
+type CellScore struct {
+	Platform  PlatformPoint
+	Workload  WorkloadPoint
+	Model     string
+	Instances int
+	Algos     []AlgoScore
+	Pairs     []PairScore
+}
+
+// Result is a completed campaign: the expanded plan plus every cell's
+// scores. Write renders the deterministic report.
+type Result struct {
+	Plan  *Plan
+	Cells []CellScore
+	// FitsReused counts the runs whose registry lookup was a cache hit —
+	// the fit-once/reuse-many economics of the sweep. It reflects the
+	// registry's state when the campaign ran and is deliberately kept out
+	// of the rendered report.
+	FitsReused int
+}
+
+// Run expands, validates and executes a campaign.
+func (e *Engine) Run(ctx context.Context, spec Spec) (*Result, error) {
+	plan, err := spec.Plan()
+	if err != nil {
+		return nil, err
+	}
+	if e.Source == nil {
+		return nil, fmt.Errorf("campaign: engine has no model source")
+	}
+	base, err := e.Source.Environment(plan.Spec.Platforms.Base)
+	if err != nil {
+		return nil, err
+	}
+	// Canonicalise explicit base-size points (nodes == the base platform's
+	// size) to the identity point, so they share the base environment's
+	// cached fits instead of refitting a byte-identical derived platform.
+	seenEnv := map[string]bool{}
+	for i, pt := range plan.Platforms {
+		if pt.Nodes == base.Cluster.Nodes {
+			pt.Nodes = 0
+			pt.Env = pt.envName(plan.Spec.Platforms.Base)
+			plan.Platforms[i] = pt
+		}
+		if seenEnv[pt.Env] {
+			return nil, fmt.Errorf("campaign: platforms.nodes lists both 0 and the base size %d — the same platform twice", base.Cluster.Nodes)
+		}
+		seenEnv[pt.Env] = true
+	}
+	for _, pt := range plan.Platforms {
+		if pt.Env == plan.Spec.Platforms.Base {
+			continue
+		}
+		derived := deriveHidden(base, pt)
+		if err := e.Source.RegisterEnv(pt.Env, func() *cluster.Hidden {
+			h := *derived
+			return &h
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{Plan: plan}
+	for _, pt := range plan.Platforms {
+		truth, err := e.Source.Environment(pt.Env)
+		if err != nil {
+			return nil, err
+		}
+		em, err := cluster.NewEmulator(truth, plan.Spec.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: platform %s: %w", pt.Env, err)
+		}
+		net, err := simgrid.NewNet(truth.Cluster)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: platform %s: %w", pt.Env, err)
+		}
+		for _, wp := range plan.Workloads {
+			suite, err := dag.GenerateSuite(wp.SuiteSeed)
+			if err != nil {
+				return nil, err
+			}
+			suite = filterSizes(suite, wp.Sizes)
+			if len(suite) == 0 {
+				return nil, fmt.Errorf("campaign: workload %s selects no suite instances", wp.key())
+			}
+			for _, kind := range plan.Models {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				// One registry lookup per run (cell × algorithm): the
+				// lookups after the first are cache hits by construction,
+				// which keeps the fit-once/reuse-many economics visible on
+				// the registry's counters even within a single campaign.
+				var model perfmodel.Model
+				for range plan.Algorithms {
+					m, hit, err := e.Source.GetModel(pt.Env, kind, plan.Spec.Seed)
+					if err != nil {
+						return nil, fmt.Errorf("campaign: fit %s/%s: %w", pt.Env, kind, err)
+					}
+					model = m
+					if hit {
+						res.FitsReused++
+					}
+				}
+				cell, err := e.runCell(ctx, plan, pt, wp, kind, truth, em, net, suite, model)
+				if err != nil {
+					return nil, err
+				}
+				res.Cells = append(res.Cells, cell)
+			}
+		}
+	}
+	return res, nil
+}
+
+// runCell scores one grid cell: every suite instance is one engine cell
+// that schedules all axis algorithms, simulates them under the cell's model
+// and measures them on its private deterministic noise session.
+func (e *Engine) runCell(ctx context.Context, plan *Plan, pt PlatformPoint, wp WorkloadPoint,
+	kind string, truth *cluster.Hidden, em *cluster.Emulator, net *simgrid.Net,
+	suite []dag.SuiteInstance, model perfmodel.Model) (CellScore, error) {
+
+	algos := plan.Algorithms
+	cost := perfmodel.CostFunc(model)
+	comm := perfmodel.CommFunc(model, truth.Cluster)
+	study := "campaign/" + pt.Env + "/" + wp.key() + "/" + kind
+
+	type cellOut struct{ sim, exp []float64 }
+	outs := make([]cellOut, len(suite))
+	runner := experiments.Runner{Workers: e.Workers, Seed: plan.Spec.Seed, Em: em, Ctx: ctx}
+	err := runner.Run(study, len(suite), func(i int, sess *cluster.Session) error {
+		o := cellOut{sim: make([]float64, len(algos)), exp: make([]float64, len(algos))}
+		for ai, name := range algos {
+			s, err := buildSchedule(name, suite[i].Graph, truth.Cluster, cost, comm)
+			if err != nil {
+				return fmt.Errorf("campaign: %s: %s on %s: %w", study, name, suite[i].Params.Name(), err)
+			}
+			s.Model = kind
+			simRes, err := tgrid.Run(net, s, tgrid.ModelTiming{Model: model})
+			if err != nil {
+				return fmt.Errorf("campaign: simulate %s: %s on %s: %w", study, name, suite[i].Params.Name(), err)
+			}
+			exp, err := sess.MeasureMakespan(s, plan.Spec.Trials)
+			if err != nil {
+				return fmt.Errorf("campaign: execute %s: %s on %s: %w", study, name, suite[i].Params.Name(), err)
+			}
+			o.sim[ai], o.exp[ai] = simRes.Makespan, exp
+		}
+		outs[i] = o
+		return nil
+	})
+	if err != nil {
+		return CellScore{}, err
+	}
+
+	cell := CellScore{Platform: pt, Workload: wp, Model: kind, Instances: len(suite)}
+	for ai, name := range algos {
+		exps := make([]float64, len(suite))
+		errs := make([]float64, len(suite))
+		for i, o := range outs {
+			exps[i] = o.exp[ai]
+			errs[i] = stats.SimErrPct(o.sim[ai], o.exp[ai])
+		}
+		cell.Algos = append(cell.Algos, AlgoScore{
+			Algorithm:    name,
+			MedianExp:    stats.Median(exps),
+			MedianErrPct: stats.Median(errs),
+			P90ErrPct:    stats.Quantile(errs, 0.90),
+			P99ErrPct:    stats.Quantile(errs, 0.99),
+		})
+	}
+	for ai := 0; ai < len(algos); ai++ {
+		for bi := ai + 1; bi < len(algos); bi++ {
+			simRels := make([]float64, len(suite))
+			expRels := make([]float64, len(suite))
+			simRatios := make([]float64, len(suite))
+			expRatios := make([]float64, len(suite))
+			for i, o := range outs {
+				simRels[i] = stats.RelDiff(o.sim[ai], o.sim[bi])
+				expRels[i] = stats.RelDiff(o.exp[ai], o.exp[bi])
+				simRatios[i] = o.sim[bi] / o.sim[ai]
+				expRatios[i] = o.exp[bi] / o.exp[ai]
+			}
+			cell.Pairs = append(cell.Pairs, PairScore{
+				A:              algos[ai],
+				B:              algos[bi],
+				Flips:          stats.CountDisagreements(simRels, expRels, 0),
+				Total:          len(suite),
+				KendallTau:     stats.KendallTau(simRels, expRels),
+				MedianSimRatio: stats.Median(simRatios),
+				MedianExpRatio: stats.Median(expRatios),
+			})
+		}
+	}
+	return cell, nil
+}
+
+// deriveHidden builds the ground truth of a derived platform point: the
+// base environment's hidden performance curves over a transformed cluster.
+// The environment's idiosyncrasies (inefficiencies, outliers, overhead
+// trends, noise) carry over unchanged — exactly the §IX scenario of scaling
+// a validated environment model to a hypothetical platform.
+func deriveHidden(base *cluster.Hidden, pt PlatformPoint) *cluster.Hidden {
+	h := *base
+	c := h.Cluster
+	if pt.Nodes > 0 && pt.Nodes != c.Nodes {
+		c = c.Scaled(pt.Nodes)
+	}
+	if pt.BandwidthScale != 1 {
+		c.LinkBandwidth *= pt.BandwidthScale
+	}
+	if pt.LatencyScale != 1 {
+		c.LinkLatency *= pt.LatencyScale
+	}
+	if pt.SpeedRatio != 1 {
+		powers := make([]float64, c.Nodes)
+		for i := range powers {
+			powers[i] = c.NodePower
+			if i >= c.Nodes/2 {
+				powers[i] = c.NodePower * pt.SpeedRatio
+			}
+		}
+		hc := platform.NewHeterogeneous(pt.Env, powers, c.LinkBandwidth, c.LinkLatency)
+		hc.BackplaneBandwidth = c.BackplaneBandwidth
+		c = hc
+	}
+	c.Name = pt.Env
+	h.Cluster = c
+	return &h
+}
+
+// buildSchedule dispatches one algorithm-axis run: MHEFT is a one-phase
+// scheduler with its own builder; the CPA family and baselines go through
+// the shared two-phase build, heterogeneous-mapping when the platform is.
+func buildSchedule(name string, g *dag.Graph, c platform.Cluster, cost dag.CostFunc, comm dag.CommFunc) (*sched.Schedule, error) {
+	if name == "MHEFT" {
+		return sched.MHEFT{}.Build(g, c.Nodes, cost, comm)
+	}
+	var algo sched.Algorithm
+	switch name {
+	case "CPA":
+		algo = sched.CPA{}
+	case "HCPA":
+		algo = sched.HCPA{}
+	case "MCPA":
+		algo = sched.MCPA{}
+	case "SEQ":
+		algo = sched.Sequential{}
+	case "DATAPAR":
+		algo = sched.DataParallel{}
+	default:
+		return nil, fmt.Errorf("campaign: unknown algorithm %q", name)
+	}
+	if c.IsHomogeneous() {
+		return sched.Build(algo, g, c.Nodes, cost, comm)
+	}
+	return sched.BuildHetero(algo, g, c, cost, comm)
+}
+
+// filterSizes restricts a suite to the given matrix sizes (nil: keep all).
+func filterSizes(suite []dag.SuiteInstance, sizes []int) []dag.SuiteInstance {
+	if len(sizes) == 0 {
+		return suite
+	}
+	var out []dag.SuiteInstance
+	for _, n := range sizes {
+		out = append(out, dag.FilterBySize(suite, n)...)
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package campaign_test
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/profiler"
+	"repro/internal/service"
+)
+
+// newEngine pairs a fresh fit-once registry with a campaign engine.
+func newEngine(workers int) campaign.Engine {
+	reg := service.NewModelRegistry(profiler.DefaultProfileOptions(), profiler.DefaultEmpiricalOptions())
+	return campaign.Engine{Source: reg, Workers: workers}
+}
+
+// testSpec is the acceptance-criterion grid: 4 platform scales × 2
+// algorithms × 2 models over the n=2000 half of the suite.
+func testSpec() campaign.Spec {
+	return campaign.Spec{
+		Name:       "engine-test",
+		Platforms:  campaign.PlatformAxis{Base: "bayreuth", Nodes: []int{6, 8, 12, 16}},
+		Workloads:  campaign.WorkloadAxis{Sizes: []int{2000}},
+		Algorithms: []string{"HCPA", "MCPA"},
+		Models:     []string{"analytic", "empirical"},
+	}
+}
+
+// TestCampaignDeterministicAcrossWorkerCounts pins the acceptance
+// criterion: the rendered report is byte-identical at workers=1 and
+// workers=8, each on a fresh registry.
+func TestCampaignDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) (string, int) {
+		eng := newEngine(workers)
+		res, err := eng.Run(context.Background(), testSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		res.Write(&buf)
+		return buf.String(), res.FitsReused
+	}
+	serial, serialReused := run(1)
+	parallel, parallelReused := run(8)
+	if serial != parallel {
+		t.Errorf("campaign report differs between workers=1 and workers=8:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial, parallel)
+	}
+	if serialReused != parallelReused {
+		t.Errorf("fits reused: %d at workers=1, %d at workers=8", serialReused, parallelReused)
+	}
+	if serialReused == 0 {
+		t.Error("campaign reused no registry-cached fits; every run refitted its model")
+	}
+}
+
+// TestCampaignReusesFitsWithinOneGrid checks the registry economics: each
+// (platform, model) pair is fitted once, and every further run of the grid
+// is a cache hit — visible on the registry's hit counters.
+func TestCampaignReusesFitsWithinOneGrid(t *testing.T) {
+	reg := service.NewModelRegistry(profiler.DefaultProfileOptions(), profiler.DefaultEmpiricalOptions())
+	eng := campaign.Engine{Source: reg, Workers: 4}
+	res, err := eng.Run(context.Background(), testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 platforms × 1 workload × 2 models × 2 algorithms = 32 runs over 16
+	// distinct (env, kind, seed) keys: 16 misses, 16 hits.
+	if want := res.Plan.Runs() - res.Plan.Cells(); res.FitsReused != want {
+		t.Errorf("fits reused = %d, want %d", res.FitsReused, want)
+	}
+	hits := int64(0)
+	for _, info := range reg.Models() {
+		hits += info.Hits
+	}
+	if hits == 0 {
+		t.Error("registry hit counters did not increase during the campaign")
+	}
+}
+
+// TestCampaignCoversAllAxes runs one cell of every axis flavour: scaled
+// node counts, bandwidth/latency scaling, two-speed heterogeneity, an
+// MHEFT run on the homogeneous grid, and a profile-model cell.
+func TestCampaignCoversAllAxes(t *testing.T) {
+	eng := newEngine(0)
+	res, err := eng.Run(context.Background(), campaign.Spec{
+		Platforms: campaign.PlatformAxis{
+			Base:           "bayreuth",
+			Nodes:          []int{8},
+			BandwidthScale: []float64{0.5},
+			LatencyScale:   []float64{2},
+			SpeedRatios:    []float64{2},
+		},
+		Workloads:  campaign.WorkloadAxis{SuiteSeeds: []int64{7}, Sizes: []int{3000}},
+		Algorithms: []string{"CPA", "HCPA", "MCPA"},
+		Models:     []string{"profile"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 1 {
+		t.Fatalf("got %d cells, want 1", len(res.Cells))
+	}
+	cell := res.Cells[0]
+	if cell.Platform.Env != "bayreuth-x8-bw0.5-lat2-het2" {
+		t.Errorf("cell platform = %q", cell.Platform.Env)
+	}
+	if cell.Instances != 27 {
+		t.Errorf("cell has %d instances, want 27 (n=3000 half of the suite)", cell.Instances)
+	}
+	if len(cell.Algos) != 3 || len(cell.Pairs) != 3 {
+		t.Errorf("cell has %d algo scores and %d pair scores, want 3 and 3", len(cell.Algos), len(cell.Pairs))
+	}
+	for _, a := range cell.Algos {
+		if a.MedianExp <= 0 {
+			t.Errorf("%s: non-positive median measured makespan %g", a.Algorithm, a.MedianExp)
+		}
+	}
+
+	// MHEFT works on homogeneous grids through its one-phase builder.
+	res, err = eng.Run(context.Background(), campaign.Spec{
+		Platforms:  campaign.PlatformAxis{Base: "modern", Nodes: []int{8}},
+		Workloads:  campaign.WorkloadAxis{Sizes: []int{2000}},
+		Algorithms: []string{"MHEFT", "HCPA"},
+		Models:     []string{"analytic"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	res.Write(&buf)
+	if !strings.Contains(buf.String(), "MHEFT vs HCPA") {
+		t.Errorf("report missing the MHEFT pair:\n%s", buf.String())
+	}
+}
+
+// TestCampaignCancellation checks that a cancelled context aborts the run.
+func TestCampaignCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	eng := newEngine(2)
+	if _, err := eng.Run(ctx, testSpec()); err == nil {
+		t.Error("cancelled campaign reported success")
+	}
+}

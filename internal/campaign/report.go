@@ -1,0 +1,136 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// This file renders a campaign Result into the deterministic text report:
+// per-cell scores, per-cell winner-prediction quality à la §V, and one
+// summary block per swept axis. Cells are emitted in plan order and every
+// number is formatted with fixed precision, so the report is byte-identical
+// across runs and worker counts.
+
+// Write renders the campaign report.
+func (r *Result) Write(w io.Writer) {
+	p := r.Plan
+	name := p.Spec.Name
+	if name == "" {
+		name = "unnamed"
+	}
+	fmt.Fprintf(w, "Campaign %q — %d cells (%d platforms × %d workloads × %d models) × %d algorithms, %d DAGs per cell\n",
+		name, p.Cells(), len(p.Platforms), len(p.Workloads), len(p.Models), len(p.Algorithms), r.cellInstances())
+	fmt.Fprintf(w, "  base=%s seed=%d trials=%d algorithms=%s models=%s\n",
+		p.Spec.Platforms.Base, p.Spec.Seed, p.Spec.Trials,
+		strings.Join(p.Algorithms, ","), strings.Join(p.Models, ","))
+
+	platW := r.platformWidth()
+	wlW := r.workloadWidth()
+
+	fmt.Fprintf(w, "\nPer-cell scores — simulation vs experiment per algorithm\n")
+	fmt.Fprintf(w, "  %-*s %-*s %-10s %-8s %14s %14s %13s %13s\n",
+		platW, "platform", wlW, "workload", "model", "algo",
+		"med exp [s]", "med err [%]", "p90 err [%]", "p99 err [%]")
+	for _, c := range r.Cells {
+		for _, a := range c.Algos {
+			fmt.Fprintf(w, "  %-*s %-*s %-10s %-8s %14.1f %14.1f %13.1f %13.1f\n",
+				platW, c.Platform.Env, wlW, c.Workload.key(), c.Model, a.Algorithm,
+				a.MedianExp, a.MedianErrPct, a.P90ErrPct, a.P99ErrPct)
+		}
+	}
+
+	if len(p.Algorithms) > 1 {
+		fmt.Fprintf(w, "\nWinner prediction — does simulation pick the experimental winner? (à la §V)\n")
+		fmt.Fprintf(w, "  %-*s %-*s %-10s %-14s %9s %6s %14s %14s\n",
+			platW, "platform", wlW, "workload", "model", "pair",
+			"flips", "tau", "med sim B/A", "med exp B/A")
+		for _, c := range r.Cells {
+			for _, pr := range c.Pairs {
+				fmt.Fprintf(w, "  %-*s %-*s %-10s %-14s %5d/%-3d %6.2f %14.3f %14.3f\n",
+					platW, c.Platform.Env, wlW, c.Workload.key(), c.Model,
+					pr.A+" vs "+pr.B, pr.Flips, pr.Total, pr.KendallTau,
+					pr.MedianSimRatio, pr.MedianExpRatio)
+			}
+		}
+	}
+
+	r.writeAxis(w, "platform", platW, func(c CellScore) string { return c.Platform.Env })
+	r.writeAxis(w, "model", platW, func(c CellScore) string { return c.Model })
+	if len(p.Workloads) > 1 {
+		r.writeAxis(w, "workload", wlW, func(c CellScore) string { return c.Workload.key() })
+	}
+}
+
+// writeAxis prints one axis summary: winner flips and simulation error
+// aggregated over every cell sharing the axis value, in first-seen (plan)
+// order.
+func (r *Result) writeAxis(w io.Writer, axis string, keyW int, key func(CellScore) string) {
+	type agg struct {
+		flips, total int
+		errs         []float64
+	}
+	var order []string
+	byKey := map[string]*agg{}
+	for _, c := range r.Cells {
+		k := key(c)
+		a, ok := byKey[k]
+		if !ok {
+			a = &agg{}
+			byKey[k] = a
+			order = append(order, k)
+		}
+		for _, pr := range c.Pairs {
+			a.flips += pr.Flips
+			a.total += pr.Total
+		}
+		for _, al := range c.Algos {
+			a.errs = append(a.errs, al.MedianErrPct)
+		}
+	}
+	if len(order) < 2 && axis != "platform" {
+		return // a one-value axis summarises nothing beyond the cells
+	}
+	fmt.Fprintf(w, "\nAxis summary — %s\n", axis)
+	fmt.Fprintf(w, "  %-*s %12s %16s\n", keyW, axis, "flips", "med err [%]")
+	for _, k := range order {
+		a := byKey[k]
+		flips := "-"
+		if a.total > 0 {
+			flips = fmt.Sprintf("%d/%d", a.flips, a.total)
+		}
+		fmt.Fprintf(w, "  %-*s %12s %16.1f\n", keyW, k, flips, stats.Median(a.errs))
+	}
+}
+
+// cellInstances returns the per-cell suite size (constant across cells).
+func (r *Result) cellInstances() int {
+	if len(r.Cells) == 0 {
+		return 0
+	}
+	return r.Cells[0].Instances
+}
+
+// platformWidth sizes the platform column to the longest derived name.
+func (r *Result) platformWidth() int {
+	w := len("platform")
+	for _, pt := range r.Plan.Platforms {
+		if len(pt.Env) > w {
+			w = len(pt.Env)
+		}
+	}
+	return w
+}
+
+// workloadWidth sizes the workload column.
+func (r *Result) workloadWidth() int {
+	w := len("workload")
+	for _, wp := range r.Plan.Workloads {
+		if len(wp.key()) > w {
+			w = len(wp.key())
+		}
+	}
+	return w
+}

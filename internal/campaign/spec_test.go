@@ -1,0 +1,141 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlanDefaults(t *testing.T) {
+	p, err := Spec{}.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Spec.Platforms.Base != "bayreuth" {
+		t.Errorf("default base = %q, want bayreuth", p.Spec.Platforms.Base)
+	}
+	if len(p.Platforms) != 1 || p.Platforms[0].Env != "bayreuth" {
+		t.Errorf("default platform axis = %+v, want the single identity point", p.Platforms)
+	}
+	if len(p.Workloads) != 1 || p.Workloads[0].SuiteSeed != 2011 {
+		t.Errorf("default workload axis = %+v, want suite seed 2011", p.Workloads)
+	}
+	if got := strings.Join(p.Algorithms, ","); got != "HCPA,MCPA" {
+		t.Errorf("default algorithms = %s, want HCPA,MCPA", got)
+	}
+	if got := strings.Join(p.Models, ","); got != "analytic" {
+		t.Errorf("default models = %s, want analytic", got)
+	}
+	if p.Spec.Seed != 42 || p.Spec.Trials != 1 {
+		t.Errorf("default seed/trials = %d/%d, want 42/1", p.Spec.Seed, p.Spec.Trials)
+	}
+	if p.Cells() != 1 || p.Runs() != 2 {
+		t.Errorf("default grid = %d cells, %d runs, want 1 and 2", p.Cells(), p.Runs())
+	}
+}
+
+func TestPlanAliasesAndNaming(t *testing.T) {
+	p, err := Spec{
+		Platforms: PlatformAxis{
+			Nodes:          []int{64},
+			BandwidthScale: []float64{0.5},
+			SpeedRatios:    []float64{2},
+		},
+		Algorithms: []string{"HCPA"},
+		Models:     []string{"brute-force"},
+	}.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Platforms[0].Env; got != "bayreuth-x64-bw0.5-het2" {
+		t.Errorf("derived env name = %q, want bayreuth-x64-bw0.5-het2", got)
+	}
+	if p.Models[0] != "profile" {
+		t.Errorf("brute-force canonicalised to %q, want profile", p.Models[0])
+	}
+
+	p, err = Spec{Algorithms: []string{"M-HEFT", "HCPA"}}.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Algorithms[0] != "MHEFT" {
+		t.Errorf("M-HEFT canonicalised to %q, want MHEFT", p.Algorithms[0])
+	}
+}
+
+func TestPlanRejectsBadSpecs(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		want string // substring of the expected error
+	}{
+		{"unknown algorithm", Spec{Algorithms: []string{"SJF"}}, "unknown algorithm"},
+		{"duplicate algorithm", Spec{Algorithms: []string{"HCPA", "HCPA"}}, "duplicate algorithm"},
+		{"alias duplicate algorithm", Spec{Algorithms: []string{"MHEFT", "M-HEFT"}}, "duplicate algorithm"},
+		{"unknown model", Spec{Models: []string{"oracular"}}, "unknown model"},
+		{"duplicate model", Spec{Models: []string{"profile", "brute-force"}}, "duplicate model"},
+		{"negative nodes", Spec{Platforms: PlatformAxis{Nodes: []int{-4}}}, "outside"},
+		{"oversized nodes", Spec{Platforms: PlatformAxis{Nodes: []int{MaxNodes + 1}}}, "outside"},
+		{"duplicate nodes", Spec{Platforms: PlatformAxis{Nodes: []int{8, 8}}}, "duplicate platforms.nodes"},
+		{"zero bandwidth scale", Spec{Platforms: PlatformAxis{BandwidthScale: []float64{0}}}, "bandwidth_scale"},
+		{"huge latency scale", Spec{Platforms: PlatformAxis{LatencyScale: []float64{1e9}}}, "latency_scale"},
+		{"duplicate suite seed", Spec{Workloads: WorkloadAxis{SuiteSeeds: []int64{7, 7}}}, "duplicate workloads.suite_seeds"},
+		{"bad size filter", Spec{Workloads: WorkloadAxis{Sizes: []int{1024}}}, "not in the Table I sizes"},
+		{"duplicate size filter", Spec{Workloads: WorkloadAxis{Sizes: []int{2000, 2000}}}, "duplicate workloads.sizes"},
+		{"mheft on hetero", Spec{
+			Platforms:  PlatformAxis{SpeedRatios: []float64{2}},
+			Algorithms: []string{"MHEFT"},
+		}, "homogeneous-platform scheduler"},
+		{"excess trials", Spec{Trials: MaxTrials + 1}, "trials"},
+		{"axis too long", Spec{Platforms: PlatformAxis{Nodes: seqInts(MaxAxisValues + 1)}}, "limit 32"},
+		{"grid too large", Spec{
+			Platforms: PlatformAxis{Nodes: seqInts(16), BandwidthScale: []float64{0.5, 1, 2}},
+			Models:    []string{"analytic", "profile", "empirical"},
+		}, "limit 96"},
+		{"too many runs", Spec{
+			Platforms:  PlatformAxis{Nodes: seqInts(16), BandwidthScale: []float64{1, 2}},
+			Models:     []string{"analytic", "profile", "empirical"},
+			Algorithms: []string{"CPA", "HCPA", "MCPA", "MHEFT", "SEQ", "DATAPAR"},
+		}, "limit 512"},
+	}
+	for _, tc := range cases {
+		_, err := tc.spec.Plan()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// seqInts returns {1, 2, ..., n}.
+func seqInts(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i + 1
+	}
+	return out
+}
+
+func TestPlanGridExpansionOrder(t *testing.T) {
+	p, err := Spec{
+		Platforms: PlatformAxis{Nodes: []int{8, 16}, LatencyScale: []float64{1, 2}},
+		Workloads: WorkloadAxis{SuiteSeeds: []int64{1, 2}},
+		Models:    []string{"analytic", "empirical"},
+	}.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var envs []string
+	for _, pt := range p.Platforms {
+		envs = append(envs, pt.Env)
+	}
+	want := "bayreuth-x8,bayreuth-x8-lat2,bayreuth-x16,bayreuth-x16-lat2"
+	if got := strings.Join(envs, ","); got != want {
+		t.Errorf("platform order = %s, want %s", got, want)
+	}
+	if p.Cells() != 4*2*2 || p.Runs() != 4*2*2*2 {
+		t.Errorf("grid = %d cells / %d runs, want 16 / 32", p.Cells(), p.Runs())
+	}
+}

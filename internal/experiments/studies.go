@@ -244,12 +244,7 @@ func ScalingStudyCtx(ctx context.Context, cfg Config, nodeCounts []int) ([]Scali
 			return nil, err
 		}
 		// Sparse-measurement points scale with the cluster.
-		opts := cfg.Empirical
-		opts.MulLowPoints = scalePoints([]int{2, 4, 7, 15}, nodes, 32)
-		opts.MulHighPoints = scalePoints([]int{15, 24, 31}, nodes, 32)
-		opts.AddPoints = scalePoints([]int{2, 4, 7, 15, 24, 31}, nodes, 32)
-		opts.OverheadPoints = scalePoints([]int{1, 16, 32}, nodes, 32)
-		opts.Split = 16 * nodes / 32
+		opts := cfg.Empirical.ScaledTo(nodes, platform.Bayreuth().Nodes)
 		model, err := profiler.BuildEmpiricalModel(em, opts)
 		if err != nil {
 			return nil, err
@@ -275,25 +270,6 @@ func ScalingStudyCtx(ctx context.Context, cfg Config, nodeCounts []int) ([]Scali
 		})
 	}
 	return rows, nil
-}
-
-func scalePoints(points []int, nodes, ref int) []int {
-	out := make([]int, 0, len(points))
-	seen := map[int]bool{}
-	for _, p := range points {
-		v := p * nodes / ref
-		if v < 1 {
-			v = 1
-		}
-		if v > nodes {
-			v = nodes
-		}
-		if !seen[v] {
-			seen[v] = true
-			out = append(out, v)
-		}
-	}
-	return out
 }
 
 // HeteroRow is one simulator model scored on the heterogeneous platform.

@@ -199,6 +199,49 @@ func DefaultEmpiricalOptions() EmpiricalOptions {
 // and p = 16 outliers wreck the fit (Figure 6, left).
 var NaiveMulPoints = []int{1, 2, 4, 8, 16, 32}
 
+// ScaledTo returns a copy of the options with every processor-count point
+// rescaled from a ref-node platform to a nodes-node one — the §IX scenario
+// of instantiating the sparse campaign on a hypothetical cluster. Points are
+// scaled proportionally, clamped to [1, nodes] and deduplicated in order;
+// the regime boundary scales the same way. nodes == ref (or ref <= 0) is the
+// identity, so fits on the reference platform are unaffected.
+func (o EmpiricalOptions) ScaledTo(nodes, ref int) EmpiricalOptions {
+	if nodes == ref || ref <= 0 || nodes <= 0 {
+		return o
+	}
+	out := o
+	out.MulLowPoints = scalePoints(o.MulLowPoints, nodes, ref)
+	out.MulHighPoints = scalePoints(o.MulHighPoints, nodes, ref)
+	out.AddPoints = scalePoints(o.AddPoints, nodes, ref)
+	out.OverheadPoints = scalePoints(o.OverheadPoints, nodes, ref)
+	out.Split = o.Split * nodes / ref
+	if out.Split < 1 {
+		out.Split = 1
+	}
+	return out
+}
+
+// scalePoints rescales one measurement-point set to a new cluster size,
+// clamping to [1, nodes] and dropping duplicates while preserving order.
+func scalePoints(points []int, nodes, ref int) []int {
+	out := make([]int, 0, len(points))
+	seen := map[int]bool{}
+	for _, p := range points {
+		v := p * nodes / ref
+		if v < 1 {
+			v = 1
+		}
+		if v > nodes {
+			v = nodes
+		}
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
 // MeasureSeries measures the mean task time at each processor count.
 func (c Campaign) MeasureSeries(kernel dag.Kernel, n int, points []int, trials int) (xs, ys []float64) {
 	xs = make([]float64, len(points))

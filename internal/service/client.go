@@ -8,6 +8,8 @@ import (
 	"io"
 	"net/http"
 	"time"
+
+	"repro/internal/campaign"
 )
 
 // Client is a typed HTTP client for a reprosrv daemon.
@@ -129,19 +131,56 @@ func (c *Client) Models(ctx context.Context) ([]ModelInfo, error) {
 	return out, nil
 }
 
+// SubmitCampaign submits a declarative what-if sweep.
+func (c *Client) SubmitCampaign(ctx context.Context, spec campaign.Spec) (*JobStatus, error) {
+	var status JobStatus
+	if err := c.do(ctx, http.MethodPost, "/v1/campaigns", spec, &status); err != nil {
+		return nil, err
+	}
+	return &status, nil
+}
+
+// Campaign polls one campaign by ID.
+func (c *Client) Campaign(ctx context.Context, id string) (*JobStatus, error) {
+	var status JobStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/campaigns/"+id, nil, &status); err != nil {
+		return nil, err
+	}
+	return &status, nil
+}
+
+// Campaigns lists retained campaigns.
+func (c *Client) Campaigns(ctx context.Context) ([]JobStatus, error) {
+	var out []JobStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/campaigns", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // WaitJob polls a job until it leaves the queued/running states, ctx
 // expires, or the server becomes unreachable. The job must stay within the
 // server's retention window (-retain) while being waited on: if enough
 // other jobs finish to evict it between polls, WaitJob reports a 404 even
 // though the job completed.
 func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (*JobStatus, error) {
+	return c.wait(ctx, poll, func() (*JobStatus, error) { return c.Job(ctx, id) })
+}
+
+// WaitCampaign is WaitJob over /v1/campaigns/{id}.
+func (c *Client) WaitCampaign(ctx context.Context, id string, poll time.Duration) (*JobStatus, error) {
+	return c.wait(ctx, poll, func() (*JobStatus, error) { return c.Campaign(ctx, id) })
+}
+
+// wait polls fetch until the status leaves the queued/running states.
+func (c *Client) wait(ctx context.Context, poll time.Duration, fetch func() (*JobStatus, error)) (*JobStatus, error) {
 	if poll <= 0 {
 		poll = 50 * time.Millisecond
 	}
 	ticker := time.NewTicker(poll)
 	defer ticker.Stop()
 	for {
-		status, err := c.Job(ctx, id)
+		status, err := fetch()
 		if err != nil {
 			return nil, err
 		}

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+
+	"repro/internal/campaign"
 )
 
 // apiError is the JSON error payload every handler returns on failure.
@@ -49,6 +51,9 @@ func decode(w http.ResponseWriter, r *http.Request, v any) bool {
 //	POST /v1/jobs            submit an async study run
 //	GET  /v1/jobs            list retained jobs
 //	GET  /v1/jobs/{id}       poll one job
+//	POST /v1/campaigns       submit a declarative what-if sweep
+//	GET  /v1/campaigns       list retained campaigns
+//	GET  /v1/campaigns/{id}  poll one campaign
 //	GET  /v1/models          fitted-model registry contents and build cost
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -58,6 +63,9 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
 	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("POST /v1/campaigns", s.handleSubmitCampaign)
+	mux.HandleFunc("GET /v1/campaigns", s.handleListCampaigns)
+	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleGetCampaign)
 	mux.HandleFunc("GET /v1/models", s.handleModels)
 	return mux
 }
@@ -123,6 +131,44 @@ func (s *Service) handleGetJob(w http.ResponseWriter, r *http.Request) {
 	status, ok := s.jobs.Get(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, errors.New("service: no such job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, status)
+}
+
+func (s *Service) handleSubmitCampaign(w http.ResponseWriter, r *http.Request) {
+	var spec campaign.Spec
+	if !decode(w, r, &spec) {
+		return
+	}
+	status, err := s.SubmitCampaign(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case err != nil:
+		writeServiceError(w, err)
+	default:
+		writeJSON(w, http.StatusAccepted, status)
+	}
+}
+
+func (s *Service) handleListCampaigns(w http.ResponseWriter, r *http.Request) {
+	all := s.jobs.List()
+	campaigns := make([]JobStatus, 0, len(all))
+	for _, j := range all {
+		if isCampaignKind(j.Kind) {
+			campaigns = append(campaigns, j)
+		}
+	}
+	writeJSON(w, http.StatusOK, campaigns)
+}
+
+func (s *Service) handleGetCampaign(w http.ResponseWriter, r *http.Request) {
+	status, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok || !isCampaignKind(status.Kind) {
+		writeError(w, http.StatusNotFound, errors.New("service: no such campaign"))
 		return
 	}
 	writeJSON(w, http.StatusOK, status)

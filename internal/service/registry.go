@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/perfmodel"
+	"repro/internal/platform"
 	"repro/internal/profiler"
 )
 
@@ -54,11 +55,11 @@ func Environments() map[string]EnvFunc {
 // ModelKinds lists the model kinds in paper order.
 func ModelKinds() []string { return []string{"analytic", "profile", "empirical"} }
 
-// campaign is the measured state of one (environment, seed): the emulator
-// the campaigns probed and both fitted models. Models are built in NewLab
-// order — profile first, then empirical, on a fresh emulator — so labs
-// assembled from a campaign reproduce NewLab byte-for-byte.
-type campaign struct {
+// fitCampaign is the measured state of one (environment, seed): the
+// emulator the campaigns probed and both fitted models. Models are built in
+// NewLab order — profile first, then empirical, on a fresh emulator — so
+// labs assembled from a campaign reproduce NewLab byte-for-byte.
+type fitCampaign struct {
 	once  sync.Once
 	truth *cluster.Hidden
 	em    *cluster.Emulator
@@ -89,7 +90,7 @@ type ModelRegistry struct {
 	envs      map[string]EnvFunc
 
 	mu        sync.Mutex
-	campaigns map[campaignKey]*campaign
+	campaigns map[campaignKey]*fitCampaign
 	entries   map[ModelKey]*entry
 	analytic  map[string]*perfmodel.Analytic
 }
@@ -100,7 +101,7 @@ func NewModelRegistry(profile profiler.ProfileOptions, empirical profiler.Empiri
 		profile:   profile,
 		empirical: empirical,
 		envs:      Environments(),
-		campaigns: make(map[campaignKey]*campaign),
+		campaigns: make(map[campaignKey]*fitCampaign),
 		entries:   make(map[ModelKey]*entry),
 		analytic:  make(map[string]*perfmodel.Analytic),
 	}
@@ -108,17 +109,46 @@ func NewModelRegistry(profile profiler.ProfileOptions, empirical profiler.Empiri
 
 // Environment resolves an environment name to a fresh ground truth.
 func (r *ModelRegistry) Environment(name string) (*cluster.Hidden, error) {
+	r.mu.Lock()
 	mk, ok := r.envs[name]
+	r.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("service: unknown environment %q", name)
 	}
 	return mk(), nil
 }
 
+// RegisterEnv adds a derived environment (e.g. a scaled or re-parameterised
+// platform built by the campaign engine) under the given name. The first
+// registration of a name wins and later ones are no-ops, so callers that
+// derive names deterministically from the platform parameters share one set
+// of fitted models per derived platform.
+func (r *ModelRegistry) RegisterEnv(name string, mk func() *cluster.Hidden) error {
+	if name == "" {
+		return fmt.Errorf("service: empty environment name")
+	}
+	if mk == nil {
+		return fmt.Errorf("service: nil environment constructor for %q", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.envs[name]; !ok {
+		r.envs[name] = mk
+	}
+	return nil
+}
+
+// GetModel is Get with plain arguments; it exists so packages that cannot
+// name ModelKey (campaign's ModelSource interface) can still count cache
+// hits per lookup.
+func (r *ModelRegistry) GetModel(env, kind string, seed int64) (perfmodel.Model, bool, error) {
+	return r.Get(ModelKey{Environment: env, Kind: kind, Seed: seed})
+}
+
 // build runs both campaigns for a (environment, seed), exactly once, and
 // reports whether this call was the one that ran them (callers that merely
 // blocked on another goroutine's build get false).
-func (c *campaign) build(env EnvFunc, seed int64, p profiler.ProfileOptions, e profiler.EmpiricalOptions) bool {
+func (c *fitCampaign) build(env EnvFunc, seed int64, p profiler.ProfileOptions, e profiler.EmpiricalOptions) bool {
 	ran := false
 	c.once.Do(func() {
 		ran = true
@@ -133,6 +163,10 @@ func (c *campaign) build(env EnvFunc, seed int64, p profiler.ProfileOptions, e p
 		if c.prof, c.err = profiler.BuildProfileModel(em, p); c.err != nil {
 			return
 		}
+		// The sparse-campaign options are expressed for the paper's 32-node
+		// reference platform; rescale the measurement points for derived
+		// environments of a different size (identity at 32 nodes).
+		e = e.ScaledTo(c.truth.Cluster.Nodes, platform.Bayreuth().Nodes)
 		if c.emp, c.err = profiler.BuildEmpiricalModel(em, e); c.err != nil {
 			return
 		}
@@ -143,16 +177,17 @@ func (c *campaign) build(env EnvFunc, seed int64, p profiler.ProfileOptions, e p
 
 // campaignFor returns the measured state of (environment, seed), running
 // the campaigns on first use. The bool reports whether this call ran them.
-func (r *ModelRegistry) campaignFor(env string, seed int64) (*campaign, bool, error) {
-	mk, ok := r.envs[env]
-	if !ok {
-		return nil, false, fmt.Errorf("service: unknown environment %q", env)
-	}
+func (r *ModelRegistry) campaignFor(env string, seed int64) (*fitCampaign, bool, error) {
 	key := campaignKey{env: env, seed: seed}
 	r.mu.Lock()
+	mk, ok := r.envs[env]
+	if !ok {
+		r.mu.Unlock()
+		return nil, false, fmt.Errorf("service: unknown environment %q", env)
+	}
 	c, ok := r.campaigns[key]
 	if !ok {
-		c = &campaign{}
+		c = &fitCampaign{}
 		r.campaigns[key] = c
 	}
 	r.mu.Unlock()

@@ -5,8 +5,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 
+	"repro/internal/campaign"
 	"repro/internal/dag"
 	"repro/internal/experiments"
 	"repro/internal/perfmodel"
@@ -454,5 +456,64 @@ func (s *Service) RunStudy(ctx context.Context, req StudyRequest) (string, error
 	if err := experiments.RenderStudy(ctx, req.Study, cfg, labFn, &buf); err != nil {
 		return "", err
 	}
+	return buf.String(), nil
+}
+
+// -------------------------------------------------------------- campaigns
+
+// campaignKindPrefix marks campaign jobs in the shared job store.
+const campaignKindPrefix = "campaign"
+
+// isCampaignKind reports whether a job kind belongs to a campaign.
+func isCampaignKind(kind string) bool { return strings.HasPrefix(kind, campaignKindPrefix) }
+
+// normalizeCampaign fills a campaign spec's seed defaults from the service
+// options, so campaigns, schedule requests and study jobs all share the
+// same fitted models by default.
+func (s *Service) normalizeCampaign(spec campaign.Spec) campaign.Spec {
+	if spec.Seed == 0 {
+		spec.Seed = s.opts.Seed
+	}
+	if len(spec.Workloads.SuiteSeeds) == 0 {
+		spec.Workloads.SuiteSeeds = []int64{s.opts.SuiteSeed}
+	}
+	return spec
+}
+
+// SubmitCampaign validates a declarative what-if sweep and queues it as an
+// async job (kind "campaign" or "campaign:<name>"). Invalid specs —
+// unknown axis values, empty grids, grids beyond the campaign limits — are
+// rejected up front as bad requests, before any fitting campaign runs.
+func (s *Service) SubmitCampaign(spec campaign.Spec) (JobStatus, error) {
+	spec = s.normalizeCampaign(spec)
+	plan, err := spec.Plan()
+	if err != nil {
+		return JobStatus{}, badRequest{err}
+	}
+	if _, err := s.registry.Environment(plan.Spec.Platforms.Base); err != nil {
+		return JobStatus{}, badRequest{err}
+	}
+	kind := campaignKindPrefix
+	if spec.Name != "" {
+		kind += ":" + spec.Name
+	}
+	return s.jobs.Submit(kind, func(ctx context.Context) (string, error) {
+		return s.RunCampaign(ctx, spec)
+	})
+}
+
+// RunCampaign executes a campaign synchronously against the service's
+// fit-once registry and returns the rendered report. Derived platforms are
+// registered under deterministic names, so repeated campaigns (and plain
+// schedule requests against the same derived platforms) reuse the fits.
+func (s *Service) RunCampaign(ctx context.Context, spec campaign.Spec) (string, error) {
+	spec = s.normalizeCampaign(spec)
+	eng := campaign.Engine{Source: s.registry, Workers: s.opts.Parallelism}
+	res, err := eng.Run(ctx, spec)
+	if err != nil {
+		return "", err
+	}
+	var buf bytes.Buffer
+	res.Write(&buf)
 	return buf.String(), nil
 }

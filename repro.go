@@ -31,7 +31,12 @@
 //   - a scheduling service (internal/service, served by cmd/reprosrv):
 //     a registry that fits the measured models once per (environment, seed)
 //     and reuses them across concurrent schedule/simulate requests, plus a
-//     bounded job queue running whole studies asynchronously.
+//     bounded job queue running whole studies asynchronously;
+//   - a campaign engine (internal/campaign, POST /v1/campaigns and
+//     mixedsim -campaign): declarative what-if sweeps over hypothetical
+//     platforms, workloads, algorithms and models — §IX's "scaled to
+//     simulate hypothetical platforms" as a grid the registry's fit-once
+//     economics make cheap to explore.
 //
 // The quickest entry points:
 //
@@ -44,6 +49,9 @@
 package repro
 
 import (
+	"context"
+
+	"repro/internal/campaign"
 	"repro/internal/cluster"
 	"repro/internal/dag"
 	"repro/internal/experiments"
@@ -95,6 +103,26 @@ type (
 	// ModelRegistry lazily builds and caches fitted performance models.
 	ModelRegistry = service.ModelRegistry
 )
+
+// Campaign types (internal/campaign): declarative what-if sweeps.
+type (
+	// CampaignSpec declares a parameter grid over platforms, workloads,
+	// algorithms and models (docs/CAMPAIGNS.md).
+	CampaignSpec = campaign.Spec
+	// CampaignResult is a completed campaign; Write renders the report.
+	CampaignResult = campaign.Result
+)
+
+// RunCampaign executes a declarative what-if sweep against a fresh
+// fit-once model registry. Long-running callers should prefer a Service
+// (POST /v1/campaigns), which shares the registry across campaigns and
+// schedule requests.
+func RunCampaign(ctx context.Context, spec CampaignSpec) (*CampaignResult, error) {
+	cfg := experiments.DefaultConfig()
+	reg := service.NewModelRegistry(cfg.Profile, cfg.Empirical)
+	eng := campaign.Engine{Source: reg, Workers: cfg.Parallelism}
+	return eng.Run(ctx, spec)
+}
 
 // NewService assembles the scheduling service; zero fields of opts fall
 // back to DefaultServiceOptions.
