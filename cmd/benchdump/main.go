@@ -1,0 +1,189 @@
+// Command benchdump runs the repository's performance-critical benchmarks
+// and records their results in a machine-readable JSON file — the perf
+// trajectory the BENCH_*.json files at the repository root accumulate PR
+// over PR.
+//
+// It shells out to the go tool:
+//
+//	go test -run=^$ -bench=<regex> -benchmem -benchtime=<d> -count=1 .
+//
+// parses the benchmark result lines (including custom metrics such as
+// "wrong/27@n=2000"), and writes or merges them into the output file. With
+// -merge (the default), existing entries for other benchmarks are kept, so
+// cheap and expensive benchmarks can be recorded by separate invocations:
+//
+//	go run ./cmd/benchdump -out BENCH_PR4.json -bench 'BenchmarkMaxMinSolver$|BenchmarkVirtualReplay$'
+//	go run ./cmd/benchdump -out BENCH_PR4.json -benchtime 1x -bench 'BenchmarkStudySerialVsParallel|BenchmarkServiceScheduleThroughput'
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// defaultBench is the key-benchmark set of the allocation-free core: the
+// steady-state solver, the virtual replay, the study engine and the service
+// schedule path.
+const defaultBench = "BenchmarkMaxMinSolver$|BenchmarkVirtualReplay$|BenchmarkStudySerialVsParallel|BenchmarkServiceScheduleThroughput"
+
+// Result is one benchmark's measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// HasMem reports whether -benchmem columns were present, so a true zero
+	// allocs/op is distinguishable from "not measured".
+	HasMem bool `json:"has_mem"`
+	// Benchtime records the -benchtime this entry was measured under.
+	// Merged files mix full-length and smoke (1x) entries, so the setting
+	// is per result, not per file.
+	Benchtime string `json:"benchtime"`
+	// Metrics holds custom b.ReportMetric values by unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the serialized trajectory entry.
+type File struct {
+	Label      string   `json:"label,omitempty"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	CPUs       int      `json:"cpus"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// resultRe matches one "go test -bench" result line: name, iterations, then
+// "value unit" metric pairs ("123 ns/op", "0 B/op", "4 allocs/op", custom
+// ReportMetric units).
+var resultRe = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchdump: ")
+	var (
+		out       = flag.String("out", "BENCH_PR4.json", "output JSON file")
+		bench     = flag.String("bench", defaultBench, "benchmark regex passed to go test -bench")
+		benchtime = flag.String("benchtime", "1s", "go test -benchtime (e.g. 1s, 100x, 1x for a smoke run)")
+		pkg       = flag.String("pkg", ".", "package to benchmark")
+		label     = flag.String("label", "", "trajectory label recorded in the file (e.g. PR4)")
+		merge     = flag.Bool("merge", true, "merge results into an existing output file instead of replacing it")
+	)
+	flag.Parse()
+
+	args := []string{"test", "-run=^$", "-bench=" + *bench, "-benchmem", "-benchtime=" + *benchtime, "-count=1", *pkg}
+	fmt.Fprintf(os.Stderr, "benchdump: go %s\n", strings.Join(args, " "))
+	cmd := exec.Command("go", args...)
+	var stdout bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		log.Fatalf("go test failed: %v", err)
+	}
+
+	results := parse(stdout.String())
+	if len(results) == 0 {
+		log.Fatalf("no benchmark results matched %q", *bench)
+	}
+	for i := range results {
+		results[i].Benchtime = *benchtime
+	}
+
+	file := File{
+		Label:     *label,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+	}
+	if *merge {
+		if prev, err := load(*out); err == nil {
+			if file.Label == "" {
+				file.Label = prev.Label
+			}
+			seen := map[string]bool{}
+			for _, r := range results {
+				seen[r.Name] = true
+			}
+			for _, r := range prev.Benchmarks {
+				if !seen[r.Name] {
+					results = append(results, r)
+				}
+			}
+		}
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })
+	file.Benchmarks = results
+
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchdump: wrote %d benchmarks to %s\n", len(file.Benchmarks), *out)
+}
+
+// load reads a previously written trajectory file.
+func load(path string) (File, error) {
+	var f File
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	err = json.Unmarshal(data, &f)
+	return f, err
+}
+
+// parse extracts benchmark results from go test output.
+func parse(output string) []Result {
+	var results []Result
+	for _, line := range strings.Split(output, "\n") {
+		m := resultRe.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := Result{Name: strings.TrimPrefix(m[1], "Benchmark"), Iterations: iters}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			value, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				r.NsPerOp = value
+			case "B/op":
+				r.BytesPerOp = value
+				r.HasMem = true
+			case "allocs/op":
+				r.AllocsPerOp = value
+				r.HasMem = true
+			default:
+				if r.Metrics == nil {
+					r.Metrics = make(map[string]float64)
+				}
+				r.Metrics[unit] = value
+			}
+		}
+		results = append(results, r)
+	}
+	return results
+}

@@ -58,8 +58,8 @@ func TestCampaignDeterministicAcrossWorkerCounts(t *testing.T) {
 }
 
 // TestCampaignReusesFitsWithinOneGrid checks the registry economics: each
-// (platform, model) pair is fitted once, and every further run of the grid
-// is a cache hit — visible on the registry's hit counters.
+// cell resolves its model once and amortizes it over the cell's algorithm
+// runs, and a repeated campaign against the same registry refits nothing.
 func TestCampaignReusesFitsWithinOneGrid(t *testing.T) {
 	reg := service.NewModelRegistry(profiler.DefaultProfileOptions(), profiler.DefaultEmpiricalOptions())
 	eng := campaign.Engine{Source: reg, Workers: 4}
@@ -67,17 +67,27 @@ func TestCampaignReusesFitsWithinOneGrid(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 4 platforms × 1 workload × 2 models × 2 algorithms = 32 runs over 16
-	// distinct (env, kind, seed) keys: 16 misses, 16 hits.
+	// 4 platforms × 1 workload × 2 models = 8 cells of 2 algorithm runs
+	// each: 8 fresh fits, and the second run of every cell rides its cell's
+	// resolution — 8 runs served without a fit.
 	if want := res.Plan.Runs() - res.Plan.Cells(); res.FitsReused != want {
 		t.Errorf("fits reused = %d, want %d", res.FitsReused, want)
+	}
+	// A second identical campaign hits the cache on every cell: all of its
+	// runs reuse fits, and the registry's hit counters move.
+	res, err = eng.Run(context.Background(), testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := res.Plan.Runs(); res.FitsReused != want {
+		t.Errorf("second campaign fits reused = %d, want every run (%d)", res.FitsReused, want)
 	}
 	hits := int64(0)
 	for _, info := range reg.Models() {
 		hits += info.Hits
 	}
 	if hits == 0 {
-		t.Error("registry hit counters did not increase during the campaign")
+		t.Error("registry hit counters did not increase across repeated campaigns")
 	}
 }
 

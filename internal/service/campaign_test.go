@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/dag"
 )
 
 // acceptanceSpec is the 3-axis acceptance grid: 4 platform scales × 2
@@ -62,25 +63,43 @@ func TestHTTPCampaignEndToEnd(t *testing.T) {
 		}
 	}
 
-	// The grid resolved each run's model from the registry: 8 distinct
-	// (platform, kind) fits, each hit once by the second algorithm run.
+	// The grid resolved one model per cell and amortized it over the cell's
+	// algorithm runs; the 8 distinct (platform, kind) fits are registered.
 	models, err := client.Models(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var hits int64
 	envs := map[string]bool{}
 	for _, m := range models {
-		hits += m.Hits
 		envs[m.Environment] = true
-	}
-	if hits == 0 {
-		t.Errorf("no registry cache hits after the campaign: %+v", models)
 	}
 	for _, env := range []string{"bayreuth-x6", "bayreuth-x8", "bayreuth-x12", "bayreuth-x16"} {
 		if !envs[env] {
 			t.Errorf("derived platform %s missing from /v1/models: %+v", env, models)
 		}
+	}
+
+	// A plain schedule request against one of the campaign's derived
+	// platforms reuses its fit: the request is a cache hit and the registry
+	// counters move — the fit-once/reuse-many economics across entry points.
+	g := dag.MustGenerate(dag.GenParams{Tasks: 6, InputMatrices: 4, AddRatio: 0.5, N: 2000, Seed: 3})
+	resp, err := client.Schedule(ctx, ScheduleRequest{DAG: g, Model: "empirical", Environment: "bayreuth-x8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.CacheHit {
+		t.Error("schedule request against a campaign-fitted platform missed the registry cache")
+	}
+	var hits int64
+	models, err = client.Models(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range models {
+		hits += m.Hits
+	}
+	if hits == 0 {
+		t.Errorf("no registry cache hits after reusing a campaign fit: %+v", models)
 	}
 
 	// The campaign listing shows it; the study-job listing does too (one

@@ -95,6 +95,22 @@ func (c *Client) Simulate(ctx context.Context, req ScheduleRequest) (*SimulateRe
 	return &resp, nil
 }
 
+// SimulateBatch submits many DAGs for scheduling plus simulated replay under
+// one shared (algorithm, model, environment, seed) resolution.
+func (c *Client) SimulateBatch(ctx context.Context, req SimulateBatchRequest) (*SimulateBatchResponse, error) {
+	if len(req.DAGs) == 0 {
+		// A nil slice would serialize as "dags": null, which the server
+		// routes down the single-DAG path; fail with the batch contract's
+		// own error instead.
+		return nil, fmt.Errorf("service: batch has no dags")
+	}
+	var resp SimulateBatchResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/simulate", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // SubmitStudy queues an async study run.
 func (c *Client) SubmitStudy(ctx context.Context, req StudyRequest) (*JobStatus, error) {
 	var status JobStatus

@@ -6,6 +6,7 @@ import (
 	"net/http"
 
 	"repro/internal/campaign"
+	"repro/internal/dag"
 )
 
 // apiError is the JSON error payload every handler returns on failure.
@@ -47,7 +48,10 @@ func decode(w http.ResponseWriter, r *http.Request, v any) bool {
 //
 //	GET  /healthz            liveness
 //	POST /v1/schedule        schedule a DAG, get schedule + predicted makespan
-//	POST /v1/simulate        schedule a DAG, get the simulated timeline
+//	POST /v1/simulate        schedule a DAG, get the simulated timeline; a
+//	                         body with "dags" (an array) instead of "dag" is
+//	                         served as one batch under a single model
+//	                         resolution
 //	POST /v1/jobs            submit an async study run
 //	GET  /v1/jobs            list retained jobs
 //	GET  /v1/jobs/{id}       poll one job
@@ -93,11 +97,37 @@ func (s *Service) handleSchedule(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleSimulate(w http.ResponseWriter, r *http.Request) {
-	var req ScheduleRequest
-	if !decode(w, r, &req) {
+	// One endpoint, two shapes: "dag" simulates a single application,
+	// "dags" serves the whole array as a batch that shares one registry
+	// resolution and the environment's engine pool. DAGs is a pointer so a
+	// present-but-empty "dags" key still selects the batch shape (and is
+	// rejected as an empty batch) instead of silently degrading to the
+	// single path.
+	var wire struct {
+		ScheduleRequest
+		DAGs *[]*dag.Graph `json:"dags"`
+	}
+	if !decode(w, r, &wire) {
 		return
 	}
-	resp, err := s.Simulate(r.Context(), req)
+	if wire.DAGs != nil {
+		if wire.DAG != nil {
+			writeError(w, http.StatusBadRequest,
+				errors.New(`service: request has both "dag" and "dags"; send one`))
+			return
+		}
+		resp, err := s.SimulateBatch(r.Context(), SimulateBatchRequest{
+			DAGs: *wire.DAGs, Algorithm: wire.Algorithm, Model: wire.Model,
+			Environment: wire.Environment, Seed: wire.Seed,
+		})
+		if err != nil {
+			writeServiceError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	resp, err := s.Simulate(r.Context(), wire.ScheduleRequest)
 	if err != nil {
 		writeServiceError(w, err)
 		return

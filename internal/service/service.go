@@ -12,6 +12,7 @@ import (
 	"repro/internal/dag"
 	"repro/internal/experiments"
 	"repro/internal/perfmodel"
+	"repro/internal/platform"
 	"repro/internal/profiler"
 	"repro/internal/sched"
 	"repro/internal/simgrid"
@@ -64,6 +65,12 @@ type Service struct {
 
 	labMu sync.Mutex
 	labs  map[labKey]*labEntry
+
+	// nets caches one simgrid.Net per environment so every schedule,
+	// simulate and batch request draws engines from that net's shared pool
+	// instead of building a network (and fresh engines) per request.
+	netMu sync.Mutex
+	nets  map[string]*simgrid.Net
 }
 
 // labKey identifies one assembled lab (one workload × one environment).
@@ -109,7 +116,25 @@ func New(opts Options) *Service {
 		registry: NewModelRegistry(opts.Profile, opts.Empirical),
 		jobs:     NewJobManager(opts.JobWorkers, opts.QueueCap, opts.Retain),
 		labs:     make(map[labKey]*labEntry),
+		nets:     make(map[string]*simgrid.Net),
 	}
+}
+
+// net returns the cached network of an environment, building it on first
+// use. The net owns the engine pool all requests against that environment
+// share.
+func (s *Service) net(env string, c platform.Cluster) (*simgrid.Net, error) {
+	s.netMu.Lock()
+	defer s.netMu.Unlock()
+	if n, ok := s.nets[env]; ok {
+		return n, nil
+	}
+	n, err := simgrid.NewNet(c)
+	if err != nil {
+		return nil, err
+	}
+	s.nets[env] = n
+	return n, nil
 }
 
 // Registry exposes the fitted-model registry.
@@ -184,26 +209,33 @@ func (s *Service) normalize(req *ScheduleRequest) error {
 	if req.DAG == nil || req.DAG.Len() == 0 {
 		return badRequest{fmt.Errorf("service: request has no dag")}
 	}
-	if req.Algorithm == "" {
-		req.Algorithm = "HCPA"
+	return s.normalizeNames(&req.Algorithm, &req.Model, &req.Environment, &req.Seed)
+}
+
+// normalizeNames fills the (algorithm, model, environment, seed) defaults
+// and validates the model kind — the part of request normalization shared by
+// single and batched requests.
+func (s *Service) normalizeNames(algorithm, model, environment *string, seed *int64) error {
+	if *algorithm == "" {
+		*algorithm = "HCPA"
 	}
-	if req.Model == "" {
-		req.Model = "analytic"
+	if *model == "" {
+		*model = "analytic"
 	}
 	validKind := false
 	for _, k := range ModelKinds() {
-		if req.Model == k {
+		if *model == k {
 			validKind = true
 		}
 	}
 	if !validKind {
-		return badRequest{fmt.Errorf("service: unknown model kind %q (want one of %v)", req.Model, ModelKinds())}
+		return badRequest{fmt.Errorf("service: unknown model kind %q (want one of %v)", *model, ModelKinds())}
 	}
-	if req.Environment == "" {
-		req.Environment = "bayreuth"
+	if *environment == "" {
+		*environment = "bayreuth"
 	}
-	if req.Seed == 0 {
-		req.Seed = s.opts.Seed
+	if *seed == 0 {
+		*seed = s.opts.Seed
 	}
 	return nil
 }
@@ -239,23 +271,35 @@ func (s *Service) build(req *ScheduleRequest) (*sched.Schedule, perfmodel.Model,
 		return nil, nil, nil, false, err
 	}
 	c := truth.Cluster
-	cost := perfmodel.CostFunc(model)
-	comm := perfmodel.CommFunc(model, c)
-	var schedule *sched.Schedule
-	if c.IsHomogeneous() {
-		schedule, err = sched.Build(algo, req.DAG, c.Nodes, cost, comm)
-	} else {
-		schedule, err = sched.BuildHetero(algo, req.DAG, c, cost, comm)
-	}
+	schedule, err := buildSchedule(algo, req.DAG, c, model, req.Model)
 	if err != nil {
 		return nil, nil, nil, false, err
 	}
-	schedule.Model = req.Model
-	net, err := simgrid.NewNet(c)
+	net, err := s.net(req.Environment, c)
 	if err != nil {
 		return nil, nil, nil, false, err
 	}
 	return schedule, model, net, hit, nil
+}
+
+// buildSchedule runs one scheduling pass — homogeneous or heterogeneous,
+// per the cluster — under the given model. Shared by the single and batched
+// paths so their schedules agree by construction.
+func buildSchedule(algo sched.Algorithm, g *dag.Graph, c platform.Cluster, model perfmodel.Model, kind string) (*sched.Schedule, error) {
+	cost := perfmodel.CostFunc(model)
+	comm := perfmodel.CommFunc(model, c)
+	var schedule *sched.Schedule
+	var err error
+	if c.IsHomogeneous() {
+		schedule, err = sched.Build(algo, g, c.Nodes, cost, comm)
+	} else {
+		schedule, err = sched.BuildHetero(algo, g, c, cost, comm)
+	}
+	if err != nil {
+		return nil, err
+	}
+	schedule.Model = kind
+	return schedule, nil
 }
 
 // Schedule computes a schedule and its simulated makespan.
@@ -317,6 +361,30 @@ type SimulateResponse struct {
 	Tasks       []SimulatedTask `json:"tasks"`
 }
 
+// simulateTimeline replays one schedule on the environment's pooled engines
+// and assembles the per-task timeline. Both the single and batched simulate
+// paths go through it, so a batch item is identical to the corresponding
+// single response by construction.
+func simulateTimeline(g *dag.Graph, schedule *sched.Schedule, model perfmodel.Model, net *simgrid.Net) (float64, []SimulatedTask, error) {
+	sim, err := tgrid.Run(net, schedule, tgrid.ModelTiming{Model: model})
+	if err != nil {
+		return 0, nil, err
+	}
+	tasks := make([]SimulatedTask, 0, g.Len())
+	for _, id := range schedule.Order() {
+		tasks = append(tasks, SimulatedTask{
+			ID:      id,
+			Name:    g.Task(id).Name,
+			P:       schedule.Alloc[id],
+			Hosts:   schedule.Hosts[id],
+			Start:   sim.TaskStart[id],
+			Finish:  sim.TaskFinish[id],
+			Startup: sim.TaskStartupDur[id],
+		})
+	}
+	return sim.Makespan, tasks, nil
+}
+
 // Simulate computes a schedule and returns the simulator's full per-task
 // timeline — one of the paper's simulators as a service call.
 func (s *Service) Simulate(ctx context.Context, req ScheduleRequest) (*SimulateResponse, error) {
@@ -327,28 +395,120 @@ func (s *Service) Simulate(ctx context.Context, req ScheduleRequest) (*SimulateR
 	if err != nil {
 		return nil, err
 	}
-	sim, err := tgrid.Run(net, schedule, tgrid.ModelTiming{Model: model})
+	makespan, tasks, err := simulateTimeline(req.DAG, schedule, model, net)
 	if err != nil {
 		return nil, err
 	}
-	resp := &SimulateResponse{
+	return &SimulateResponse{
 		Algorithm:   req.Algorithm,
 		Model:       req.Model,
 		Environment: req.Environment,
 		Seed:        req.Seed,
 		CacheHit:    hit,
-		Makespan:    sim.Makespan,
+		Makespan:    makespan,
+		Tasks:       tasks,
+	}, nil
+}
+
+// SimulateBatchRequest asks for the simulated timelines of many DAGs that
+// share one (algorithm, model, environment, seed) tuple. The expensive parts
+// of request handling — model-registry resolution (which may trigger a
+// fitting campaign on a cold cache) and network construction — are paid once
+// and amortized over the whole batch, and the per-DAG replays draw engines
+// from the environment's shared pool.
+type SimulateBatchRequest struct {
+	// DAGs are the applications, in the cmd/daggen node/edge-list format.
+	DAGs []*dag.Graph `json:"dags"`
+	// Algorithm selects the scheduler for every DAG (default "HCPA").
+	Algorithm string `json:"algorithm,omitempty"`
+	// Model selects the performance model (default "analytic").
+	Model string `json:"model,omitempty"`
+	// Environment selects the modelled environment (default "bayreuth").
+	Environment string `json:"environment,omitempty"`
+	// Seed selects the measurement campaign (0 = the service default).
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// SimulateBatchItem is one DAG's simulated execution within a batch.
+type SimulateBatchItem struct {
+	Makespan float64         `json:"makespan"`
+	Tasks    []SimulatedTask `json:"tasks"`
+}
+
+// SimulateBatchResponse reports a batched simulation: the shared resolution
+// once, then one item per input DAG, in input order.
+type SimulateBatchResponse struct {
+	Algorithm   string `json:"algorithm"`
+	Model       string `json:"model"`
+	Environment string `json:"environment"`
+	Seed        int64  `json:"seed"`
+	// CacheHit reports whether the batch's single model lookup hit the
+	// registry cache.
+	CacheHit bool                `json:"cache_hit"`
+	Results  []SimulateBatchItem `json:"results"`
+}
+
+// SimulateBatch schedules and simulates every DAG of the batch under one
+// model resolution. Per-DAG work runs on the service's worker pool with
+// index-addressed results, so responses are deterministic for any
+// parallelism; the first failing DAG (by input order) aborts the batch.
+func (s *Service) SimulateBatch(ctx context.Context, req SimulateBatchRequest) (*SimulateBatchResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	for _, id := range schedule.Order() {
-		resp.Tasks = append(resp.Tasks, SimulatedTask{
-			ID:      id,
-			Name:    req.DAG.Task(id).Name,
-			P:       schedule.Alloc[id],
-			Hosts:   schedule.Hosts[id],
-			Start:   sim.TaskStart[id],
-			Finish:  sim.TaskFinish[id],
-			Startup: sim.TaskStartupDur[id],
-		})
+	if len(req.DAGs) == 0 {
+		return nil, badRequest{fmt.Errorf("service: batch has no dags")}
+	}
+	for i, g := range req.DAGs {
+		if g == nil || g.Len() == 0 {
+			return nil, badRequest{fmt.Errorf("service: batch dag %d is empty", i)}
+		}
+	}
+	if err := s.normalizeNames(&req.Algorithm, &req.Model, &req.Environment, &req.Seed); err != nil {
+		return nil, err
+	}
+	algo, err := algorithmByName(req.Algorithm)
+	if err != nil {
+		return nil, badRequest{err}
+	}
+	truth, err := s.registry.Environment(req.Environment)
+	if err != nil {
+		return nil, badRequest{err}
+	}
+	// One registry resolution for the whole batch.
+	model, hit, err := s.registry.Get(ModelKey{Environment: req.Environment, Kind: req.Model, Seed: req.Seed})
+	if err != nil {
+		return nil, err
+	}
+	c := truth.Cluster
+	net, err := s.net(req.Environment, c)
+	if err != nil {
+		return nil, err
+	}
+
+	resp := &SimulateBatchResponse{
+		Algorithm:   req.Algorithm,
+		Model:       req.Model,
+		Environment: req.Environment,
+		Seed:        req.Seed,
+		CacheHit:    hit,
+		Results:     make([]SimulateBatchItem, len(req.DAGs)),
+	}
+	err = experiments.ForEachCellCtx(ctx, s.opts.Parallelism, len(req.DAGs), func(i int) error {
+		g := req.DAGs[i]
+		schedule, err := buildSchedule(algo, g, c, model, req.Model)
+		if err != nil {
+			return fmt.Errorf("service: batch dag %d: %w", i, err)
+		}
+		makespan, tasks, err := simulateTimeline(g, schedule, model, net)
+		if err != nil {
+			return fmt.Errorf("service: batch dag %d: %w", i, err)
+		}
+		resp.Results[i] = SimulateBatchItem{Makespan: makespan, Tasks: tasks}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return resp, nil
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -211,6 +212,135 @@ func TestHTTPScheduleRoundTripAndCacheHit(t *testing.T) {
 	}
 	if !found {
 		t.Errorf("empirical/bayreuth missing from /v1/models: %+v", models)
+	}
+}
+
+// TestSimulateBatchMatchesSingleRequests pins the batched path's semantics:
+// one batch over N DAGs returns, item for item, exactly what N single
+// simulate requests return, shares a single model resolution, and is
+// deterministic for any worker-pool size.
+func TestSimulateBatchMatchesSingleRequests(t *testing.T) {
+	dags := make([]*dag.Graph, 3)
+	for i := range dags {
+		g, err := dag.Generate(dag.GenParams{
+			Tasks: 6 + i, InputMatrices: 4, AddRatio: 0.5, N: 2000, Seed: int64(11 + i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dags[i] = g
+	}
+	ctx := context.Background()
+
+	runBatch := func(parallelism int) *SimulateBatchResponse {
+		opts := DefaultOptions()
+		opts.Parallelism = parallelism
+		svc := New(opts)
+		defer svc.Close(ctx)
+		resp, err := svc.SimulateBatch(ctx, SimulateBatchRequest{DAGs: dags, Model: "empirical"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	batch := runBatch(1)
+	if batch.CacheHit {
+		t.Error("cold batch reported a cache hit")
+	}
+	if len(batch.Results) != len(dags) {
+		t.Fatalf("batch returned %d results, want %d", len(batch.Results), len(dags))
+	}
+
+	// Single requests on a fresh service agree item for item.
+	svc := New(DefaultOptions())
+	defer svc.Close(ctx)
+	for i, g := range dags {
+		single, err := svc.Simulate(ctx, ScheduleRequest{DAG: g, Model: "empirical"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if single.Makespan != batch.Results[i].Makespan {
+			t.Errorf("dag %d: batch makespan %g != single makespan %g", i, batch.Results[i].Makespan, single.Makespan)
+		}
+		if len(single.Tasks) != len(batch.Results[i].Tasks) {
+			t.Fatalf("dag %d: batch has %d tasks, single has %d", i, len(batch.Results[i].Tasks), len(single.Tasks))
+		}
+		for j, task := range single.Tasks {
+			if !reflect.DeepEqual(task, batch.Results[i].Tasks[j]) {
+				t.Errorf("dag %d task %d: batch %+v != single %+v", i, j, batch.Results[i].Tasks[j], task)
+			}
+		}
+	}
+
+	// The batch is byte-stable across worker counts.
+	parallel := runBatch(8)
+	for i := range batch.Results {
+		if batch.Results[i].Makespan != parallel.Results[i].Makespan {
+			t.Errorf("dag %d: makespan differs between parallelism 1 (%g) and 8 (%g)",
+				i, batch.Results[i].Makespan, parallel.Results[i].Makespan)
+		}
+	}
+
+	// A second batch on a warm service is one registry hit for all DAGs.
+	resp, err := svc.SimulateBatch(ctx, SimulateBatchRequest{DAGs: dags, Model: "empirical"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.CacheHit {
+		t.Error("warm batch missed the registry cache")
+	}
+}
+
+// TestHTTPSimulateBatch drives the batched shape of POST /v1/simulate over
+// the wire, including its request validation.
+func TestHTTPSimulateBatch(t *testing.T) {
+	svc := New(DefaultOptions())
+	defer svc.Close(context.Background())
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	client := NewClient(srv.URL)
+	ctx := context.Background()
+
+	g := testDAG(t)
+	resp, err := client.SimulateBatch(ctx, SimulateBatchRequest{DAGs: []*dag.Graph{g, g}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Algorithm != "HCPA" || resp.Model != "analytic" || resp.Environment != "bayreuth" {
+		t.Errorf("batch defaults = %s/%s/%s, want HCPA/analytic/bayreuth", resp.Algorithm, resp.Model, resp.Environment)
+	}
+	if len(resp.Results) != 2 {
+		t.Fatalf("batch returned %d results, want 2", len(resp.Results))
+	}
+	if resp.Results[0].Makespan != resp.Results[1].Makespan {
+		t.Errorf("identical DAGs simulated to different makespans: %g vs %g",
+			resp.Results[0].Makespan, resp.Results[1].Makespan)
+	}
+	single, err := client.Simulate(ctx, ScheduleRequest{DAG: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Makespan != resp.Results[0].Makespan {
+		t.Errorf("single simulate makespan %g != batch item %g", single.Makespan, resp.Results[0].Makespan)
+	}
+
+	// An empty batch and a both-shapes request are rejected up front; the
+	// typed client fails an empty batch before it reaches the wire.
+	if _, err := client.SimulateBatch(ctx, SimulateBatchRequest{}); err == nil || !strings.Contains(err.Error(), "batch has no dags") {
+		t.Errorf("empty batch: err = %v, want the batch contract's error", err)
+	}
+	for name, body := range map[string]string{
+		"both dag and dags":          `{"dag": {}, "dags": [{}]}`,
+		"present-but-empty dags key": `{"dags": []}`,
+	} {
+		httpResp, err := srv.Client().Post(srv.URL+"/v1/simulate", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		httpResp.Body.Close()
+		if httpResp.StatusCode != 400 {
+			t.Errorf("%s: HTTP %d, want 400", name, httpResp.StatusCode)
+		}
 	}
 }
 

@@ -41,8 +41,10 @@ type Action struct {
 	// Usage lists resource consumption per unit rate. With Work = 1 and
 	// Usage amounts equal to total flops/bytes, an action running alone
 	// takes max_r(amount_r / capacity_r) seconds, the L07 semantics.
+	// The map is captured (converted to the solver's sparse form) when the
+	// action is added; mutations after Add have no effect on the run.
 	Usage map[int]float64
-	// Bound optionally caps the rate (<= 0: unbounded).
+	// Bound optionally caps the rate (<= 0: unbounded); captured at Add.
 	Bound float64
 	// OnComplete, if non-nil, runs when the action finishes. It may add
 	// new actions to the engine.
@@ -70,8 +72,31 @@ func (a *Action) FinishedAt() float64 { return a.finishedAt }
 // Rate returns the most recently computed progress rate.
 func (a *Action) Rate() float64 { return a.rate }
 
+// Reset re-arms an action so it can be added again — the companion of
+// Engine.Reset for replaying one scenario through a recycled engine. The
+// descriptive fields (Name, Delay, Work, Usage, Bound, OnComplete) are
+// preserved, and the sparse usage form keeps its backing storage, so a
+// reset-and-re-add cycle allocates nothing. Never reset an action that is
+// still live in an engine.
+func (a *Action) Reset() {
+	a.added = false
+	a.state = StatePending
+	a.remaining = 0
+	a.delayLeft = 0
+	a.rate = 0
+	a.startedAt = 0
+	a.finishedAt = 0
+}
+
 // Engine is the discrete-event simulation core: a set of resource capacities
 // and a set of live actions sharing them under bounded max-min fairness.
+//
+// Engines are reusable: Reset returns a finished (or abandoned) engine to
+// its initial state while keeping every piece of internal storage — the
+// live/done lists, the solver scratch, the event-loop buffers — so one
+// engine can serve many Runs without allocating in steady state. Net's
+// AcquireEngine/ReleaseEngine recycle engines through a pool on top of this
+// lifecycle.
 type Engine struct {
 	now      float64
 	capacity []float64
@@ -79,11 +104,49 @@ type Engine struct {
 	done     []*Action
 	// MaxEvents guards against runaway simulations; 0 means the default.
 	MaxEvents int
+
+	sol      solver       // reusable bottleneck solver
+	vars     []*maxminVar // scratch: runnable variables of the current solve
+	nextLive []*Action    // scratch: double buffer for the live list
+	finished []*Action    // scratch: actions retiring in the current event
+	fresh    bool         // rates are current for the present live set
 }
 
 // NewEngine creates an engine with the given resource capacities.
 func NewEngine(capacity []float64) *Engine {
 	return &Engine{capacity: append([]float64(nil), capacity...)}
+}
+
+// Reset returns the engine to its initial empty state at time zero so it can
+// serve another Run. A nil capacity keeps the current capacities; otherwise
+// the new vector is copied in (reusing the existing backing where it fits).
+// All scratch storage is retained, which is what makes engine reuse
+// allocation-free; MaxEvents is preserved. Actions from previous runs are
+// forgotten — re-add them only after (*Action).Reset.
+func (e *Engine) Reset(capacity []float64) {
+	if capacity != nil {
+		e.capacity = append(e.capacity[:0], capacity...)
+	}
+	e.now = 0
+	e.live = clearActions(e.live)
+	e.done = clearActions(e.done)
+	e.nextLive = clearActions(e.nextLive)
+	e.finished = clearActions(e.finished)
+	vars := e.vars[:cap(e.vars)]
+	clear(vars)
+	e.vars = vars[:0]
+	e.sol.reset()
+	e.fresh = false
+}
+
+// clearActions nils out a slice's entire backing array — not just its
+// current length, which is typically zero by the time Reset runs — so
+// recycled engines do not pin previous runs' actions (and the state their
+// OnComplete closures capture) against the garbage collector.
+func clearActions(s []*Action) []*Action {
+	s = s[:cap(s)]
+	clear(s)
+	return s[:0]
 }
 
 // Now returns the current simulated time.
@@ -95,7 +158,8 @@ func (e *Engine) Capacity(r int) float64 { return e.capacity[r] }
 // NumResources returns the number of resources.
 func (e *Engine) NumResources() int { return len(e.capacity) }
 
-// Completed returns all completed actions in completion order.
+// Completed returns all completed actions in completion order. The slice is
+// only valid until the next Reset.
 func (e *Engine) Completed() []*Action { return e.done }
 
 // Add schedules an action starting at the current simulated time.
@@ -115,6 +179,8 @@ func (e *Engine) Add(a *Action) {
 			panic(fmt.Sprintf("simgrid: action %q has negative usage on resource %d", a.Name, r))
 		}
 	}
+	a.v.setUsage(a.Usage)
+	a.v.bound = a.Bound
 	a.startedAt = e.now
 	a.remaining = a.Work
 	a.delayLeft = a.Delay
@@ -125,6 +191,7 @@ func (e *Engine) Add(a *Action) {
 		a.remaining = 0
 	}
 	e.live = append(e.live, a)
+	e.fresh = false
 }
 
 // Run advances the simulation until no live actions remain and returns the
@@ -179,11 +246,13 @@ func (e *Engine) step() error {
 			e.now, len(e.live), names)
 	}
 
-	// Advance time and progress.
+	// Advance time and progress. The live list is partitioned into the
+	// engine's recycled buffers: still into the double buffer that becomes
+	// the next live list, finished into the retirement scratch.
 	e.now += next
 	horizon := next * (1 + timeEps)
-	var still []*Action
-	var finished []*Action
+	still := e.nextLive[:0]
+	finished := e.finished[:0]
 	for _, a := range e.live {
 		if a.delayLeft > 0 {
 			if a.delayLeft <= horizon {
@@ -213,7 +282,11 @@ func (e *Engine) step() error {
 			still = append(still, a)
 		}
 	}
+	old := e.live
 	e.live = still
+	e.nextLive = old[:0]
+	e.finished = finished
+	e.fresh = false // the running set changed; rates must be re-solved
 
 	// Retire completions; callbacks may add new actions.
 	for _, a := range finished {
@@ -230,28 +303,36 @@ func (e *Engine) step() error {
 	return nil
 }
 
-// solveRates recomputes the max-min fair rates of all running actions.
+// solveRates recomputes the max-min fair rates of all running actions. The
+// solve is skipped when the live set has not changed since the last one
+// (the fresh flag), so observability calls like UsageOf never pay for a
+// redundant solve.
 func (e *Engine) solveRates() {
-	var vars []*maxminVar
+	if e.fresh {
+		return
+	}
+	e.vars = e.vars[:0]
 	for _, a := range e.live {
 		if a.delayLeft > 0 || a.remaining <= workEps {
 			a.rate = 0
 			continue
 		}
-		a.v = maxminVar{usage: a.Usage, bound: a.Bound}
-		vars = append(vars, &a.v)
+		e.vars = append(e.vars, &a.v)
 	}
-	solveMaxMin(vars, e.capacity)
+	e.sol.solve(e.vars, e.capacity)
 	for _, a := range e.live {
 		if a.delayLeft > 0 || a.remaining <= workEps {
 			continue
 		}
 		a.rate = a.v.rate
 	}
+	e.fresh = true
 }
 
 // UsageOf reports the instantaneous usage of resource r by running actions,
-// for tests and observability.
+// for tests and observability. It reads the sparse usage forms captured at
+// Add — the quantities the simulation actually charges — so it agrees with
+// the run even if a caller mutated an action's Usage map afterwards.
 func (e *Engine) UsageOf(r int) float64 {
 	e.solveRates()
 	total := 0.0
@@ -259,7 +340,7 @@ func (e *Engine) UsageOf(r int) float64 {
 		if a.delayLeft > 0 {
 			continue
 		}
-		total += a.rate * a.Usage[r]
+		total += a.rate * a.v.usageOf(r)
 	}
 	return total
 }

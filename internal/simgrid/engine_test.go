@@ -311,3 +311,70 @@ func TestIntraHostTransferFree(t *testing.T) {
 		t.Errorf("intra-host transfer consumed resources: %v", a.Usage)
 	}
 }
+
+// TestResetUnpinsActions pins the memory hygiene of the recycle lifecycle:
+// after Reset, none of the engine's internal storage — including the spare
+// capacity of the event-loop buffers and the solver scratch — may still
+// reference actions from the previous run, or a parked pooled engine would
+// pin them (and everything their OnComplete closures capture) indefinitely.
+func TestResetUnpinsActions(t *testing.T) {
+	e := NewEngine([]float64{10, 10})
+	for i := 0; i < 8; i++ {
+		e.Add(&Action{Name: "a", Work: 1, Usage: map[int]float64{i % 2: 1}})
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	e.Reset(nil)
+	for name, buf := range map[string][]*Action{
+		"live": e.live, "done": e.done, "nextLive": e.nextLive, "finished": e.finished,
+	} {
+		full := buf[:cap(buf)]
+		for i, a := range full {
+			if a != nil {
+				t.Errorf("%s[%d] still references an action after Reset", name, i)
+			}
+		}
+	}
+	for i, v := range e.vars[:cap(e.vars)] {
+		if v != nil {
+			t.Errorf("vars[%d] still references a solver variable after Reset", i)
+		}
+	}
+	for i, v := range e.sol.unfixed[:cap(e.sol.unfixed)] {
+		if v != nil {
+			t.Errorf("sol.unfixed[%d] still references a solver variable after Reset", i)
+		}
+	}
+}
+
+// TestResetRestoresSolverInvariant simulates the state a panicked solve
+// leaves behind — nonzero weights and saturation marks with no touched
+// record — and checks that Reset restores the zeroed-scratch invariant, so
+// a pooled engine recovered from a panic cannot silently skip capacity
+// constraints on its next run.
+func TestResetRestoresSolverInvariant(t *testing.T) {
+	e := NewEngine([]float64{10, 10})
+	e.Add(&Action{Name: "a", Work: 1, Usage: map[int]float64{0: 2, 1: 1}})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	e.sol.weight[1] = 3.5 // what an aborted round would leave
+	e.sol.saturated[0] = true
+	e.Reset(nil)
+	for r := range e.sol.weight {
+		if e.sol.weight[r] != 0 || e.sol.saturated[r] {
+			t.Fatalf("resource %d: weight=%g saturated=%v after Reset, want zeroed",
+				r, e.sol.weight[r], e.sol.saturated[r])
+		}
+	}
+	// The engine still solves correctly afterwards.
+	a := &Action{Name: "b", Work: 1, Usage: map[int]float64{1: 2}}
+	e.Add(a)
+	end, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, end, 0.2, 1e-12, "post-reset solve")
+	_ = a
+}

@@ -2,6 +2,7 @@ package simgrid
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/platform"
 )
@@ -9,6 +10,12 @@ import (
 // Net maps a platform.Cluster onto engine resources, implementing the star
 // topology of the paper's platform specification: per-node CPU, per-node
 // private uplink and downlink, and an optional switch backplane.
+//
+// A Net also owns a pool of reusable engines for its cluster
+// (AcquireEngine/ReleaseEngine): callers that replay many executions — the
+// simulators, the emulated cluster, campaign cells — recycle engines and
+// their solver scratch instead of allocating one per run. The pool is safe
+// for concurrent use; each worker effectively keeps a warm engine.
 type Net struct {
 	Cluster platform.Cluster
 	// resource index layout:
@@ -17,6 +24,8 @@ type Net struct {
 	//   [2N, 3N)  downlinks
 	//   3N        backplane (only if Cluster.BackplaneBandwidth > 0)
 	nHosts int
+	caps   []float64 // capacity vector, computed once
+	pool   sync.Pool // of *Engine
 }
 
 // NewNet validates the cluster and returns its resource mapping.
@@ -24,30 +33,50 @@ func NewNet(c platform.Cluster) (*Net, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
-	return &Net{Cluster: c, nHosts: c.Nodes}, nil
-}
-
-// Capacities returns the engine capacity vector for the cluster.
-func (n *Net) Capacities() []float64 {
-	c := n.Cluster
+	n := &Net{Cluster: c, nHosts: c.Nodes}
 	size := 3 * n.nHosts
 	if c.BackplaneBandwidth > 0 {
 		size++
 	}
-	caps := make([]float64, size)
+	n.caps = make([]float64, size)
 	for h := 0; h < n.nHosts; h++ {
-		caps[n.CPU(h)] = c.PowerOf(h)
-		caps[n.Uplink(h)] = c.LinkBandwidth
-		caps[n.Downlink(h)] = c.LinkBandwidth
+		n.caps[n.CPU(h)] = c.PowerOf(h)
+		n.caps[n.Uplink(h)] = c.LinkBandwidth
+		n.caps[n.Downlink(h)] = c.LinkBandwidth
 	}
 	if c.BackplaneBandwidth > 0 {
-		caps[n.Backplane()] = c.BackplaneBandwidth
+		n.caps[n.Backplane()] = c.BackplaneBandwidth
 	}
-	return caps
+	n.pool.New = func() any { return NewEngine(n.caps) }
+	return n, nil
 }
 
-// NewEngine builds an engine with the cluster's resources.
-func (n *Net) NewEngine() *Engine { return NewEngine(n.Capacities()) }
+// Capacities returns a copy of the engine capacity vector for the cluster.
+func (n *Net) Capacities() []float64 { return append([]float64(nil), n.caps...) }
+
+// NewEngine builds a fresh engine with the cluster's resources. Callers that
+// execute many runs should prefer AcquireEngine/ReleaseEngine, which recycle
+// engines (and their warmed-up solver scratch) through the net's pool.
+func (n *Net) NewEngine() *Engine { return NewEngine(n.caps) }
+
+// AcquireEngine returns an empty engine for the cluster at time zero,
+// recycled from the net's pool when one is available. Every engine in the
+// pool is already reset — ReleaseEngine is the only Put path and resets
+// eagerly, and pool-created engines are pristine — so acquisition is just
+// the pool lookup. Pair every acquire with a ReleaseEngine once the run's
+// results have been read off.
+func (n *Net) AcquireEngine() *Engine {
+	return n.pool.Get().(*Engine)
+}
+
+// ReleaseEngine returns an engine obtained from AcquireEngine to the pool.
+// The engine — including any Completed() slice read from it — must not be
+// used after release. The engine is reset eagerly so recycled engines do
+// not pin finished actions in memory while parked.
+func (n *Net) ReleaseEngine(e *Engine) {
+	e.Reset(nil)
+	n.pool.Put(e)
+}
 
 // CPU returns the resource index of host h's processor.
 func (n *Net) CPU(h int) int { n.check(h); return h }
@@ -143,7 +172,7 @@ func Fixed(name string, duration float64) *Action {
 // the platform: delay + max over resources of amount/capacity. Useful for
 // analytic expected-time computations and tests.
 func (n *Net) LoneActionTime(a *Action) float64 {
-	caps := n.Capacities()
+	caps := n.caps
 	t := 0.0
 	for r, u := range a.Usage {
 		if d := u / caps[r] * a.Work; d > t {

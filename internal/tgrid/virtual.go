@@ -28,7 +28,11 @@ func Run(net *simgrid.Net, s *sched.Schedule, timing Timing) (*Result, error) {
 		return nil, fmt.Errorf("tgrid: invalid schedule: %w", err)
 	}
 
-	engine := net.NewEngine()
+	// Engines are recycled through the net's pool: every study cell, campaign
+	// run and service request replays schedules against a warm engine instead
+	// of allocating a fresh one (and fresh solver scratch) per execution.
+	engine := net.AcquireEngine()
+	defer net.ReleaseEngine(engine)
 	res := &Result{
 		TaskStart:         make([]float64, n),
 		TaskFinish:        make([]float64, n),
