@@ -8,12 +8,14 @@ import (
 	"os"
 	"testing"
 
+	"repro/internal/campaign"
 	"repro/internal/dag"
 	"repro/internal/experiments"
 	"repro/internal/kernels"
 	"repro/internal/mpi"
 	"repro/internal/perfmodel"
 	"repro/internal/redist"
+	"repro/internal/robust"
 	"repro/internal/sched"
 	"repro/internal/service"
 	"repro/internal/simgrid"
@@ -38,6 +40,47 @@ func BenchmarkAblationOverheadAttribution(b *testing.B) {
 		if _, err := l.Ablation(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkRobustnessTrials measures the Monte Carlo perturbation engine
+// (internal/robust): one full winner-stability study per iteration — the
+// base HCPA-vs-MCPA campaign on the n=2000 suite plus 8 perturbation
+// trials at one noise level — against a shared registry, so the figure
+// excludes model fitting but not the base campaign. The custom metric
+// normalises the whole study by its trial-run count, i.e. it reports
+// end-to-end study throughput expressed in trial runs per second (a
+// fixed base-campaign share — 2 of 18 runs at this spec — rides along in
+// the denominator's time).
+func BenchmarkRobustnessTrials(b *testing.B) {
+	cfg := experiments.DefaultConfig()
+	reg := service.NewModelRegistry(cfg.Profile, cfg.Empirical)
+	spec := robust.Spec{
+		Spec: campaign.Spec{
+			Name:       "bench",
+			Workloads:  campaign.WorkloadAxis{Sizes: []int{2000}},
+			Algorithms: []string{"HCPA", "MCPA"},
+			Models:     []string{"analytic"},
+		},
+		Robustness: robust.Axis{Trials: 8, Levels: []float64{0.1}},
+	}
+	plan, err := spec.Plan()
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := robust.Engine{Source: reg}
+	if _, err := eng.Run(context.Background(), spec); err != nil {
+		b.Fatal(err) // warm the registry before timing
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(context.Background(), spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(plan.TrialRuns()*b.N)/secs, "trialruns/s")
 	}
 }
 

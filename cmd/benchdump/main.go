@@ -12,8 +12,8 @@
 // -merge (the default), existing entries for other benchmarks are kept, so
 // cheap and expensive benchmarks can be recorded by separate invocations:
 //
-//	go run ./cmd/benchdump -out BENCH_PR4.json -bench 'BenchmarkMaxMinSolver$|BenchmarkVirtualReplay$'
-//	go run ./cmd/benchdump -out BENCH_PR4.json -benchtime 1x -bench 'BenchmarkStudySerialVsParallel|BenchmarkServiceScheduleThroughput'
+//	go run ./cmd/benchdump -out BENCH_PR5.json -bench 'BenchmarkMaxMinSolver$|BenchmarkVirtualReplay$'
+//	go run ./cmd/benchdump -out BENCH_PR5.json -benchtime 1x -bench 'BenchmarkStudySerialVsParallel|BenchmarkServiceScheduleThroughput|BenchmarkRobustnessTrials$'
 package main
 
 import (
@@ -31,10 +31,10 @@ import (
 	"strings"
 )
 
-// defaultBench is the key-benchmark set of the allocation-free core: the
-// steady-state solver, the virtual replay, the study engine and the service
-// schedule path.
-const defaultBench = "BenchmarkMaxMinSolver$|BenchmarkVirtualReplay$|BenchmarkStudySerialVsParallel|BenchmarkServiceScheduleThroughput"
+// defaultBench is the key-benchmark set: the steady-state solver, the
+// virtual replay, the study engine, the service schedule path and the
+// Monte Carlo robustness trials.
+const defaultBench = "BenchmarkMaxMinSolver$|BenchmarkVirtualReplay$|BenchmarkStudySerialVsParallel|BenchmarkServiceScheduleThroughput|BenchmarkRobustnessTrials$"
 
 // Result is one benchmark's measurement.
 type Result struct {
@@ -73,7 +73,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchdump: ")
 	var (
-		out       = flag.String("out", "BENCH_PR4.json", "output JSON file")
+		out       = flag.String("out", "BENCH_PR5.json", "output JSON file")
 		bench     = flag.String("bench", defaultBench, "benchmark regex passed to go test -bench")
 		benchtime = flag.String("benchtime", "1s", "go test -benchtime (e.g. 1s, 100x, 1x for a smoke run)")
 		pkg       = flag.String("pkg", ".", "package to benchmark")

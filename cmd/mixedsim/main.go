@@ -3,7 +3,9 @@
 // 54-DAG suite through the three simulators and the emulated cluster, and
 // prints any (or all) of the paper's tables and figures. With -campaign it
 // instead executes a declarative what-if sweep (docs/CAMPAIGNS.md) over
-// hypothetical platforms, workloads, algorithms and models.
+// hypothetical platforms, workloads, algorithms and models; with -robust it
+// executes a Monte Carlo winner-stability study (docs/ROBUSTNESS.md) on top
+// of such a sweep.
 //
 // Usage:
 //
@@ -11,6 +13,7 @@
 //	mixedsim -experiment fig1            # analytic sim vs experiment
 //	mixedsim -experiment fig8 -seed 7    # error boxplots, different noise
 //	mixedsim -campaign spec.json         # declarative §IX what-if sweep
+//	mixedsim -robust spec.json           # §V winner-stability stress test
 //
 // Experiments: table1, fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8,
 // table2, all.
@@ -28,6 +31,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/experiments"
+	"repro/internal/robust"
 	"repro/internal/service"
 )
 
@@ -37,6 +41,7 @@ func main() {
 	var (
 		experiment   = flag.String("experiment", "all", "which experiment to run (table1, fig1..fig8, table2, ablation, scaling, all)")
 		campaignPath = flag.String("campaign", "", "run the campaign spec (JSON) at this path instead of an experiment")
+		robustPath   = flag.String("robust", "", "run the robustness spec (JSON, docs/ROBUSTNESS.md) at this path instead of an experiment")
 		suiteSeed    = flag.Int64("suite-seed", 2011, "seed for the 54-DAG suite")
 		noiseSeed    = flag.Int64("seed", 42, "seed for the environment's run-to-run noise")
 		trials       = flag.Int("trials", 1, "emulated cluster runs averaged per measured makespan")
@@ -51,13 +56,26 @@ func main() {
 	cfg.ExpTrials = *trials
 	cfg.Parallelism = *parallel
 
-	if *campaignPath != "" {
+	if *campaignPath != "" && *robustPath != "" {
+		log.Fatal("-campaign and -robust are mutually exclusive; pass one spec")
+	}
+	if *campaignPath != "" || *robustPath != "" {
+		mode := "-campaign"
+		if *robustPath != "" {
+			mode = "-robust"
+		}
 		flag.Visit(func(f *flag.Flag) {
 			if f.Name == "experiment" || f.Name == "json" {
-				log.Fatalf("-%s is not supported in -campaign mode", f.Name)
+				log.Fatalf("-%s is not supported in %s mode", f.Name, mode)
 			}
 		})
-		if err := runCampaign(*campaignPath, cfg, os.Stdout); err != nil {
+		var err error
+		if *campaignPath != "" {
+			err = runCampaign(*campaignPath, cfg, os.Stdout)
+		} else {
+			err = runRobust(*robustPath, cfg, os.Stdout)
+		}
+		if err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -126,6 +144,37 @@ func runCampaign(path string, cfg experiments.Config, w io.Writer) error {
 	}
 	reg := service.NewModelRegistry(cfg.Profile, cfg.Empirical)
 	eng := campaign.Engine{Source: reg, Workers: cfg.Parallelism}
+	res, err := eng.Run(context.Background(), spec)
+	if err != nil {
+		return err
+	}
+	res.Write(w)
+	return nil
+}
+
+// runRobust loads a robustness spec (a campaign spec plus a "robustness"
+// axis) and executes the Monte Carlo winner-stability study against a fresh
+// fit-once registry; the CLI flags supply the spec's seed defaults.
+func runRobust(path string, cfg experiments.Config, w io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var spec robust.Spec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return fmt.Errorf("robustness spec %s: %w", path, err)
+	}
+	if spec.Seed == 0 {
+		spec.Seed = cfg.NoiseSeed
+	}
+	if len(spec.Workloads.SuiteSeeds) == 0 {
+		spec.Workloads.SuiteSeeds = []int64{cfg.SuiteSeed}
+	}
+	if spec.Trials == 0 && cfg.ExpTrials > 1 {
+		spec.Trials = cfg.ExpTrials
+	}
+	reg := service.NewModelRegistry(cfg.Profile, cfg.Empirical)
+	eng := robust.Engine{Source: reg, Workers: cfg.Parallelism}
 	res, err := eng.Run(context.Background(), spec)
 	if err != nil {
 		return err

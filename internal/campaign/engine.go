@@ -40,6 +40,11 @@ type Engine struct {
 	// Workers bounds the cell-engine worker pool (<= 0: one per CPU).
 	// Reports are byte-identical for every value.
 	Workers int
+	// KeepRaw retains every cell's per-instance makespans on CellScore.Raw.
+	// The rendered report ignores them; the robustness engine
+	// (internal/robust) builds its winner-stability baselines from them
+	// without re-measuring anything.
+	KeepRaw bool
 }
 
 // AlgoScore summarises one algorithm over one grid cell's suite.
@@ -76,6 +81,16 @@ type CellScore struct {
 	Instances int
 	Algos     []AlgoScore
 	Pairs     []PairScore
+	// Raw is the cell's per-instance data, retained only under
+	// Engine.KeepRaw; nil otherwise.
+	Raw *CellRaw
+}
+
+// CellRaw retains a cell's per-instance makespans: Sim[i][a] and Exp[i][a]
+// are the simulated and measured makespans of suite instance i under
+// algorithm a (both in plan order).
+type CellRaw struct {
+	Sim, Exp [][]float64
 }
 
 // Result is a completed campaign: the expanded plan plus every cell's
@@ -154,9 +169,9 @@ func (e *Engine) Run(ctx context.Context, spec Spec) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			suite = filterSizes(suite, wp.Sizes)
+			suite = FilterSizes(suite, wp.Sizes)
 			if len(suite) == 0 {
-				return nil, fmt.Errorf("campaign: workload %s selects no suite instances", wp.key())
+				return nil, fmt.Errorf("campaign: workload %s selects no suite instances", wp.Key())
 			}
 			for _, kind := range plan.Models {
 				if err := ctx.Err(); err != nil {
@@ -196,7 +211,7 @@ func (e *Engine) runCell(ctx context.Context, plan *Plan, pt PlatformPoint, wp W
 	algos := plan.Algorithms
 	cost := perfmodel.CostFunc(model)
 	comm := perfmodel.CommFunc(model, truth.Cluster)
-	study := "campaign/" + pt.Env + "/" + wp.key() + "/" + kind
+	study := "campaign/" + pt.Env + "/" + wp.Key() + "/" + kind
 
 	type cellOut struct{ sim, exp []float64 }
 	outs := make([]cellOut, len(suite))
@@ -204,7 +219,7 @@ func (e *Engine) runCell(ctx context.Context, plan *Plan, pt PlatformPoint, wp W
 	err := runner.Run(study, len(suite), func(i int, sess *cluster.Session) error {
 		o := cellOut{sim: make([]float64, len(algos)), exp: make([]float64, len(algos))}
 		for ai, name := range algos {
-			s, err := buildSchedule(name, suite[i].Graph, truth.Cluster, cost, comm)
+			s, err := BuildSchedule(name, suite[i].Graph, truth.Cluster, cost, comm)
 			if err != nil {
 				return fmt.Errorf("campaign: %s: %s on %s: %w", study, name, suite[i].Params.Name(), err)
 			}
@@ -227,6 +242,14 @@ func (e *Engine) runCell(ctx context.Context, plan *Plan, pt PlatformPoint, wp W
 	}
 
 	cell := CellScore{Platform: pt, Workload: wp, Model: kind, Instances: len(suite)}
+	if e.KeepRaw {
+		raw := &CellRaw{Sim: make([][]float64, len(suite)), Exp: make([][]float64, len(suite))}
+		for i, o := range outs {
+			raw.Sim[i] = o.sim
+			raw.Exp[i] = o.exp
+		}
+		cell.Raw = raw
+	}
 	for ai, name := range algos {
 		exps := make([]float64, len(suite))
 		errs := make([]float64, len(suite))
@@ -302,10 +325,10 @@ func deriveHidden(base *cluster.Hidden, pt PlatformPoint) *cluster.Hidden {
 	return &h
 }
 
-// buildSchedule dispatches one algorithm-axis run: MHEFT is a one-phase
+// BuildSchedule dispatches one algorithm-axis run: MHEFT is a one-phase
 // scheduler with its own builder; the CPA family and baselines go through
 // the shared two-phase build, heterogeneous-mapping when the platform is.
-func buildSchedule(name string, g *dag.Graph, c platform.Cluster, cost dag.CostFunc, comm dag.CommFunc) (*sched.Schedule, error) {
+func BuildSchedule(name string, g *dag.Graph, c platform.Cluster, cost dag.CostFunc, comm dag.CommFunc) (*sched.Schedule, error) {
 	if name == "MHEFT" {
 		return sched.MHEFT{}.Build(g, c.Nodes, cost, comm)
 	}
@@ -330,8 +353,10 @@ func buildSchedule(name string, g *dag.Graph, c platform.Cluster, cost dag.CostF
 	return sched.BuildHetero(algo, g, c, cost, comm)
 }
 
-// filterSizes restricts a suite to the given matrix sizes (nil: keep all).
-func filterSizes(suite []dag.SuiteInstance, sizes []int) []dag.SuiteInstance {
+// FilterSizes restricts a suite to the given matrix sizes (nil: keep all).
+// Exported so the robustness engine regenerates exactly the suites its base
+// campaign scored.
+func FilterSizes(suite []dag.SuiteInstance, sizes []int) []dag.SuiteInstance {
 	if len(sizes) == 0 {
 		return suite
 	}

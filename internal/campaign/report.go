@@ -37,7 +37,7 @@ func (r *Result) Write(w io.Writer) {
 	for _, c := range r.Cells {
 		for _, a := range c.Algos {
 			fmt.Fprintf(w, "  %-*s %-*s %-10s %-8s %14.1f %14.1f %13.1f %13.1f\n",
-				platW, c.Platform.Env, wlW, c.Workload.key(), c.Model, a.Algorithm,
+				platW, c.Platform.Env, wlW, c.Workload.Key(), c.Model, a.Algorithm,
 				a.MedianExp, a.MedianErrPct, a.P90ErrPct, a.P99ErrPct)
 		}
 	}
@@ -50,7 +50,7 @@ func (r *Result) Write(w io.Writer) {
 		for _, c := range r.Cells {
 			for _, pr := range c.Pairs {
 				fmt.Fprintf(w, "  %-*s %-*s %-10s %-14s %5d/%-3d %6.2f %14.3f %14.3f\n",
-					platW, c.Platform.Env, wlW, c.Workload.key(), c.Model,
+					platW, c.Platform.Env, wlW, c.Workload.Key(), c.Model,
 					pr.A+" vs "+pr.B, pr.Flips, pr.Total, pr.KendallTau,
 					pr.MedianSimRatio, pr.MedianExpRatio)
 			}
@@ -60,7 +60,7 @@ func (r *Result) Write(w io.Writer) {
 	r.writeAxis(w, "platform", platW, func(c CellScore) string { return c.Platform.Env })
 	r.writeAxis(w, "model", platW, func(c CellScore) string { return c.Model })
 	if len(p.Workloads) > 1 {
-		r.writeAxis(w, "workload", wlW, func(c CellScore) string { return c.Workload.key() })
+		r.writeAxis(w, "workload", wlW, func(c CellScore) string { return c.Workload.Key() })
 	}
 }
 
@@ -128,8 +128,8 @@ func (r *Result) platformWidth() int {
 func (r *Result) workloadWidth() int {
 	w := len("workload")
 	for _, wp := range r.Plan.Workloads {
-		if len(wp.key()) > w {
-			w = len(wp.key())
+		if len(wp.Key()) > w {
+			w = len(wp.Key())
 		}
 	}
 	return w

@@ -114,8 +114,8 @@ type WorkloadPoint struct {
 	Sizes []int
 }
 
-// key renders the point for study names and report rows.
-func (w WorkloadPoint) key() string {
+// Key renders the point for study names and report rows.
+func (w WorkloadPoint) Key() string {
 	s := fmt.Sprintf("suite-%d", w.SuiteSeed)
 	for _, n := range w.Sizes {
 		s += fmt.Sprintf("-n%d", n)
@@ -302,6 +302,19 @@ func (s Spec) Plan() (*Plan, error) {
 		return nil, fmt.Errorf("campaign: trials %d outside [1, %d]", s.Trials, MaxTrials)
 	}
 
+	// Enforce the grid limits arithmetically before expanding anything: the
+	// axis-length checks above cap each list at 32 values, so a hostile spec
+	// could still describe 32⁴ platform points — reject it from the lengths
+	// alone instead of materialising a million-point grid first.
+	platforms := len(s.Platforms.Nodes) * len(s.Platforms.BandwidthScale) *
+		len(s.Platforms.LatencyScale) * len(s.Platforms.SpeedRatios)
+	if cells := platforms * len(s.Workloads.SuiteSeeds) * len(p.Models); cells > MaxGridCells {
+		return nil, fmt.Errorf("campaign: grid has %d cells (platforms × workloads × models), limit %d", cells, MaxGridCells)
+	}
+	if runs := platforms * len(s.Workloads.SuiteSeeds) * len(p.Models) * len(p.Algorithms); runs > MaxRuns {
+		return nil, fmt.Errorf("campaign: grid has %d runs (cells × algorithms), limit %d", runs, MaxRuns)
+	}
+
 	for _, n := range s.Platforms.Nodes {
 		for _, bw := range s.Platforms.BandwidthScale {
 			for _, lat := range s.Platforms.LatencyScale {
@@ -322,12 +335,6 @@ func (s Spec) Plan() (*Plan, error) {
 		p.Workloads = append(p.Workloads, WorkloadPoint{SuiteSeed: seed, Sizes: sizes})
 	}
 
-	if cells := p.Cells(); cells > MaxGridCells {
-		return nil, fmt.Errorf("campaign: grid has %d cells (platforms × workloads × models), limit %d", cells, MaxGridCells)
-	}
-	if runs := p.Runs(); runs > MaxRuns {
-		return nil, fmt.Errorf("campaign: grid has %d runs (cells × algorithms), limit %d", runs, MaxRuns)
-	}
 	return p, nil
 }
 

@@ -1,0 +1,64 @@
+package dag
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzDAGGenerator drives the paper's random-DAG generator with arbitrary
+// parameters and checks the structural contract every consumer (schedulers,
+// simulators, suite construction) relies on: whenever the parameters
+// validate, generation succeeds and yields exactly Tasks tasks in a valid —
+// dense, edge-symmetric, acyclic — graph with the requested add/mul split.
+// CI runs this as a fuzz smoke (-fuzz=FuzzDAGGenerator -fuzztime=10s); the
+// seed corpus lives under testdata/fuzz/FuzzDAGGenerator.
+func FuzzDAGGenerator(f *testing.F) {
+	f.Add(int64(2011), 10, 4, 0.75, 2000)
+	f.Add(int64(1), 1, 2, 0.0, 1)
+	f.Add(int64(-7), 50, 2, 1.0, 3000)
+	f.Add(int64(0), 13, 100, 0.5, 64)
+	f.Add(int64(1<<62), 3, 3, 0.33, 2000)
+	f.Fuzz(func(t *testing.T, seed int64, tasks, width int, ratio float64, n int) {
+		p := GenParams{Tasks: tasks, InputMatrices: width, AddRatio: ratio, N: n, Seed: seed}
+		if err := p.Validate(); err != nil {
+			return // invalid parameters are the caller's problem
+		}
+		// Bound the work per input so the fuzzer explores shapes, not
+		// allocation stamina; the generator is linear in both parameters.
+		if tasks > 512 || width > 4096 {
+			t.Skip("parameters valid but oversized for a fuzz iteration")
+		}
+		g, err := Generate(p)
+		if err != nil {
+			t.Fatalf("Generate(%+v) failed on validated parameters: %v", p, err)
+		}
+		if g.Len() != tasks {
+			t.Fatalf("Generate(%+v) produced %d tasks, want %d", p, g.Len(), tasks)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("Generate(%+v) produced an invalid graph: %v", p, err)
+		}
+		if _, err := g.TopoOrder(); err != nil {
+			t.Fatalf("Generate(%+v) produced a cyclic graph: %v", p, err)
+		}
+		adds := 0
+		for _, task := range g.Tasks {
+			switch task.Kernel {
+			case KernelAdd:
+				adds++
+			case KernelMul:
+			default:
+				t.Fatalf("Generate(%+v) produced unexpected kernel %v", p, task.Kernel)
+			}
+			if task.N != n {
+				t.Fatalf("Generate(%+v) produced task with matrix size %d", p, task.N)
+			}
+			if len(task.Preds()) > 2 {
+				t.Fatalf("Generate(%+v) produced task %d with %d operands", p, task.ID, len(task.Preds()))
+			}
+		}
+		if wantAdds := int(math.Round(ratio * float64(tasks))); adds != wantAdds {
+			t.Fatalf("Generate(%+v) produced %d additions, want %d", p, adds, wantAdds)
+		}
+	})
+}

@@ -32,7 +32,7 @@ func (p GenParams) Validate() error {
 	if p.InputMatrices < 2 {
 		return fmt.Errorf("dag: GenParams.InputMatrices must be at least 2, got %d", p.InputMatrices)
 	}
-	if p.AddRatio < 0 || p.AddRatio > 1 {
+	if !(p.AddRatio >= 0 && p.AddRatio <= 1) { // the negated form also rejects NaN
 		return fmt.Errorf("dag: GenParams.AddRatio must be in [0,1], got %g", p.AddRatio)
 	}
 	if p.N <= 0 {

@@ -1,0 +1,168 @@
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dag"
+)
+
+// Perturbation is one deterministic draw of model-parameter noise: the
+// robustness engine (internal/robust) perturbs a fitted model's predictions
+// — task execution times, task-startup overheads and redistribution
+// overheads — to ask how wrong the model can be before the scheduling
+// conclusions built on it flip (the §V question, quantified). Each component
+// pairs a multiplicative factor with an additive offset in seconds; the
+// identity draw (all factors 1, all offsets 0) leaves the base model's
+// predictions bit-for-bit untouched.
+type Perturbation struct {
+	// TaskFactor and TaskOffset perturb TaskTime predictions.
+	TaskFactor, TaskOffset float64
+	// StartupFactor and StartupOffset perturb StartupOverhead predictions.
+	StartupFactor, StartupOffset float64
+	// RedistFactor and RedistOffset perturb RedistOverhead predictions.
+	RedistFactor, RedistOffset float64
+	// TaskShape, StartupShape and RedistShape are the sigmas of structured
+	// per-configuration error surfaces: every distinct prediction point —
+	// (kernel, n, p) for task times, p for startups, (pSrc, pDst) for
+	// redistributions — gets its own fixed lognormal factor exp(z·sigma),
+	// deterministic in Salt. A factor perturbs every prediction the same
+	// way (a systematic bias); a shape perturbs each configuration
+	// independently, which is how fitted models are actually wrong
+	// (Figure 2's per-(n, p) error fluctuation). 0 disables a surface.
+	TaskShape, StartupShape, RedistShape float64
+	// Salt seeds the error surfaces; draws with different salts are
+	// decorrelated surfaces of the same magnitude.
+	Salt uint64
+}
+
+// IdentityPerturbation returns the no-op draw.
+func IdentityPerturbation() Perturbation {
+	return Perturbation{TaskFactor: 1, StartupFactor: 1, RedistFactor: 1}
+}
+
+// IsIdentity reports whether the draw leaves every prediction unchanged
+// (the salt of disabled surfaces is irrelevant).
+func (p Perturbation) IsIdentity() bool {
+	p.Salt = 0
+	return p == IdentityPerturbation()
+}
+
+// Perturbed wraps a fitted Model with a fixed Perturbation. Predictions are
+// clamped at zero (a perturbed overhead can shrink to nothing but never
+// become a time machine), so any perturbed model is still a valid Model for
+// both the scheduling algorithms and the simulator.
+type Perturbed struct {
+	// Base is the fitted model being perturbed.
+	Base Model
+	// P is the fixed draw applied to every prediction.
+	P Perturbation
+}
+
+// NewPerturbed validates the draw and wraps the base model. Factors must be
+// non-negative (a negative factor would not model "the fit is off by x%",
+// it would invert the prediction's meaning), and so must the shape sigmas.
+func NewPerturbed(base Model, p Perturbation) (*Perturbed, error) {
+	if base == nil {
+		return nil, fmt.Errorf("perfmodel: perturbed base model is nil")
+	}
+	if p.TaskFactor < 0 || p.StartupFactor < 0 || p.RedistFactor < 0 {
+		return nil, fmt.Errorf("perfmodel: perturbation factors must be non-negative, got %+v", p)
+	}
+	if p.TaskShape < 0 || p.StartupShape < 0 || p.RedistShape < 0 {
+		return nil, fmt.Errorf("perfmodel: perturbation shape sigmas must be non-negative, got %+v", p)
+	}
+	return &Perturbed{Base: base, P: p}, nil
+}
+
+// Name implements Model.
+func (m *Perturbed) Name() string { return m.Base.Name() + "~perturbed" }
+
+// taskFactor is the full multiplicative factor of one task configuration:
+// the global factor times the configuration's error-surface point.
+func (m *Perturbed) taskFactor(task *dag.Task, p int) float64 {
+	f := m.P.TaskFactor
+	if m.P.TaskShape > 0 {
+		f *= math.Exp(m.P.TaskShape * surfaceNormal(m.P.Salt, 1, uint64(task.Kernel), uint64(task.N), uint64(p)))
+	}
+	return f
+}
+
+// TaskTime implements Model.
+func (m *Perturbed) TaskTime(task *dag.Task, p int) float64 {
+	return clampNonNeg(m.Base.TaskTime(task, p)*m.taskFactor(task, p) + m.P.TaskOffset)
+}
+
+// StartupOverhead implements Model.
+func (m *Perturbed) StartupOverhead(p int) float64 {
+	f := m.P.StartupFactor
+	if m.P.StartupShape > 0 {
+		f *= math.Exp(m.P.StartupShape * surfaceNormal(m.P.Salt, 2, uint64(p)))
+	}
+	return clampNonNeg(m.Base.StartupOverhead(p)*f + m.P.StartupOffset)
+}
+
+// RedistOverhead implements Model.
+func (m *Perturbed) RedistOverhead(pSrc, pDst int) float64 {
+	f := m.P.RedistFactor
+	if m.P.RedistShape > 0 {
+		f *= math.Exp(m.P.RedistShape * surfaceNormal(m.P.Salt, 3, uint64(pSrc), uint64(pDst)))
+	}
+	return clampNonNeg(m.Base.RedistOverhead(pSrc, pDst)*f + m.P.RedistOffset)
+}
+
+// TaskPtask implements Model. A multiplicative-only task perturbation keeps
+// the base model's parallel-task description, with the per-rank flop counts
+// scaled by the configuration's factor — L07 contention semantics survive,
+// and the task's compute time scales exactly like TaskTime. An additive
+// offset has no per-rank flop representation, so the task falls back to a
+// fixed TaskTime duration (the same degradation the measured models use,
+// §VI-D).
+func (m *Perturbed) TaskPtask(task *dag.Task, p int) ([]float64, [][]float64) {
+	comp, bytes := m.Base.TaskPtask(task, p)
+	if comp == nil && bytes == nil {
+		return nil, nil
+	}
+	if m.P.TaskOffset != 0 {
+		return nil, nil
+	}
+	f := m.taskFactor(task, p)
+	if f == 1 {
+		return comp, bytes
+	}
+	scaled := make([]float64, len(comp))
+	for i, c := range comp {
+		scaled[i] = c * f
+	}
+	return scaled, bytes
+}
+
+func clampNonNeg(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// surfaceNormal returns a deterministic standard-normal variate keyed by
+// (salt, keys): SplitMix64 finalizers turn the coordinates into two
+// uniforms, Box-Muller turns those into a normal. Allocation-free, so the
+// scheduling algorithms can evaluate perturbed predictions in their inner
+// allocation loops at full speed.
+func surfaceNormal(salt uint64, keys ...uint64) float64 {
+	x := salt
+	for _, k := range keys {
+		x = mix64(x + k)
+	}
+	u1 := (float64(mix64(x)>>11) + 1) / float64(1<<53) // (0, 1]
+	u2 := float64(mix64(x+1)>>11) / float64(1<<53)     // [0, 1)
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// mix64 is the SplitMix64 finalizer.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

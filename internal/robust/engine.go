@@ -1,0 +1,448 @@
+package robust
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+
+	"repro/internal/campaign"
+	"repro/internal/cluster"
+	"repro/internal/dag"
+	"repro/internal/experiments"
+	"repro/internal/perfmodel"
+	"repro/internal/platform"
+	"repro/internal/simgrid"
+	"repro/internal/stats"
+	"repro/internal/tgrid"
+)
+
+// fragileLimit caps the per-pair "most fragile instances" table.
+const fragileLimit = 10
+
+// Engine executes robustness plans: it runs the base campaign first (with
+// per-instance makespans retained), then replays every grid cell through the
+// Monte Carlo stage — R seeded perturbation draws per noise level, each
+// re-scheduling and re-simulating all axis algorithms under a perturbed
+// model and platform — and aggregates winner-stability statistics against
+// the base simulated winners.
+type Engine struct {
+	// Source supplies ground truths and registry-cached fitted models; the
+	// base campaign and the trials resolve the same fit per cell.
+	Source campaign.ModelSource
+	// Workers bounds the per-instance worker pool (<= 0: one per CPU).
+	// Reports are byte-identical for every value.
+	Workers int
+}
+
+// Result is a completed robustness study: the base campaign result plus one
+// stability record per grid cell. Write renders the deterministic report;
+// with trials == 0 the result is exactly the base campaign and renders
+// byte-identically to it.
+type Result struct {
+	Plan *Plan
+	// Base is the unperturbed campaign.
+	Base *campaign.Result
+	// Cells holds the Monte Carlo stage's stability records, in the base
+	// campaign's cell order; empty when trials == 0.
+	Cells []CellStability
+}
+
+// CellStability is the Monte Carlo outcome of one grid cell.
+type CellStability struct {
+	Platform  campaign.PlatformPoint
+	Workload  campaign.WorkloadPoint
+	Model     string
+	Instances int
+	Pairs     []PairStability
+}
+
+// PairStability reports winner stability for one algorithm pair of one grid
+// cell: the per-level sweep plus the critical-level summary.
+type PairStability struct {
+	A, B string
+	// Levels holds one entry per noise level, in spec order.
+	Levels []LevelStability
+	// MedianCritical is the median critical noise level over the instances
+	// that flip at some level — the noise magnitude at which the cell's
+	// typical flippable instance loses its base winner. NaN when no
+	// instance ever flips.
+	MedianCritical float64
+	// NeverFlipped counts instances whose flip probability stays below the
+	// threshold at every level.
+	NeverFlipped int
+	// Fragile lists the most easily flipped instances (smallest critical
+	// level first, at most fragileLimit), for the per-instance detail table.
+	Fragile []InstanceStability
+}
+
+// LevelStability aggregates one (pair, noise level) over the cell's
+// instances.
+type LevelStability struct {
+	// Level is the noise level.
+	Level float64
+	// MeanFlipProb and MaxFlipProb summarise the per-instance flip
+	// probabilities (the fraction of trials whose simulated winner differs
+	// from the base simulated winner).
+	MeanFlipProb, MaxFlipProb float64
+	// Flipped counts instances whose flip probability reaches the spec's
+	// threshold.
+	Flipped int
+	// MedianRatio is the median, over instances, of the per-instance mean
+	// trial makespan ratio B/A; MedianCIHalf is the median 95% confidence
+	// half-width of those per-instance means (NaN with fewer than 2
+	// trials).
+	MedianRatio, MedianCIHalf float64
+}
+
+// InstanceStability is one instance's stability record within a pair.
+type InstanceStability struct {
+	// Name is the suite instance name.
+	Name string
+	// FlipProb is the instance's flip probability per level, in spec order.
+	FlipProb []float64
+	// Critical is the smallest level whose flip probability reaches the
+	// threshold; NaN when the instance never flips.
+	Critical float64
+}
+
+// Run expands, validates and executes a robustness study.
+func (e *Engine) Run(ctx context.Context, spec Spec) (*Result, error) {
+	plan, err := spec.Plan()
+	if err != nil {
+		return nil, err
+	}
+	if e.Source == nil {
+		return nil, fmt.Errorf("robust: engine has no model source")
+	}
+	trials := plan.Spec.Robustness.Trials
+	ceng := campaign.Engine{Source: e.Source, Workers: e.Workers, KeepRaw: trials > 0}
+	base, err := ceng.Run(ctx, plan.Spec.Spec)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Plan: plan, Base: base}
+	if trials == 0 {
+		return res, nil
+	}
+
+	// Walk the campaign's (possibly canonicalised) plan in the same nested
+	// order the campaign engine emitted its cells, so base.Cells[ci] is
+	// always the cell being stabilised.
+	cp := base.Plan
+	ci := 0
+	for _, pt := range cp.Platforms {
+		truth, err := e.Source.Environment(pt.Env)
+		if err != nil {
+			return nil, err
+		}
+		platNet, err := simgrid.NewNet(truth.Cluster)
+		if err != nil {
+			return nil, fmt.Errorf("robust: platform %s: %w", pt.Env, err)
+		}
+		for _, wp := range cp.Workloads {
+			suite, err := dag.GenerateSuite(wp.SuiteSeed)
+			if err != nil {
+				return nil, err
+			}
+			suite = campaign.FilterSizes(suite, wp.Sizes)
+			for _, kind := range cp.Models {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				// The base campaign already resolved this fit; the lookup is
+				// a cache hit returning the identical model value.
+				model, _, err := e.Source.GetModel(pt.Env, kind, cp.Spec.Seed)
+				if err != nil {
+					return nil, fmt.Errorf("robust: fit %s/%s: %w", pt.Env, kind, err)
+				}
+				cell, err := e.stabilizeCell(ctx, plan, cp, pt, wp, kind, truth, platNet, suite, model, &base.Cells[ci])
+				if err != nil {
+					return nil, err
+				}
+				res.Cells = append(res.Cells, cell)
+				ci++
+			}
+		}
+	}
+	return res, nil
+}
+
+// trialSetup is one prepared perturbation draw: the perturbed model wrapped
+// for scheduling (cost/comm) and simulation, plus the (possibly perturbed)
+// platform and its network. Setups are built sequentially from per-trial
+// seeds before any parallel work, so trial draws never depend on the worker
+// count.
+type trialSetup struct {
+	cluster platform.Cluster
+	cost    dag.CostFunc
+	comm    dag.CommFunc
+	model   *perfmodel.Perturbed
+	net     *simgrid.Net
+}
+
+// perturbationDraw is one trial's full draw: the model perturbation plus
+// the platform bandwidth/latency factors.
+type perturbationDraw struct {
+	model              perfmodel.Perturbation
+	bandwidth, latency float64
+}
+
+// drawPerturbation consumes one salt plus one standard-normal variate per
+// noise component in a fixed order (task ×/+, startup ×/+, redist ×/+,
+// bandwidth ×, latency ×), so a trial's draw depends only on its seed —
+// never on which dimensions are active. Shape sigmas scale with the level
+// but need no variate here: each trial gets a fresh error surface through
+// its salt.
+func drawPerturbation(rng *rand.Rand, n Noise, level float64) perturbationDraw {
+	var out perturbationDraw
+	out.model.Salt = rng.Uint64()
+	mult := func(d Dim) float64 {
+		z := rng.NormFloat64()
+		if d.MultSigma == 0 {
+			return 1
+		}
+		return math.Exp(z * d.MultSigma * level)
+	}
+	add := func(d Dim) float64 {
+		z := rng.NormFloat64()
+		if d.AddSigma == 0 {
+			return 0
+		}
+		return z * d.AddSigma * level
+	}
+	out.model.TaskFactor = mult(n.TaskTime)
+	out.model.TaskOffset = add(n.TaskTime)
+	out.model.StartupFactor = mult(n.Startup)
+	out.model.StartupOffset = add(n.Startup)
+	out.model.RedistFactor = mult(n.Redist)
+	out.model.RedistOffset = add(n.Redist)
+	out.bandwidth = mult(n.Bandwidth)
+	out.latency = mult(n.Latency)
+	out.model.TaskShape = n.TaskTime.ShapeSigma * level
+	out.model.StartupShape = n.Startup.ShapeSigma * level
+	out.model.RedistShape = n.Redist.ShapeSigma * level
+	return out
+}
+
+// stabilizeCell runs the Monte Carlo stage of one grid cell: R trials per
+// noise level, each re-scheduling and re-simulating every axis algorithm on
+// every suite instance under the trial's perturbed model. Instances run on
+// the experiments worker pool (the same pool the campaign's cells ran on)
+// with index-addressed results; trials draw warm engines from the cell's
+// shared network pools, so the hot path allocates no fresh simulation state.
+func (e *Engine) stabilizeCell(ctx context.Context, plan *Plan, cp *campaign.Plan,
+	pt campaign.PlatformPoint, wp campaign.WorkloadPoint, kind string,
+	truth *cluster.Hidden, platNet *simgrid.Net, suite []dag.SuiteInstance,
+	model perfmodel.Model, baseCell *campaign.CellScore) (CellStability, error) {
+
+	axis := plan.Spec.Robustness
+	algos := cp.Algorithms
+	study := "robust/" + pt.Env + "/" + wp.Key() + "/" + kind
+	nL, nT := len(axis.Levels), axis.Trials
+
+	setups := make([][]trialSetup, nL)
+	for li, level := range axis.Levels {
+		setups[li] = make([]trialSetup, nT)
+		for t := 0; t < nT; t++ {
+			rng := rand.New(rand.NewSource(experiments.CellSeed(axis.Seed, study+"/level-"+strconv.Itoa(li), t)))
+			draw := drawPerturbation(rng, axis.Noise, level)
+			pm, err := perfmodel.NewPerturbed(model, draw.model)
+			if err != nil {
+				return CellStability{}, fmt.Errorf("robust: %s: %w", study, err)
+			}
+			c := truth.Cluster
+			net := platNet
+			if axis.Noise.platform() {
+				// Platform noise changes the network itself; the scheduler's
+				// communication estimates and the simulated transfers both
+				// see the perturbed bandwidth and latency.
+				c.LinkBandwidth *= draw.bandwidth
+				c.BackplaneBandwidth *= draw.bandwidth
+				c.LinkLatency *= draw.latency
+				if net, err = simgrid.NewNet(c); err != nil {
+					return CellStability{}, fmt.Errorf("robust: %s: %w", study, err)
+				}
+			}
+			setups[li][t] = trialSetup{
+				cluster: c,
+				cost:    perfmodel.CostFunc(pm),
+				comm:    perfmodel.CommFunc(pm, c),
+				model:   pm,
+				net:     net,
+			}
+		}
+	}
+
+	npairs := len(algos) * (len(algos) - 1) / 2
+	type levelOut struct {
+		flips  int
+		ratios []float64
+	}
+	outs := make([][][]levelOut, len(suite)) // [instance][pair][level]
+	raw := baseCell.Raw
+	if raw == nil {
+		return CellStability{}, fmt.Errorf("robust: %s: base campaign retained no per-instance data", study)
+	}
+	err := experiments.ForEachCellCtx(ctx, e.Workers, len(suite), func(i int) error {
+		g := suite[i].Graph
+		o := make([][]levelOut, npairs)
+		for pi := range o {
+			o[pi] = make([]levelOut, nL)
+			for li := range o[pi] {
+				o[pi][li].ratios = make([]float64, 0, nT)
+			}
+		}
+		sims := make([]float64, len(algos))
+		for li := range setups {
+			for t := range setups[li] {
+				setup := &setups[li][t]
+				for ai, name := range algos {
+					s, err := campaign.BuildSchedule(name, g, setup.cluster, setup.cost, setup.comm)
+					if err != nil {
+						return fmt.Errorf("robust: %s: %s on %s: %w", study, name, suite[i].Params.Name(), err)
+					}
+					s.Model = kind
+					r, err := tgrid.Run(setup.net, s, tgrid.ModelTiming{Model: setup.model})
+					if err != nil {
+						return fmt.Errorf("robust: simulate %s: %s on %s: %w", study, name, suite[i].Params.Name(), err)
+					}
+					sims[ai] = r.Makespan
+				}
+				pi := 0
+				for ai := 0; ai < len(algos); ai++ {
+					for bi := ai + 1; bi < len(algos); bi++ {
+						baseRel := stats.RelDiff(raw.Sim[i][ai], raw.Sim[i][bi])
+						rel := stats.RelDiff(sims[ai], sims[bi])
+						lo := &o[pi][li]
+						if !stats.SameSign(baseRel, rel, 0) {
+							lo.flips++
+						}
+						lo.ratios = append(lo.ratios, sims[bi]/sims[ai])
+						pi++
+					}
+				}
+			}
+		}
+		outs[i] = o
+		return nil
+	})
+	if err != nil {
+		return CellStability{}, err
+	}
+
+	cell := CellStability{Platform: pt, Workload: wp, Model: kind, Instances: len(suite)}
+	pi := 0
+	for ai := 0; ai < len(algos); ai++ {
+		for bi := ai + 1; bi < len(algos); bi++ {
+			ps := PairStability{A: algos[ai], B: algos[bi]}
+			flipProb := make([][]float64, nL) // [level][instance]
+			for li, level := range axis.Levels {
+				probs := make([]float64, len(suite))
+				means := make([]float64, len(suite))
+				halves := make([]float64, len(suite))
+				flipped := 0
+				maxProb := 0.0
+				for i := range suite {
+					lo := outs[i][pi][li]
+					p := float64(lo.flips) / float64(nT)
+					probs[i] = p
+					if p >= axis.FlipThreshold {
+						flipped++
+					}
+					if p > maxProb {
+						maxProb = p
+					}
+					means[i] = stats.Mean(lo.ratios)
+					halves[i] = ci95Half(lo.ratios)
+				}
+				flipProb[li] = probs
+				ps.Levels = append(ps.Levels, LevelStability{
+					Level:        level,
+					MeanFlipProb: stats.Mean(probs),
+					MaxFlipProb:  maxProb,
+					Flipped:      flipped,
+					MedianRatio:  stats.Median(means),
+					MedianCIHalf: stats.Median(halves),
+				})
+			}
+
+			var criticals []float64
+			fragile := make([]InstanceStability, 0, len(suite))
+			for i := range suite {
+				inst := InstanceStability{
+					Name:     suite[i].Params.Name(),
+					FlipProb: make([]float64, nL),
+					Critical: math.NaN(),
+				}
+				maxProb := 0.0
+				for li := range axis.Levels {
+					p := flipProb[li][i]
+					inst.FlipProb[li] = p
+					if p > maxProb {
+						maxProb = p
+					}
+					if math.IsNaN(inst.Critical) && p >= axis.FlipThreshold {
+						inst.Critical = axis.Levels[li]
+					}
+				}
+				if !math.IsNaN(inst.Critical) {
+					criticals = append(criticals, inst.Critical)
+				}
+				if maxProb > 0 {
+					fragile = append(fragile, inst)
+				}
+			}
+			ps.NeverFlipped = len(suite) - len(criticals)
+			if len(criticals) > 0 {
+				ps.MedianCritical = stats.Median(criticals)
+			} else {
+				ps.MedianCritical = math.NaN()
+			}
+			// Most fragile first: smallest critical level, then largest flip
+			// probability, then suite order — a deterministic total order.
+			sort.SliceStable(fragile, func(a, b int) bool {
+				ca, cb := fragile[a].Critical, fragile[b].Critical
+				if math.IsNaN(ca) != math.IsNaN(cb) {
+					return !math.IsNaN(ca)
+				}
+				if !math.IsNaN(ca) && ca != cb {
+					return ca < cb
+				}
+				ma, mb := maxOf(fragile[a].FlipProb), maxOf(fragile[b].FlipProb)
+				if ma != mb {
+					return ma > mb
+				}
+				return false
+			})
+			if len(fragile) > fragileLimit {
+				fragile = fragile[:fragileLimit]
+			}
+			ps.Fragile = fragile
+			cell.Pairs = append(cell.Pairs, ps)
+			pi++
+		}
+	}
+	return cell, nil
+}
+
+// ci95Half returns the 95% confidence half-width of the sample mean under
+// the normal approximation; NaN with fewer than two samples.
+func ci95Half(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	return 1.96 * stats.StdDev(xs) / math.Sqrt(float64(len(xs)))
+}
+
+func maxOf(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

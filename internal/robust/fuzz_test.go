@@ -1,0 +1,81 @@
+package robust_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/robust"
+)
+
+// FuzzCampaignSpecParse feeds arbitrary bytes through the full spec
+// pipeline — JSON decode into a robustness spec (a campaign spec plus the
+// robustness axis, so both schemas are covered) followed by Plan() — and
+// checks the two properties the service layer depends on before any work
+// runs: the pipeline never panics, and every plan that validates respects
+// the published limits. CI runs this as a fuzz smoke
+// (-fuzz=FuzzCampaignSpecParse -fuzztime=10s); the seed corpus lives under
+// testdata/fuzz/FuzzCampaignSpecParse.
+func FuzzCampaignSpecParse(f *testing.F) {
+	seeds := []string{
+		`{}`,
+		`{"name":"sweep","platforms":{"base":"bayreuth","nodes":[8,16,32],"bandwidth_scale":[0.5,2]},"workloads":{"sizes":[2000]},"algorithms":["HCPA","MCPA"],"models":["analytic","empirical"]}`,
+		`{"name":"stability","algorithms":["HCPA","MCPA"],"robustness":{"trials":16,"levels":[0.02,0.05,0.1,0.2],"noise":{"task_time":{"shape_sigma":1},"bandwidth":{"mult_sigma":0.5}}}}`,
+		`{"robustness":{"trials":-1}}`,
+		`{"robustness":{"trials":64,"levels":[4.0001]}}`,
+		`{"platforms":{"nodes":[0,1024,-3]},"models":["brute-force","profile"]}`,
+		`{"workloads":{"suite_seeds":[1,2,3],"sizes":[9999]}}`,
+		`{"robustness":{"flip_threshold":2,"noise":{"latency":{"add_sigma":1}}}}`,
+		`{"trials":33}`,
+		`not json at all`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var spec robust.Spec
+		if err := json.Unmarshal(data, &spec); err != nil {
+			return // malformed JSON is rejected upstream
+		}
+		plan, err := spec.Plan()
+		if err != nil {
+			return // invalid specs must fail validation, not panic
+		}
+		cp := plan.Campaign
+		if cells := cp.Cells(); cells < 1 || cells > campaign.MaxGridCells {
+			t.Fatalf("validated plan has %d cells, limit %d", cells, campaign.MaxGridCells)
+		}
+		if runs := cp.Runs(); runs < 1 || runs > campaign.MaxRuns {
+			t.Fatalf("validated plan has %d runs, limit %d", runs, campaign.MaxRuns)
+		}
+		for _, pt := range cp.Platforms {
+			if pt.Nodes < 0 || pt.Nodes > campaign.MaxNodes {
+				t.Fatalf("validated plan has platform with %d nodes, limit %d", pt.Nodes, campaign.MaxNodes)
+			}
+		}
+		if cp.Spec.Trials < 1 || cp.Spec.Trials > campaign.MaxTrials {
+			t.Fatalf("validated plan has %d measurement trials, limit %d", cp.Spec.Trials, campaign.MaxTrials)
+		}
+		a := plan.Spec.Robustness
+		if a.Trials < 0 || a.Trials > robust.MaxTrials {
+			t.Fatalf("validated plan has %d perturbation trials, limit %d", a.Trials, robust.MaxTrials)
+		}
+		if a.Trials == 0 {
+			return // the axis is normalized away; nothing more to enforce
+		}
+		if len(a.Levels) == 0 || len(a.Levels) > robust.MaxLevels {
+			t.Fatalf("validated plan has %d levels, limit %d", len(a.Levels), robust.MaxLevels)
+		}
+		for _, l := range a.Levels {
+			if !(l > 0) || l > robust.MaxLevel {
+				t.Fatalf("validated plan has level %g outside (0, %g]", l, robust.MaxLevel)
+			}
+		}
+		if tr := plan.TrialRuns(); tr < 1 || tr > robust.MaxTrialRuns {
+			t.Fatalf("validated plan has %d trial runs, limit %d", tr, robust.MaxTrialRuns)
+		}
+		if !(a.FlipThreshold > 0) || a.FlipThreshold > 1 {
+			t.Fatalf("validated plan has flip threshold %g outside (0, 1]", a.FlipThreshold)
+		}
+	})
+}

@@ -1,0 +1,152 @@
+package robust
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// This file renders a robustness Result into the deterministic text report:
+// the base campaign report first (byte-identical to running the campaign
+// alone), then — only when the Monte Carlo stage ran — the winner-stability
+// sections. Cells, pairs and levels are emitted in plan order and every
+// number has fixed precision, so the report is byte-identical across runs
+// and worker counts.
+
+// Write renders the robustness report.
+func (r *Result) Write(w io.Writer) {
+	r.Base.Write(w)
+	axis := r.Plan.Spec.Robustness
+	if axis.Trials == 0 {
+		return
+	}
+
+	fmt.Fprintf(w, "\nRobustness — Monte Carlo model perturbation (§V stress test)\n")
+	fmt.Fprintf(w, "  trials=%d per level, perturbation seed=%d, flip threshold=%.2f\n",
+		axis.Trials, axis.Seed, axis.FlipThreshold)
+	fmt.Fprintf(w, "  noise: %s   levels: %s\n", noiseLine(axis.Noise), levelsLine(axis.Levels))
+
+	platW, wlW := r.columnWidths()
+
+	fmt.Fprintf(w, "\nWinner stability — does the simulated winner survive model error?\n")
+	fmt.Fprintf(w, "  %-*s %-*s %-10s %-14s %6s %11s %8s %8s %14s %9s\n",
+		platW, "platform", wlW, "workload", "model", "pair",
+		"level", "p(flip)", "max", "flipped", "med ratio B/A", "95% CI")
+	for _, c := range r.Cells {
+		for _, p := range c.Pairs {
+			for _, l := range p.Levels {
+				fmt.Fprintf(w, "  %-*s %-*s %-10s %-14s %6.2f %11.3f %8.3f %5d/%-3d %14.3f %9s\n",
+					platW, c.Platform.Env, wlW, c.Workload.Key(), c.Model,
+					p.A+" vs "+p.B, l.Level, l.MeanFlipProb, l.MaxFlipProb,
+					l.Flipped, c.Instances, l.MedianRatio, ciString(l.MedianCIHalf))
+			}
+		}
+	}
+
+	fmt.Fprintf(w, "\nCritical noise level — smallest level whose flip probability reaches %.2f\n", axis.FlipThreshold)
+	fmt.Fprintf(w, "  %-*s %-*s %-10s %-14s %15s %14s\n",
+		platW, "platform", wlW, "workload", "model", "pair",
+		"median critical", "never flipped")
+	for _, c := range r.Cells {
+		for _, p := range c.Pairs {
+			crit := "-"
+			if !math.IsNaN(p.MedianCritical) {
+				crit = fmt.Sprintf("%.2f", p.MedianCritical)
+			}
+			fmt.Fprintf(w, "  %-*s %-*s %-10s %-14s %15s %10d/%-3d\n",
+				platW, c.Platform.Env, wlW, c.Workload.Key(), c.Model,
+				p.A+" vs "+p.B, crit, p.NeverFlipped, c.Instances)
+		}
+	}
+
+	for _, c := range r.Cells {
+		for _, p := range c.Pairs {
+			fmt.Fprintf(w, "\nMost fragile instances — %s %s %s %s vs %s (top %d by critical level)\n",
+				c.Platform.Env, c.Workload.Key(), c.Model, p.A, p.B, fragileLimit)
+			if len(p.Fragile) == 0 {
+				fmt.Fprintf(w, "  every instance keeps its base winner in all %d trials at every level\n", axis.Trials)
+				continue
+			}
+			header := fmt.Sprintf("  %-44s", "instance")
+			for _, l := range axis.Levels {
+				header += fmt.Sprintf(" %9s", fmt.Sprintf("p@%.2f", l))
+			}
+			header += fmt.Sprintf(" %9s", "critical")
+			fmt.Fprintln(w, header)
+			for _, inst := range p.Fragile {
+				row := fmt.Sprintf("  %-44s", inst.Name)
+				for _, fp := range inst.FlipProb {
+					row += fmt.Sprintf(" %9.3f", fp)
+				}
+				crit := "-"
+				if !math.IsNaN(inst.Critical) {
+					crit = fmt.Sprintf("%.2f", inst.Critical)
+				}
+				row += fmt.Sprintf(" %9s", crit)
+				fmt.Fprintln(w, row)
+			}
+		}
+	}
+}
+
+// noiseLine renders the active noise dimensions compactly, in schema order.
+func noiseLine(n Noise) string {
+	var parts []string
+	dim := func(name string, d Dim) {
+		if !d.active() {
+			return
+		}
+		var comps []string
+		if d.MultSigma != 0 {
+			comps = append(comps, fmt.Sprintf("×σ=%g", d.MultSigma))
+		}
+		if d.AddSigma != 0 {
+			comps = append(comps, fmt.Sprintf("+σ=%gs", d.AddSigma))
+		}
+		if d.ShapeSigma != 0 {
+			comps = append(comps, fmt.Sprintf("shape σ=%g", d.ShapeSigma))
+		}
+		parts = append(parts, name+"("+strings.Join(comps, " ")+")")
+	}
+	dim("task_time", n.TaskTime)
+	dim("startup", n.Startup)
+	dim("redist", n.Redist)
+	dim("bandwidth", n.Bandwidth)
+	dim("latency", n.Latency)
+	return strings.Join(parts, " ")
+}
+
+// levelsLine renders the level sweep.
+func levelsLine(levels []float64) string {
+	parts := make([]string, len(levels))
+	for i, l := range levels {
+		parts[i] = fmt.Sprintf("%g", l)
+	}
+	return strings.Join(parts, " ")
+}
+
+// ciString renders a 95% confidence half-width; "-" with fewer than two
+// trials (no spread to estimate).
+func ciString(half float64) string {
+	if math.IsNaN(half) {
+		return "-"
+	}
+	return fmt.Sprintf("±%.3f", half)
+}
+
+// columnWidths sizes the platform and workload columns like the campaign
+// report does, so the stability tables line up with the base report above
+// them.
+func (r *Result) columnWidths() (int, int) {
+	platW, wlW := len("platform"), len("workload")
+	for _, c := range r.Cells {
+		if len(c.Platform.Env) > platW {
+			platW = len(c.Platform.Env)
+		}
+		if len(c.Workload.Key()) > wlW {
+			wlW = len(c.Workload.Key())
+		}
+	}
+	return platW, wlW
+}

@@ -1,0 +1,239 @@
+// Package robust quantifies how wrong a performance model can be before the
+// paper's conclusions flip. §V shows that the analytic simulator picks the
+// wrong winner between HCPA and MCPA on a large fraction of instances — the
+// model is wrong enough to invert the experiment's verdict. This package
+// asks the quantitative version of that question: starting from a fitted
+// model, perturb its predictions (task times, startup overheads,
+// redistribution overheads) and the platform's characteristics (bandwidth,
+// latency) with controlled, seeded noise, re-run the winner determination R
+// times per noise level, and report per-instance flip probabilities,
+// confidence intervals on makespan ratios, and the critical noise level at
+// which the simulated winner flips.
+//
+// A robustness Spec is a campaign Spec (internal/campaign) plus one extra
+// JSON key, "robustness", declaring the Monte Carlo axis. A spec whose
+// robustness axis has trials == 0 is exactly its base campaign: the engine
+// reduces to the campaign engine and the report is byte-identical.
+package robust
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/campaign"
+)
+
+// Monte Carlo limits: a spec beyond these is rejected at validation time,
+// before any fitting or trial runs.
+const (
+	// MaxTrials bounds the perturbation draws per (cell, level).
+	MaxTrials = 64
+	// MaxLevels bounds the noise-level list.
+	MaxLevels = 8
+	// MaxLevel bounds each individual noise level (the sigma multiplier).
+	MaxLevel = 4.0
+	// MaxSigma bounds a dimension's multiplicative lognormal sigma.
+	MaxSigma = 4.0
+	// MaxAddSigma bounds a dimension's additive sigma, in seconds.
+	MaxAddSigma = 60.0
+	// MaxTrialRuns bounds campaign runs × levels × trials — the total
+	// schedule-and-simulate work of the Monte Carlo stage.
+	MaxTrialRuns = 16384
+)
+
+// Dim declares one noise dimension; its three components model three
+// distinct ways a fitted model can be wrong. At noise level ℓ:
+//
+//   - MultSigma draws one lognormal factor exp(z·MultSigma·ℓ) per trial and
+//     applies it to every prediction of the dimension — a systematic bias
+//     ("the whole fit runs 20% hot");
+//   - AddSigma draws one additive offset z'·AddSigma·ℓ seconds per trial —
+//     a constant absolute error ("every startup costs half a second more
+//     than modelled");
+//   - ShapeSigma perturbs every prediction point independently with its own
+//     fixed lognormal factor of sigma ShapeSigma·ℓ (a fresh error surface
+//     per trial) — per-configuration misfit, the error structure the paper
+//     actually observes (Figure 2's per-(n, p) fluctuation).
+//
+// The level list sweeps the same noise shape through increasing magnitudes.
+type Dim struct {
+	// MultSigma is the lognormal sigma of the per-trial systematic factor
+	// at level 1 (0 disables it).
+	MultSigma float64 `json:"mult_sigma,omitempty"`
+	// AddSigma is the standard deviation, in seconds, of the per-trial
+	// additive offset at level 1 (0 disables it).
+	AddSigma float64 `json:"add_sigma,omitempty"`
+	// ShapeSigma is the lognormal sigma of the per-configuration error
+	// surface at level 1 (0 disables it).
+	ShapeSigma float64 `json:"shape_sigma,omitempty"`
+}
+
+// active reports whether the dimension perturbs anything.
+func (d Dim) active() bool { return d.MultSigma != 0 || d.AddSigma != 0 || d.ShapeSigma != 0 }
+
+// Noise declares which model predictions and platform characteristics the
+// trials perturb. The zero value selects the default: per-configuration
+// shape noise with sigma 1 on the three model predictions (task time,
+// startup, redistribution overhead) and no platform noise — at level ℓ,
+// every individual prediction is off by an independent lognormal factor of
+// sigma ℓ, so the critical level reads directly as "the per-prediction
+// relative model error the winner survives".
+type Noise struct {
+	// TaskTime perturbs the model's task-execution-time predictions.
+	TaskTime Dim `json:"task_time"`
+	// Startup perturbs the model's task-startup-overhead predictions.
+	Startup Dim `json:"startup"`
+	// Redist perturbs the model's redistribution-overhead predictions.
+	Redist Dim `json:"redist"`
+	// Bandwidth perturbs the platform's link bandwidth (multiplicative
+	// only — an additive offset in bytes/s has no platform-independent
+	// meaning).
+	Bandwidth Dim `json:"bandwidth"`
+	// Latency perturbs the platform's link latency (multiplicative only).
+	Latency Dim `json:"latency"`
+}
+
+// platform reports whether the noise touches platform characteristics (and
+// therefore requires per-trial networks instead of the cell's shared one).
+func (n Noise) platform() bool { return n.Bandwidth.active() || n.Latency.active() }
+
+// anyActive reports whether any dimension perturbs anything.
+func (n Noise) anyActive() bool {
+	return n.TaskTime.active() || n.Startup.active() || n.Redist.active() || n.platform()
+}
+
+// Axis is the robustness extension of the campaign schema: the Monte Carlo
+// effort (trials per level), the noise shape, the level sweep and the flip
+// threshold.
+type Axis struct {
+	// Trials is the number of perturbation draws per (cell, level);
+	// 0 disables the Monte Carlo stage entirely (the spec is then exactly
+	// its base campaign).
+	Trials int `json:"trials,omitempty"`
+	// Seed seeds the perturbation draws (default: the campaign seed). Trial
+	// streams are decorrelated from the campaign's measurement streams by
+	// construction, so sharing the seed is safe.
+	Seed int64 `json:"seed,omitempty"`
+	// Levels lists the noise levels to sweep, strictly increasing
+	// (default {0.05, 0.1, 0.2}).
+	Levels []float64 `json:"levels,omitempty"`
+	// Noise declares the perturbation shape (default: per-configuration
+	// shape noise with sigma 1 on task time, startup and redistribution
+	// overhead — see Noise).
+	Noise Noise `json:"noise"`
+	// FlipThreshold is the per-instance flip probability at or above which
+	// an instance counts as flipped at a level (default 0.5 — the majority
+	// of trials disagree with the base winner).
+	FlipThreshold float64 `json:"flip_threshold,omitempty"`
+}
+
+// Spec declares one robustness study: a campaign spec (the base grid, JSON
+// keys unchanged) plus the robustness axis.
+type Spec struct {
+	campaign.Spec
+	// Robustness is the Monte Carlo axis.
+	Robustness Axis `json:"robustness"`
+}
+
+// Plan is a validated robustness spec: the expanded campaign grid plus the
+// normalized axis.
+type Plan struct {
+	// Spec is the normalized spec the plan was validated from.
+	Spec Spec
+	// Campaign is the expanded base grid.
+	Campaign *campaign.Plan
+}
+
+// TrialRuns is the number of schedule-and-simulate units the Monte Carlo
+// stage executes: campaign runs × levels × trials.
+func (p *Plan) TrialRuns() int {
+	return p.Campaign.Runs() * len(p.Spec.Robustness.Levels) * p.Spec.Robustness.Trials
+}
+
+// normalize fills the axis defaults in place (only meaningful for
+// trials > 0).
+func (a *Axis) normalize(campaignSeed int64) {
+	if a.Seed == 0 {
+		a.Seed = campaignSeed
+	}
+	if len(a.Levels) == 0 {
+		a.Levels = []float64{0.05, 0.1, 0.2}
+	}
+	if !a.Noise.anyActive() {
+		a.Noise.TaskTime.ShapeSigma = 1
+		a.Noise.Startup.ShapeSigma = 1
+		a.Noise.Redist.ShapeSigma = 1
+	}
+	if a.FlipThreshold == 0 {
+		a.FlipThreshold = 0.5
+	}
+}
+
+// Plan validates the spec and expands the base grid. Like the campaign
+// planner, every error names the offending field and limit.
+func (s Spec) Plan() (*Plan, error) {
+	cp, err := s.Spec.Plan()
+	if err != nil {
+		return nil, err
+	}
+	s.Spec = cp.Spec // keep the campaign normalization
+	if s.Robustness.Trials < 0 || s.Robustness.Trials > MaxTrials {
+		return nil, fmt.Errorf("robust: robustness.trials %d outside [0, %d]", s.Robustness.Trials, MaxTrials)
+	}
+	if s.Robustness.Trials == 0 {
+		// The Monte Carlo stage is disabled; the axis is normalized to its
+		// zero value so the plan is unambiguous about what will run.
+		s.Robustness = Axis{}
+		return &Plan{Spec: s, Campaign: cp}, nil
+	}
+	s.Robustness.normalize(cp.Spec.Seed)
+	a := s.Robustness
+
+	if len(a.Levels) > MaxLevels {
+		return nil, fmt.Errorf("robust: robustness.levels has %d values, limit %d", len(a.Levels), MaxLevels)
+	}
+	prev := 0.0
+	for _, l := range a.Levels {
+		if math.IsNaN(l) || l <= 0 || l > MaxLevel {
+			return nil, fmt.Errorf("robust: robustness.levels value %g outside (0, %g]", l, MaxLevel)
+		}
+		if l <= prev {
+			return nil, fmt.Errorf("robust: robustness.levels must be strictly increasing, got %g after %g", l, prev)
+		}
+		prev = l
+	}
+	dims := []struct {
+		name     string
+		dim      Dim
+		multOnly bool
+	}{
+		{"task_time", a.Noise.TaskTime, false},
+		{"startup", a.Noise.Startup, false},
+		{"redist", a.Noise.Redist, false},
+		{"bandwidth", a.Noise.Bandwidth, true},
+		{"latency", a.Noise.Latency, true},
+	}
+	for _, d := range dims {
+		if math.IsNaN(d.dim.MultSigma) || d.dim.MultSigma < 0 || d.dim.MultSigma > MaxSigma {
+			return nil, fmt.Errorf("robust: robustness.noise.%s.mult_sigma %g outside [0, %g]", d.name, d.dim.MultSigma, MaxSigma)
+		}
+		if math.IsNaN(d.dim.AddSigma) || d.dim.AddSigma < 0 || d.dim.AddSigma > MaxAddSigma {
+			return nil, fmt.Errorf("robust: robustness.noise.%s.add_sigma %g outside [0, %g]", d.name, d.dim.AddSigma, MaxAddSigma)
+		}
+		if math.IsNaN(d.dim.ShapeSigma) || d.dim.ShapeSigma < 0 || d.dim.ShapeSigma > MaxSigma {
+			return nil, fmt.Errorf("robust: robustness.noise.%s.shape_sigma %g outside [0, %g]", d.name, d.dim.ShapeSigma, MaxSigma)
+		}
+		if d.multOnly && (d.dim.AddSigma != 0 || d.dim.ShapeSigma != 0) {
+			return nil, fmt.Errorf("robust: robustness.noise.%s is multiplicative-only; drop add_sigma and shape_sigma", d.name)
+		}
+	}
+	if math.IsNaN(a.FlipThreshold) || a.FlipThreshold <= 0 || a.FlipThreshold > 1 {
+		return nil, fmt.Errorf("robust: robustness.flip_threshold %g outside (0, 1]", a.FlipThreshold)
+	}
+
+	p := &Plan{Spec: s, Campaign: cp}
+	if runs := p.TrialRuns(); runs > MaxTrialRuns {
+		return nil, fmt.Errorf("robust: %d trial runs (campaign runs × levels × trials), limit %d", runs, MaxTrialRuns)
+	}
+	return p, nil
+}

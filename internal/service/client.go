@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/robust"
 )
 
 // Client is a typed HTTP client for a reprosrv daemon.
@@ -174,6 +175,33 @@ func (c *Client) Campaigns(ctx context.Context) ([]JobStatus, error) {
 	return out, nil
 }
 
+// SubmitRobustness submits a Monte Carlo winner-stability study.
+func (c *Client) SubmitRobustness(ctx context.Context, spec robust.Spec) (*JobStatus, error) {
+	var status JobStatus
+	if err := c.do(ctx, http.MethodPost, "/v1/robustness", spec, &status); err != nil {
+		return nil, err
+	}
+	return &status, nil
+}
+
+// Robustness polls one robustness study by ID.
+func (c *Client) Robustness(ctx context.Context, id string) (*JobStatus, error) {
+	var status JobStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/robustness/"+id, nil, &status); err != nil {
+		return nil, err
+	}
+	return &status, nil
+}
+
+// RobustnessJobs lists retained robustness studies.
+func (c *Client) RobustnessJobs(ctx context.Context) ([]JobStatus, error) {
+	var out []JobStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/robustness", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // WaitJob polls a job until it leaves the queued/running states, ctx
 // expires, or the server becomes unreachable. The job must stay within the
 // server's retention window (-retain) while being waited on: if enough
@@ -186,6 +214,11 @@ func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (*J
 // WaitCampaign is WaitJob over /v1/campaigns/{id}.
 func (c *Client) WaitCampaign(ctx context.Context, id string, poll time.Duration) (*JobStatus, error) {
 	return c.wait(ctx, poll, func() (*JobStatus, error) { return c.Campaign(ctx, id) })
+}
+
+// WaitRobustness is WaitJob over /v1/robustness/{id}.
+func (c *Client) WaitRobustness(ctx context.Context, id string, poll time.Duration) (*JobStatus, error) {
+	return c.wait(ctx, poll, func() (*JobStatus, error) { return c.Robustness(ctx, id) })
 }
 
 // wait polls fetch until the status leaves the queued/running states.

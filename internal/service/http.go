@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/dag"
+	"repro/internal/robust"
 )
 
 // apiError is the JSON error payload every handler returns on failure.
@@ -58,6 +59,9 @@ func decode(w http.ResponseWriter, r *http.Request, v any) bool {
 //	POST /v1/campaigns       submit a declarative what-if sweep
 //	GET  /v1/campaigns       list retained campaigns
 //	GET  /v1/campaigns/{id}  poll one campaign
+//	POST /v1/robustness      submit a Monte Carlo winner-stability study
+//	GET  /v1/robustness      list retained robustness studies
+//	GET  /v1/robustness/{id} poll one robustness study
 //	GET  /v1/models          fitted-model registry contents and build cost
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -70,6 +74,9 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/campaigns", s.handleSubmitCampaign)
 	mux.HandleFunc("GET /v1/campaigns", s.handleListCampaigns)
 	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleGetCampaign)
+	mux.HandleFunc("POST /v1/robustness", s.handleSubmitRobustness)
+	mux.HandleFunc("GET /v1/robustness", s.handleListRobustness)
+	mux.HandleFunc("GET /v1/robustness/{id}", s.handleGetRobustness)
 	mux.HandleFunc("GET /v1/models", s.handleModels)
 	return mux
 }
@@ -184,21 +191,58 @@ func (s *Service) handleSubmitCampaign(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *Service) handleListCampaigns(w http.ResponseWriter, r *http.Request) {
+// listJobsByKind writes the retained jobs whose kind satisfies pred — the
+// shared body of the campaign and robustness listing endpoints.
+func (s *Service) listJobsByKind(w http.ResponseWriter, pred func(string) bool) {
 	all := s.jobs.List()
-	campaigns := make([]JobStatus, 0, len(all))
+	out := make([]JobStatus, 0, len(all))
 	for _, j := range all {
-		if isCampaignKind(j.Kind) {
-			campaigns = append(campaigns, j)
+		if pred(j.Kind) {
+			out = append(out, j)
 		}
 	}
-	writeJSON(w, http.StatusOK, campaigns)
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Service) handleListCampaigns(w http.ResponseWriter, r *http.Request) {
+	s.listJobsByKind(w, isCampaignKind)
 }
 
 func (s *Service) handleGetCampaign(w http.ResponseWriter, r *http.Request) {
 	status, ok := s.jobs.Get(r.PathValue("id"))
 	if !ok || !isCampaignKind(status.Kind) {
 		writeError(w, http.StatusNotFound, errors.New("service: no such campaign"))
+		return
+	}
+	writeJSON(w, http.StatusOK, status)
+}
+
+func (s *Service) handleSubmitRobustness(w http.ResponseWriter, r *http.Request) {
+	var spec robust.Spec
+	if !decode(w, r, &spec) {
+		return
+	}
+	status, err := s.SubmitRobustness(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case err != nil:
+		writeServiceError(w, err)
+	default:
+		writeJSON(w, http.StatusAccepted, status)
+	}
+}
+
+func (s *Service) handleListRobustness(w http.ResponseWriter, r *http.Request) {
+	s.listJobsByKind(w, isRobustKind)
+}
+
+func (s *Service) handleGetRobustness(w http.ResponseWriter, r *http.Request) {
+	status, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok || !isRobustKind(status.Kind) {
+		writeError(w, http.StatusNotFound, errors.New("service: no such robustness study"))
 		return
 	}
 	writeJSON(w, http.StatusOK, status)

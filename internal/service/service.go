@@ -14,6 +14,7 @@ import (
 	"repro/internal/perfmodel"
 	"repro/internal/platform"
 	"repro/internal/profiler"
+	"repro/internal/robust"
 	"repro/internal/sched"
 	"repro/internal/simgrid"
 	"repro/internal/tgrid"
@@ -669,6 +670,61 @@ func (s *Service) SubmitCampaign(spec campaign.Spec) (JobStatus, error) {
 func (s *Service) RunCampaign(ctx context.Context, spec campaign.Spec) (string, error) {
 	spec = s.normalizeCampaign(spec)
 	eng := campaign.Engine{Source: s.registry, Workers: s.opts.Parallelism}
+	res, err := eng.Run(ctx, spec)
+	if err != nil {
+		return "", err
+	}
+	var buf bytes.Buffer
+	res.Write(&buf)
+	return buf.String(), nil
+}
+
+// ------------------------------------------------------------- robustness
+
+// robustKindPrefix marks robustness jobs in the shared job store.
+const robustKindPrefix = "robust"
+
+// isRobustKind reports whether a job kind belongs to a robustness study.
+func isRobustKind(kind string) bool { return strings.HasPrefix(kind, robustKindPrefix) }
+
+// normalizeRobustness fills a robustness spec's seed defaults from the
+// service options — the embedded campaign normalizes exactly like a plain
+// campaign submission, so a robustness study's base grid shares its fitted
+// models with every other consumer of the registry.
+func (s *Service) normalizeRobustness(spec robust.Spec) robust.Spec {
+	spec.Spec = s.normalizeCampaign(spec.Spec)
+	return spec
+}
+
+// SubmitRobustness validates a Monte Carlo robustness study and queues it
+// as an async job (kind "robust" or "robust:<name>"). Invalid specs — bad
+// campaign axes, bad noise dimensions, trial budgets beyond the limits —
+// are rejected up front as bad requests, before any fitting or trials run.
+func (s *Service) SubmitRobustness(spec robust.Spec) (JobStatus, error) {
+	spec = s.normalizeRobustness(spec)
+	plan, err := spec.Plan()
+	if err != nil {
+		return JobStatus{}, badRequest{err}
+	}
+	if _, err := s.registry.Environment(plan.Campaign.Spec.Platforms.Base); err != nil {
+		return JobStatus{}, badRequest{err}
+	}
+	kind := robustKindPrefix
+	if spec.Name != "" {
+		kind += ":" + spec.Name
+	}
+	return s.jobs.Submit(kind, func(ctx context.Context) (string, error) {
+		return s.RunRobustness(ctx, spec)
+	})
+}
+
+// RunRobustness executes a robustness study synchronously against the
+// service's fit-once registry and returns the rendered report: the base
+// campaign (byte-identical to submitting it as a plain campaign) followed
+// by the winner-stability sections.
+func (s *Service) RunRobustness(ctx context.Context, spec robust.Spec) (string, error) {
+	spec = s.normalizeRobustness(spec)
+	eng := robust.Engine{Source: s.registry, Workers: s.opts.Parallelism}
 	res, err := eng.Run(ctx, spec)
 	if err != nil {
 		return "", err

@@ -36,7 +36,11 @@
 //     mixedsim -campaign): declarative what-if sweeps over hypothetical
 //     platforms, workloads, algorithms and models — §IX's "scaled to
 //     simulate hypothetical platforms" as a grid the registry's fit-once
-//     economics make cheap to explore.
+//     economics make cheap to explore;
+//   - a robustness engine (internal/robust, POST /v1/robustness and
+//     mixedsim -robust): Monte Carlo perturbation of fitted models and
+//     platform characteristics with winner-stability reports — how wrong
+//     can a model be before the §V conclusions flip.
 //
 // The quickest entry points:
 //
@@ -57,6 +61,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/perfmodel"
 	"repro/internal/platform"
+	"repro/internal/robust"
 	"repro/internal/sched"
 	"repro/internal/service"
 	"repro/internal/simgrid"
@@ -113,6 +118,19 @@ type (
 	CampaignResult = campaign.Result
 )
 
+// Robustness types (internal/robust): Monte Carlo winner-stability studies.
+type (
+	// RobustnessSpec is a campaign spec plus the Monte Carlo perturbation
+	// axis (docs/ROBUSTNESS.md).
+	RobustnessSpec = robust.Spec
+	// RobustnessAxis declares the perturbation effort, noise shape and
+	// level sweep of a robustness study.
+	RobustnessAxis = robust.Axis
+	// RobustnessResult is a completed study; Write renders the base
+	// campaign report followed by the winner-stability sections.
+	RobustnessResult = robust.Result
+)
+
 // RunCampaign executes a declarative what-if sweep against a fresh
 // fit-once model registry. Long-running callers should prefer a Service
 // (POST /v1/campaigns), which shares the registry across campaigns and
@@ -121,6 +139,21 @@ func RunCampaign(ctx context.Context, spec CampaignSpec) (*CampaignResult, error
 	cfg := experiments.DefaultConfig()
 	reg := service.NewModelRegistry(cfg.Profile, cfg.Empirical)
 	eng := campaign.Engine{Source: reg, Workers: cfg.Parallelism}
+	return eng.Run(ctx, spec)
+}
+
+// RunRobustness executes a Monte Carlo winner-stability study against a
+// fresh fit-once model registry: the spec's base campaign runs first, then
+// every grid cell is re-scheduled and re-simulated under seeded model and
+// platform perturbations to measure how much model error the simulated
+// winner survives (docs/ROBUSTNESS.md). A spec whose robustness axis has
+// trials == 0 reduces exactly to RunCampaign. Long-running callers should
+// prefer a Service (POST /v1/robustness), which shares the registry across
+// studies, campaigns and schedule requests.
+func RunRobustness(ctx context.Context, spec RobustnessSpec) (*RobustnessResult, error) {
+	cfg := experiments.DefaultConfig()
+	reg := service.NewModelRegistry(cfg.Profile, cfg.Empirical)
+	eng := robust.Engine{Source: reg, Workers: cfg.Parallelism}
 	return eng.Run(ctx, spec)
 }
 
