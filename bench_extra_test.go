@@ -6,6 +6,7 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
 
 	"repro/internal/campaign"
@@ -47,15 +48,21 @@ func BenchmarkAblationOverheadAttribution(b *testing.B) {
 // (internal/robust): one full winner-stability study per iteration — the
 // base HCPA-vs-MCPA campaign on the n=2000 suite plus 8 perturbation
 // trials at one noise level — against a shared registry, so the figure
-// excludes model fitting but not the base campaign. The custom metric
-// normalises the whole study by its trial-run count, i.e. it reports
-// end-to-end study throughput expressed in trial runs per second (a
-// fixed base-campaign share — 2 of 18 runs at this spec — rides along in
-// the denominator's time).
+// excludes model fitting but not the base campaign. The custom metrics
+// normalise the whole study by its trial-run count: end-to-end study
+// throughput in trial runs per second (a fixed base-campaign share — 2
+// of 18 runs at this spec — rides along in the denominator's time) and
+// heap allocations per trial run. Four variants cover the engine's
+// regimes: "resched" rebuilds schedules per trial through the scratch
+// path (default noise reaches task times, so replay is ineligible),
+// "replay" keeps the truth-model schedules and only re-predicts
+// (prediction_only), and the two "…-seq" variants add the Wilson
+// sequential stop rule, whose trialruns/s figure counts the full budget
+// so the saved trials show up as throughput.
 func BenchmarkRobustnessTrials(b *testing.B) {
 	cfg := experiments.DefaultConfig()
 	reg := service.NewModelRegistry(cfg.Profile, cfg.Empirical)
-	spec := robust.Spec{
+	base := robust.Spec{
 		Spec: campaign.Spec{
 			Name:       "bench",
 			Workloads:  campaign.WorkloadAxis{Sizes: []int{2000}},
@@ -64,23 +71,45 @@ func BenchmarkRobustnessTrials(b *testing.B) {
 		},
 		Robustness: robust.Axis{Trials: 8, Levels: []float64{0.1}},
 	}
-	plan, err := spec.Plan()
-	if err != nil {
-		b.Fatal(err)
+	variants := []struct {
+		name           string
+		predictionOnly bool
+		sequential     bool
+	}{
+		{"resched", false, false},
+		{"replay", true, false},
+		{"resched-seq", false, true},
+		{"replay-seq", true, true},
 	}
-	eng := robust.Engine{Source: reg}
-	if _, err := eng.Run(context.Background(), spec); err != nil {
-		b.Fatal(err) // warm the registry before timing
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := eng.Run(context.Background(), spec); err != nil {
-			b.Fatal(err)
-		}
-	}
-	b.StopTimer()
-	if secs := b.Elapsed().Seconds(); secs > 0 {
-		b.ReportMetric(float64(plan.TrialRuns()*b.N)/secs, "trialruns/s")
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			spec := base
+			spec.Robustness.PredictionOnly = v.predictionOnly
+			spec.Robustness.Sequential = v.sequential
+			plan, err := spec.Plan()
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng := robust.Engine{Source: reg}
+			if _, err := eng.Run(context.Background(), spec); err != nil {
+				b.Fatal(err) // warm the registry (and the engine's runner pool)
+			}
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Run(context.Background(), spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			runtime.ReadMemStats(&after)
+			trialRuns := float64(plan.TrialRuns() * b.N)
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(trialRuns/secs, "trialruns/s")
+			}
+			b.ReportMetric(float64(after.Mallocs-before.Mallocs)/trialRuns, "allocs/trial")
+		})
 	}
 }
 

@@ -12,8 +12,12 @@
 // -merge (the default), existing entries for other benchmarks are kept, so
 // cheap and expensive benchmarks can be recorded by separate invocations:
 //
-//	go run ./cmd/benchdump -out BENCH_PR5.json -bench 'BenchmarkMaxMinSolver$|BenchmarkVirtualReplay$'
-//	go run ./cmd/benchdump -out BENCH_PR5.json -benchtime 1x -bench 'BenchmarkStudySerialVsParallel|BenchmarkServiceScheduleThroughput|BenchmarkRobustnessTrials$'
+//	go run ./cmd/benchdump -out BENCH_PR6.json -bench 'BenchmarkMaxMinSolver$|BenchmarkVirtualReplay$'
+//	go run ./cmd/benchdump -out BENCH_PR6.json -benchtime 1x -bench 'BenchmarkStudySerialVsParallel|BenchmarkServiceScheduleThroughput|BenchmarkRobustnessTrials$'
+//
+// BenchmarkRobustnessTrials runs as four sub-benchmarks (resched/replay ×
+// full-budget/sequential); each reports trialruns/s and allocs/trial custom
+// metrics, which land in the entry's "metrics" map.
 package main
 
 import (
@@ -73,7 +77,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchdump: ")
 	var (
-		out       = flag.String("out", "BENCH_PR5.json", "output JSON file")
+		out       = flag.String("out", "BENCH_PR6.json", "output JSON file")
 		bench     = flag.String("bench", defaultBench, "benchmark regex passed to go test -bench")
 		benchtime = flag.String("benchtime", "1s", "go test -benchtime (e.g. 1s, 100x, 1x for a smoke run)")
 		pkg       = flag.String("pkg", ".", "package to benchmark")

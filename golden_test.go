@@ -166,6 +166,31 @@ func TestGoldenRobustnessExample(t *testing.T) {
 	goldenCompare(t, "robustness-example.txt", buf.Bytes())
 }
 
+// goldenRobustnessSequentialSpec is the stopping-enabled variant of the
+// robustness example: the same study with the Wilson stop rule on, pinning
+// the sequential report (per-cell trials saved) byte-for-byte.
+func goldenRobustnessSequentialSpec() robust.Spec {
+	spec := goldenRobustnessSpec()
+	spec.Name = "bayreuth-hcpa-mcpa-stability-sequential"
+	spec.Robustness.Sequential = true
+	return spec
+}
+
+// TestGoldenRobustnessSequential pins the sequential-stopping report
+// byte-for-byte.
+func TestGoldenRobustnessSequential(t *testing.T) {
+	cfg := experiments.DefaultConfig()
+	reg := service.NewModelRegistry(cfg.Profile, cfg.Empirical)
+	eng := robust.Engine{Source: reg, Workers: cfg.Parallelism}
+	res, err := eng.Run(context.Background(), goldenRobustnessSequentialSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	res.Write(&buf)
+	goldenCompare(t, "robustness-sequential.txt", buf.Bytes())
+}
+
 // TestGoldenCorpusComplete fails when a committed snapshot no longer has a
 // test regenerating it, so the corpus cannot accumulate dead files.
 func TestGoldenCorpusComplete(t *testing.T) {
@@ -174,8 +199,9 @@ func TestGoldenCorpusComplete(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := map[string]bool{
-		"campaign-example.txt":   true,
-		"robustness-example.txt": true,
+		"campaign-example.txt":      true,
+		"robustness-example.txt":    true,
+		"robustness-sequential.txt": true,
 	}
 	for _, name := range goldenStudies {
 		want[name+".txt"] = true

@@ -3,6 +3,7 @@ package campaign
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/cluster"
 	"repro/internal/dag"
@@ -45,6 +46,15 @@ type Engine struct {
 	// (internal/robust) builds its winner-stability baselines from them
 	// without re-measuring anything.
 	KeepRaw bool
+	// KeepSchedules additionally retains every run's schedule on
+	// CellRaw.Schedules (deep copies, detached from the engine's scratch
+	// buffers). Only meaningful together with KeepRaw; the robustness
+	// engine's replay path re-simulates these base schedules under
+	// perturbed models without rescheduling.
+	KeepSchedules bool
+
+	// scratch pools per-worker scheduling scratch structs across cells.
+	scratch sync.Pool
 }
 
 // AlgoScore summarises one algorithm over one grid cell's suite.
@@ -88,9 +98,11 @@ type CellScore struct {
 
 // CellRaw retains a cell's per-instance makespans: Sim[i][a] and Exp[i][a]
 // are the simulated and measured makespans of suite instance i under
-// algorithm a (both in plan order).
+// algorithm a (both in plan order). Schedules[i][a] is the corresponding
+// schedule, retained only under Engine.KeepSchedules; nil otherwise.
 type CellRaw struct {
-	Sim, Exp [][]float64
+	Sim, Exp  [][]float64
+	Schedules [][]*sched.Schedule
 }
 
 // Result is a completed campaign: the expanded plan plus every cell's
@@ -213,13 +225,26 @@ func (e *Engine) runCell(ctx context.Context, plan *Plan, pt PlatformPoint, wp W
 	comm := perfmodel.CommFunc(model, truth.Cluster)
 	study := "campaign/" + pt.Env + "/" + wp.Key() + "/" + kind
 
-	type cellOut struct{ sim, exp []float64 }
+	type cellOut struct {
+		sim, exp  []float64
+		schedules []*sched.Schedule
+	}
 	outs := make([]cellOut, len(suite))
+	homogeneous := truth.Cluster.IsHomogeneous()
 	runner := experiments.Runner{Workers: e.Workers, Seed: plan.Spec.Seed, Em: em, Ctx: ctx}
 	err := runner.Run(study, len(suite), func(i int, sess *cluster.Session) error {
 		o := cellOut{sim: make([]float64, len(algos)), exp: make([]float64, len(algos))}
+		if e.KeepRaw && e.KeepSchedules {
+			o.schedules = make([]*sched.Schedule, len(algos))
+		}
+		var sc *sched.Scratch
+		if homogeneous {
+			sc = e.acquireScratch()
+			defer e.releaseScratch(sc)
+			sc.Bind(suite[i].Graph, truth.Cluster.Nodes, cost)
+		}
 		for ai, name := range algos {
-			s, err := BuildSchedule(name, suite[i].Graph, truth.Cluster, cost, comm)
+			s, err := BuildScheduleScratch(sc, name, suite[i].Graph, truth.Cluster, cost, comm)
 			if err != nil {
 				return fmt.Errorf("campaign: %s: %s on %s: %w", study, name, suite[i].Params.Name(), err)
 			}
@@ -233,6 +258,9 @@ func (e *Engine) runCell(ctx context.Context, plan *Plan, pt PlatformPoint, wp W
 				return fmt.Errorf("campaign: execute %s: %s on %s: %w", study, name, suite[i].Params.Name(), err)
 			}
 			o.sim[ai], o.exp[ai] = simRes.Makespan, exp
+			if o.schedules != nil {
+				o.schedules[ai] = s.Clone()
+			}
 		}
 		outs[i] = o
 		return nil
@@ -244,9 +272,15 @@ func (e *Engine) runCell(ctx context.Context, plan *Plan, pt PlatformPoint, wp W
 	cell := CellScore{Platform: pt, Workload: wp, Model: kind, Instances: len(suite)}
 	if e.KeepRaw {
 		raw := &CellRaw{Sim: make([][]float64, len(suite)), Exp: make([][]float64, len(suite))}
+		if e.KeepSchedules {
+			raw.Schedules = make([][]*sched.Schedule, len(suite))
+		}
 		for i, o := range outs {
 			raw.Sim[i] = o.sim
 			raw.Exp[i] = o.exp
+			if raw.Schedules != nil {
+				raw.Schedules[i] = o.schedules
+			}
 		}
 		cell.Raw = raw
 	}
@@ -323,6 +357,51 @@ func deriveHidden(base *cluster.Hidden, pt PlatformPoint) *cluster.Hidden {
 	c.Name = pt.Env
 	h.Cluster = c
 	return &h
+}
+
+// acquireScratch hands out a pooled scheduling scratch (one per concurrent
+// worker in steady state).
+func (e *Engine) acquireScratch() *sched.Scratch {
+	if sc, ok := e.scratch.Get().(*sched.Scratch); ok {
+		return sc
+	}
+	return sched.NewScratch()
+}
+
+func (e *Engine) releaseScratch(sc *sched.Scratch) { e.scratch.Put(sc) }
+
+// BuildScheduleScratch is BuildSchedule through a reusable scheduling
+// scratch: the caller binds sc to (g, c.Nodes, cost) once and then builds
+// any number of algorithm runs against it without steady-state allocations.
+// The returned schedule aliases the scratch's buffers — it is invalidated by
+// the scratch's next build, so callers retaining it must Clone.
+//
+// A nil scratch — or a heterogeneous platform, which the scratch path does
+// not cover — falls back to BuildSchedule. Either path produces bit-identical
+// schedules.
+func BuildScheduleScratch(sc *sched.Scratch, name string, g *dag.Graph, c platform.Cluster, cost dag.CostFunc, comm dag.CommFunc) (*sched.Schedule, error) {
+	if sc == nil || !c.IsHomogeneous() {
+		return BuildSchedule(name, g, c, cost, comm)
+	}
+	if name == "MHEFT" {
+		return sc.BuildMHEFT(sched.MHEFT{}, comm)
+	}
+	var algo sched.Algorithm
+	switch name {
+	case "CPA":
+		algo = sched.CPA{}
+	case "HCPA":
+		algo = sched.HCPA{}
+	case "MCPA":
+		algo = sched.MCPA{}
+	case "SEQ":
+		algo = sched.Sequential{}
+	case "DATAPAR":
+		algo = sched.DataParallel{}
+	default:
+		return nil, fmt.Errorf("campaign: unknown algorithm %q", name)
+	}
+	return sc.Build(algo, comm)
 }
 
 // BuildSchedule dispatches one algorithm-axis run: MHEFT is a one-phase

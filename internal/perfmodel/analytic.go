@@ -26,32 +26,30 @@ func (a *Analytic) Name() string { return "analytic" }
 
 // TaskTime implements Model: the L07 lone-activity duration of the task's
 // parallel-task description — max of the computation time and the per-link
-// communication time, plus route latency when communication occurs.
+// communication time, plus route latency when communication occurs. The
+// evaluation is the closed form of the TaskPtask description (uniform
+// per-rank computation; for mul, a ring whose every uplink carries 8n²
+// bytes) so the scheduling algorithms' memoised inner loops never touch the
+// per-rank slices; the arithmetic matches the reduction of the
+// materialised description bit for bit.
 func (a *Analytic) TaskTime(task *dag.Task, p int) float64 {
-	comp, bytes := a.TaskPtask(task, p)
-	t := 0.0
-	if comp != nil {
-		t = comp[0] / a.Cluster.NodePower
-	}
-	if bytes != nil {
-		// Ring pattern: every uplink carries the same volume.
-		perLink := 0.0
-		for _, row := range bytes {
-			rowSum := 0.0
-			for _, b := range row {
-				rowSum += b
+	n := float64(task.N)
+	switch task.Kernel {
+	case dag.KernelMul:
+		t := 2 * n * n * n / float64(p) / a.Cluster.NodePower
+		if p > 1 {
+			commT := 8 * n * n / a.Cluster.LinkBandwidth
+			if commT > t {
+				t = commT
 			}
-			if rowSum > perLink {
-				perLink = rowSum
-			}
+			t += 2 * a.Cluster.LinkLatency
 		}
-		commT := perLink / a.Cluster.LinkBandwidth
-		if commT > t {
-			t = commT
-		}
-		t += 2 * a.Cluster.LinkLatency
+		return t
+	case dag.KernelAdd:
+		return (n / 4) * n * n / float64(p) / a.Cluster.NodePower
+	default: // noop
+		return 0
 	}
-	return t
 }
 
 // StartupOverhead implements Model; the analytic model ignores task startup.

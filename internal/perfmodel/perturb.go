@@ -137,6 +137,20 @@ func (m *Perturbed) TaskPtask(task *dag.Task, p int) ([]float64, [][]float64) {
 	return scaled, bytes
 }
 
+// TaskPtaskScale reports the factor relating this draw's parallel-task
+// description to the base model's (see TaskPtask): multiplicative-only task
+// noise scales the base per-rank flop counts by the configuration's factor,
+// while an additive offset has no per-rank representation, so no factor
+// exists and callers must fall back to the fixed TaskTime path. This is the
+// tgrid.TimingScaler hook that lets schedule replay re-arm recorded tasks
+// without materialising perturbed descriptions.
+func (m *Perturbed) TaskPtaskScale(task *dag.Task, p int) (float64, bool) {
+	if m.P.TaskOffset != 0 {
+		return 0, false
+	}
+	return m.taskFactor(task, p), true
+}
+
 func clampNonNeg(v float64) float64 {
 	if v < 0 {
 		return 0

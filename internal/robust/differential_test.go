@@ -1,0 +1,174 @@
+package robust_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/perfmodel"
+	"repro/internal/platform"
+	"repro/internal/robust"
+	"repro/internal/sched"
+)
+
+// The differential harness: the production engine's allocation-free trial
+// loop (scratch scheduling, schedule replay) against the preserved PR 5
+// loop, which built and simulated everything from scratch. With sequential
+// stopping off the two must render byte-identical reports — the fast path
+// is an optimisation, not a semantics change.
+
+// diffSpecs spans the fast path's regimes: the default reschedule path, the
+// per-trial-network path under platform noise, and the replay-all path the
+// engine auto-selects when the noise provably cannot move any scheduler
+// input (multiplicative/shape noise on the analytic model's identically-zero
+// startup and redistribution overheads).
+func diffSpecs() []struct {
+	name string
+	spec robust.Spec
+} {
+	axis := func(a robust.Axis) robust.Spec { return robust.Spec{Spec: baseSpec(), Robustness: a} }
+	return []struct {
+		name string
+		spec robust.Spec
+	}{
+		{"resched-default-noise", axis(robust.Axis{Trials: 5, Levels: []float64{0.05, 0.2}})},
+		{"resched-platform-noise", axis(robust.Axis{
+			Trials: 4,
+			Levels: []float64{0.1, 0.3},
+			Noise: robust.Noise{
+				TaskTime:  robust.Dim{MultSigma: 0.5, ShapeSigma: 0.5},
+				Bandwidth: robust.Dim{MultSigma: 0.5},
+				Latency:   robust.Dim{MultSigma: 0.5},
+			},
+		})},
+		{"replay-invariant-noise", axis(robust.Axis{
+			Trials: 4,
+			Levels: []float64{0.1, 0.3},
+			Noise: robust.Noise{
+				Startup: robust.Dim{MultSigma: 1, ShapeSigma: 1},
+				Redist:  robust.Dim{MultSigma: 0.5, ShapeSigma: 1},
+			},
+		})},
+	}
+}
+
+// TestFastPathMatchesOracle pins the tentpole's correctness claim: for every
+// regime and several worker counts, the fast path's report is byte-identical
+// to the PR 5 oracle's.
+func TestFastPathMatchesOracle(t *testing.T) {
+	for _, tc := range diffSpecs() {
+		t.Run(tc.name, func(t *testing.T) {
+			oracle := robust.OracleEngine{Source: newEngine(0).Source, Workers: 2}
+			ores, err := oracle.Run(context.Background(), tc.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want bytes.Buffer
+			ores.Write(&want)
+
+			for _, workers := range []int{1, 2, 8} {
+				eng := newEngine(workers)
+				res, err := eng.Run(context.Background(), tc.spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var got bytes.Buffer
+				res.Write(&got)
+				if got.String() != want.String() {
+					t.Errorf("workers=%d: fast path diverged from the PR 5 oracle:\n--- fast ---\n%s\n--- oracle ---\n%s",
+						workers, got.String(), want.String())
+				}
+			}
+		})
+	}
+}
+
+// TestPredictionOnlyDeterministic covers the regime the oracle cannot: a
+// prediction-only spec pins every trial to the base schedules (new
+// semantics, no PR 5 equivalent), so the guarantee is worker-count
+// byte-identity plus a report that actually moves (the perturbed simulator
+// sees real task-time noise).
+func TestPredictionOnlyDeterministic(t *testing.T) {
+	spec := robust.Spec{Spec: baseSpec(), Robustness: robust.Axis{
+		Trials:         6,
+		Levels:         []float64{0.05, 0.2},
+		PredictionOnly: true,
+	}}
+	run := func(workers int) string {
+		eng := newEngine(workers)
+		res, err := eng.Run(context.Background(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		res.Write(&buf)
+		return buf.String()
+	}
+	serial := run(1)
+	if parallel := run(8); serial != parallel {
+		t.Errorf("prediction-only report differs between workers=1 and workers=8:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial, parallel)
+	}
+}
+
+// TestReplayEligibleScheduleStable pins the replay-all path's premise with
+// the schedulers themselves: for draws the eligibility predicate accepts,
+// rescheduling under the perturbed model reproduces the base schedule
+// node-for-node, so replaying the base schedule loses nothing.
+func TestReplayEligibleScheduleStable(t *testing.T) {
+	c := platform.Bayreuth()
+	base := perfmodel.NewAnalytic(c)
+	cost := perfmodel.CostFunc(base)
+	comm := perfmodel.CommFunc(base, c)
+
+	noise := robust.Noise{
+		Startup: robust.Dim{MultSigma: 1, ShapeSigma: 1},
+		Redist:  robust.Dim{MultSigma: 0.5, ShapeSigma: 1},
+	}
+	if !robust.ScheduleInvariant(noise, base, c.Nodes) {
+		t.Fatal("startup/redist noise on the analytic model should be schedule-invariant")
+	}
+
+	draws := []perfmodel.Perturbation{
+		{TaskFactor: 1, StartupFactor: 1.7, RedistFactor: 0.6, Salt: 11},
+		{TaskFactor: 1, StartupFactor: 0.4, RedistFactor: 1.9, StartupShape: 0.5, RedistShape: 0.8, Salt: 12},
+	}
+	for seed := int64(0); seed < 3; seed++ {
+		g := dag.MustGenerate(dag.GenParams{Tasks: 9 + int(seed)*6, InputMatrices: 4, AddRatio: 0.5, N: 2000, Seed: 50 + seed})
+		for _, algo := range []sched.Algorithm{sched.HCPA{}, sched.MCPA{}} {
+			want, err := sched.Build(algo, g, c.Nodes, cost, comm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for di, draw := range draws {
+				pm, err := perfmodel.NewPerturbed(base, draw)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := sched.Build(algo, g, c.Nodes, perfmodel.CostFunc(pm), perfmodel.CommFunc(pm, c))
+				if err != nil {
+					t.Fatal(err)
+				}
+				ctx := g.Name + "/" + algo.Name()
+				if got.Algorithm != want.Algorithm || len(got.Alloc) != len(want.Alloc) {
+					t.Fatalf("%s draw %d: schedule shape differs", ctx, di)
+				}
+				for i := range want.Alloc {
+					if got.Alloc[i] != want.Alloc[i] {
+						t.Fatalf("%s draw %d: task %d alloc %d != %d", ctx, di, i, got.Alloc[i], want.Alloc[i])
+					}
+					for j := range want.Hosts[i] {
+						if got.Hosts[i][j] != want.Hosts[i][j] {
+							t.Fatalf("%s draw %d: task %d hosts %v != %v", ctx, di, i, got.Hosts[i], want.Hosts[i])
+						}
+					}
+					if got.EstStart[i] != want.EstStart[i] || got.EstFinish[i] != want.EstFinish[i] {
+						t.Fatalf("%s draw %d: task %d window [%g,%g] != [%g,%g]", ctx, di, i,
+							got.EstStart[i], got.EstFinish[i], want.EstStart[i], want.EstFinish[i])
+					}
+				}
+			}
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"sort"
 	"strconv"
+	"sync"
 
 	"repro/internal/campaign"
 	"repro/internal/cluster"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/perfmodel"
 	"repro/internal/platform"
+	"repro/internal/sched"
 	"repro/internal/simgrid"
 	"repro/internal/stats"
 	"repro/internal/tgrid"
@@ -23,11 +25,20 @@ import (
 const fragileLimit = 10
 
 // Engine executes robustness plans: it runs the base campaign first (with
-// per-instance makespans retained), then replays every grid cell through the
-// Monte Carlo stage — R seeded perturbation draws per noise level, each
-// re-scheduling and re-simulating all axis algorithms under a perturbed
-// model and platform — and aggregates winner-stability statistics against
-// the base simulated winners.
+// per-instance makespans and schedules retained), then replays every grid
+// cell through the Monte Carlo stage — R seeded perturbation draws per noise
+// level, each re-scheduling and re-simulating all axis algorithms under a
+// perturbed model and platform — and aggregates winner-stability statistics
+// against the base simulated winners.
+//
+// The trial loop is allocation-free at steady state: schedules are built in
+// pooled scratch storage (sched.Scratch), every simulation is a schedule
+// replay over recycled engine state (tgrid.Replayer), and when the draws
+// provably cannot change any scheduler input — prediction-only specs, or
+// noise the bound model is invariant under — the base campaign's schedules
+// are replayed without rescheduling at all. Both paths are bit-identical to
+// the direct build-and-simulate loop they replaced (oracle_test.go keeps
+// that loop alive as a differential witness).
 type Engine struct {
 	// Source supplies ground truths and registry-cached fitted models; the
 	// base campaign and the trials resolve the same fit per cell.
@@ -35,6 +46,9 @@ type Engine struct {
 	// Workers bounds the per-instance worker pool (<= 0: one per CPU).
 	// Reports are byte-identical for every value.
 	Workers int
+	// runners pools per-worker trial state (scheduling scratches, replayers,
+	// makespan buffers) across cells and instances.
+	runners sync.Pool
 }
 
 // Result is a completed robustness study: the base campaign result plus one
@@ -57,6 +71,13 @@ type CellStability struct {
 	Model     string
 	Instances int
 	Pairs     []PairStability
+	// TrialsUsed sums, per level in spec order, the trials actually drawn
+	// across the cell's instances under sequential stopping; nil when the
+	// spec runs the full budget.
+	TrialsUsed []int
+	// TrialBudget is the per-level budget (instances × trials) TrialsUsed
+	// compares against; 0 when TrialsUsed is nil.
+	TrialBudget int
 }
 
 // PairStability reports winner stability for one algorithm pair of one grid
@@ -118,7 +139,7 @@ func (e *Engine) Run(ctx context.Context, spec Spec) (*Result, error) {
 		return nil, fmt.Errorf("robust: engine has no model source")
 	}
 	trials := plan.Spec.Robustness.Trials
-	ceng := campaign.Engine{Source: e.Source, Workers: e.Workers, KeepRaw: trials > 0}
+	ceng := campaign.Engine{Source: e.Source, Workers: e.Workers, KeepRaw: trials > 0, KeepSchedules: trials > 0}
 	base, err := ceng.Run(ctx, plan.Spec.Spec)
 	if err != nil {
 		return nil, err
@@ -181,6 +202,9 @@ type trialSetup struct {
 	comm    dag.CommFunc
 	model   *perfmodel.Perturbed
 	net     *simgrid.Net
+	// sim is the perturbed model pre-wrapped for replay; building the
+	// interface value here keeps the boxing allocation out of the trial loop.
+	sim tgrid.TimingScaler
 }
 
 // perturbationDraw is one trial's full draw: the model perturbation plus
@@ -227,12 +251,16 @@ func drawPerturbation(rng *rand.Rand, n Noise, level float64) perturbationDraw {
 	return out
 }
 
-// stabilizeCell runs the Monte Carlo stage of one grid cell: R trials per
-// noise level, each re-scheduling and re-simulating every axis algorithm on
-// every suite instance under the trial's perturbed model. Instances run on
-// the experiments worker pool (the same pool the campaign's cells ran on)
-// with index-addressed results; trials draw warm engines from the cell's
-// shared network pools, so the hot path allocates no fresh simulation state.
+// stabilizeCell runs the Monte Carlo stage of one grid cell: up to R trials
+// per noise level, each re-scheduling (or, when the draws cannot change the
+// schedule, replaying) and re-simulating every axis algorithm on every suite
+// instance under the trial's perturbed model. Instances run on the
+// experiments worker pool with index-addressed results, so reports never
+// depend on the worker count; per-worker scratches and replayers come from
+// the engine's runner pool, so steady-state trials allocate nothing. With
+// sequential stopping enabled, each (instance, level) stops drawing trials
+// once every pair's flip probability is decided against the flip threshold
+// by its Wilson interval (after MinTrials, within the Trials budget).
 func (e *Engine) stabilizeCell(ctx context.Context, plan *Plan, cp *campaign.Plan,
 	pt campaign.PlatformPoint, wp campaign.WorkloadPoint, kind string,
 	truth *cluster.Hidden, platNet *simgrid.Net, suite []dag.SuiteInstance,
@@ -272,22 +300,39 @@ func (e *Engine) stabilizeCell(ctx context.Context, plan *Plan, cp *campaign.Pla
 				comm:    perfmodel.CommFunc(pm, c),
 				model:   pm,
 				net:     net,
+				sim:     tgrid.ScaledTiming{Model: pm},
 			}
 		}
 	}
 
 	npairs := len(algos) * (len(algos) - 1) / 2
-	type levelOut struct {
-		flips  int
-		ratios []float64
-	}
 	outs := make([][][]levelOut, len(suite)) // [instance][pair][level]
+	useds := make([][]int, len(suite))       // [instance][level] trials drawn
 	raw := baseCell.Raw
 	if raw == nil {
 		return CellStability{}, fmt.Errorf("robust: %s: base campaign retained no per-instance data", study)
 	}
+	// A perturbed schedule equals the base schedule whenever the draw leaves
+	// every scheduler input untouched — declared (prediction_only) or proven
+	// (scheduleInvariant). Then rescheduling is pure waste: replay the base
+	// campaign's schedules through the perturbed simulator instead.
+	replayAll := axis.PredictionOnly || (raw.Schedules != nil && scheduleInvariant(axis.Noise, model, truth.Cluster.Nodes))
+	if replayAll && raw.Schedules == nil {
+		return CellStability{}, fmt.Errorf("robust: %s: base campaign retained no schedules", study)
+	}
+	homogeneous := truth.Cluster.IsHomogeneous()
+	baseTiming := tgrid.Timing(tgrid.ModelTiming{Model: model})
 	err := experiments.ForEachCellCtx(ctx, e.Workers, len(suite), func(i int) error {
 		g := suite[i].Graph
+		run := e.acquireRunner(len(algos))
+		defer e.releaseRunner(run)
+		if replayAll {
+			for ai := range algos {
+				if err := run.reps[ai].Bind(platNet, raw.Schedules[i][ai], baseTiming); err != nil {
+					return fmt.Errorf("robust: %s: bind %s on %s: %w", study, algos[ai], suite[i].Params.Name(), err)
+				}
+			}
+		}
 		o := make([][]levelOut, npairs)
 		for pi := range o {
 			o[pi] = make([]levelOut, nL)
@@ -295,38 +340,61 @@ func (e *Engine) stabilizeCell(ctx context.Context, plan *Plan, cp *campaign.Pla
 				o[pi][li].ratios = make([]float64, 0, nT)
 			}
 		}
-		sims := make([]float64, len(algos))
+		used := make([]int, nL)
 		for li := range setups {
 			for t := range setups[li] {
 				setup := &setups[li][t]
+				if !replayAll && homogeneous {
+					run.sc.Bind(g, setup.cluster.Nodes, setup.cost)
+				}
 				for ai, name := range algos {
-					s, err := campaign.BuildSchedule(name, g, setup.cluster, setup.cost, setup.comm)
-					if err != nil {
-						return fmt.Errorf("robust: %s: %s on %s: %w", study, name, suite[i].Params.Name(), err)
+					var ms float64
+					if replayAll {
+						r, err := run.reps[ai].Replay(setup.net, setup.sim)
+						if err != nil {
+							return fmt.Errorf("robust: simulate %s: %s on %s: %w", study, name, suite[i].Params.Name(), err)
+						}
+						ms = r
+					} else {
+						var sc *sched.Scratch
+						if homogeneous {
+							sc = run.sc
+						}
+						s, err := campaign.BuildScheduleScratch(sc, name, g, setup.cluster, setup.cost, setup.comm)
+						if err != nil {
+							return fmt.Errorf("robust: %s: %s on %s: %w", study, name, suite[i].Params.Name(), err)
+						}
+						s.Model = kind
+						if err := run.rep.Bind(setup.net, s, baseTiming); err != nil {
+							return fmt.Errorf("robust: %s: bind %s on %s: %w", study, name, suite[i].Params.Name(), err)
+						}
+						if ms, err = run.rep.Replay(setup.net, setup.sim); err != nil {
+							return fmt.Errorf("robust: simulate %s: %s on %s: %w", study, name, suite[i].Params.Name(), err)
+						}
 					}
-					s.Model = kind
-					r, err := tgrid.Run(setup.net, s, tgrid.ModelTiming{Model: setup.model})
-					if err != nil {
-						return fmt.Errorf("robust: simulate %s: %s on %s: %w", study, name, suite[i].Params.Name(), err)
-					}
-					sims[ai] = r.Makespan
+					run.sims[ai] = ms
 				}
 				pi := 0
 				for ai := 0; ai < len(algos); ai++ {
 					for bi := ai + 1; bi < len(algos); bi++ {
 						baseRel := stats.RelDiff(raw.Sim[i][ai], raw.Sim[i][bi])
-						rel := stats.RelDiff(sims[ai], sims[bi])
+						rel := stats.RelDiff(run.sims[ai], run.sims[bi])
 						lo := &o[pi][li]
 						if !stats.SameSign(baseRel, rel, 0) {
 							lo.flips++
 						}
-						lo.ratios = append(lo.ratios, sims[bi]/sims[ai])
+						lo.ratios = append(lo.ratios, run.sims[bi]/run.sims[ai])
 						pi++
 					}
+				}
+				used[li] = t + 1
+				if axis.Sequential && used[li] >= axis.MinTrials && allDecided(o, li, used[li], axis.FlipThreshold, axis.StopZ) {
+					break
 				}
 			}
 		}
 		outs[i] = o
+		useds[i] = used
 		return nil
 	})
 	if err != nil {
@@ -334,6 +402,15 @@ func (e *Engine) stabilizeCell(ctx context.Context, plan *Plan, cp *campaign.Pla
 	}
 
 	cell := CellStability{Platform: pt, Workload: wp, Model: kind, Instances: len(suite)}
+	if axis.Sequential {
+		cell.TrialsUsed = make([]int, nL)
+		for i := range suite {
+			for li := range axis.Levels {
+				cell.TrialsUsed[li] += useds[i][li]
+			}
+		}
+		cell.TrialBudget = len(suite) * nT
+	}
 	pi := 0
 	for ai := 0; ai < len(algos); ai++ {
 		for bi := ai + 1; bi < len(algos); bi++ {
@@ -347,7 +424,7 @@ func (e *Engine) stabilizeCell(ctx context.Context, plan *Plan, cp *campaign.Pla
 				maxProb := 0.0
 				for i := range suite {
 					lo := outs[i][pi][li]
-					p := float64(lo.flips) / float64(nT)
+					p := float64(lo.flips) / float64(useds[i][li])
 					probs[i] = p
 					if p >= axis.FlipThreshold {
 						flipped++
@@ -426,6 +503,110 @@ func (e *Engine) stabilizeCell(ctx context.Context, plan *Plan, cp *campaign.Pla
 		}
 	}
 	return cell, nil
+}
+
+// levelOut accumulates one (instance, pair, level)'s trial outcomes.
+type levelOut struct {
+	flips  int
+	ratios []float64
+}
+
+// trialRunner is one worker's reusable trial state: a scheduling scratch and
+// a replayer for the reschedule path, one replayer per algorithm for the
+// replay-all path, and the per-trial makespan buffer.
+type trialRunner struct {
+	sc   *sched.Scratch
+	rep  *tgrid.Replayer
+	reps []*tgrid.Replayer
+	sims []float64
+}
+
+func (e *Engine) acquireRunner(nAlgos int) *trialRunner {
+	run, _ := e.runners.Get().(*trialRunner)
+	if run == nil {
+		run = &trialRunner{sc: sched.NewScratch(), rep: tgrid.NewReplayer()}
+	}
+	for len(run.reps) < nAlgos {
+		run.reps = append(run.reps, tgrid.NewReplayer())
+	}
+	if cap(run.sims) < nAlgos {
+		run.sims = make([]float64, nAlgos)
+	}
+	run.sims = run.sims[:nAlgos]
+	return run
+}
+
+func (e *Engine) releaseRunner(run *trialRunner) { e.runners.Put(run) }
+
+// scheduleInvariant reports whether the noise axis cannot change any input
+// the schedulers read from this particular model — task-time costs, startup
+// overheads, redistribution overheads, or the platform itself. When it
+// holds, a trial's rescheduling would reproduce the base schedule exactly
+// (the algorithms are deterministic functions of their inputs), so the
+// engine replays the base schedules instead. Multiplicative and shape noise
+// on an identically-zero overhead surface is invariant (any factor times 0
+// is still 0); additive noise never is, and task-time or platform noise
+// always reaches the scheduler. The redistribution probe walks the full
+// (pSrc, pDst) grid the schedulers can query, so it is only attempted on
+// clusters small enough for the one-time cost to be negligible.
+func scheduleInvariant(n Noise, model perfmodel.Model, clusterSize int) bool {
+	if n.TaskTime.active() || n.Bandwidth.active() || n.Latency.active() {
+		return false
+	}
+	if n.Startup.active() {
+		if n.Startup.AddSigma != 0 {
+			return false
+		}
+		for p := 1; p <= clusterSize; p++ {
+			if model.StartupOverhead(p) != 0 {
+				return false
+			}
+		}
+	}
+	if n.Redist.active() {
+		if n.Redist.AddSigma != 0 || clusterSize > 64 {
+			return false
+		}
+		for pSrc := 1; pSrc <= clusterSize; pSrc++ {
+			for pDst := 1; pDst <= clusterSize; pDst++ {
+				if model.RedistOverhead(pSrc, pDst) != 0 {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// wilsonCI returns the Wilson score interval for flips successes in n
+// Bernoulli trials at z-score z.
+func wilsonCI(flips, n int, z float64) (lo, hi float64) {
+	ph := float64(flips) / float64(n)
+	nf := float64(n)
+	z2 := z * z
+	den := 1 + z2/nf
+	center := ph + z2/(2*nf)
+	half := z * math.Sqrt(ph*(1-ph)/nf+z2/(4*nf*nf))
+	return (center - half) / den, (center + half) / den
+}
+
+// seqDecided reports whether a flip probability is decided against threshold
+// thr after n trials: the Wilson interval lies entirely above or entirely
+// below it.
+func seqDecided(flips, n int, thr, z float64) bool {
+	lo, hi := wilsonCI(flips, n, z)
+	return lo > thr || hi < thr
+}
+
+// allDecided reports whether every pair's flip count at level li is decided
+// after n trials.
+func allDecided(o [][]levelOut, li, n int, thr, z float64) bool {
+	for pi := range o {
+		if !seqDecided(o[pi][li].flips, n, thr, z) {
+			return false
+		}
+	}
+	return true
 }
 
 // ci95Half returns the 95% confidence half-width of the sample mean under

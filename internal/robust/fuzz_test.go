@@ -2,6 +2,7 @@ package robust_test
 
 import (
 	"encoding/json"
+	"math"
 	"testing"
 
 	"repro/internal/campaign"
@@ -26,6 +27,11 @@ func FuzzCampaignSpecParse(f *testing.F) {
 		`{"platforms":{"nodes":[0,1024,-3]},"models":["brute-force","profile"]}`,
 		`{"workloads":{"suite_seeds":[1,2,3],"sizes":[9999]}}`,
 		`{"robustness":{"flip_threshold":2,"noise":{"latency":{"add_sigma":1}}}}`,
+		`{"name":"seq","algorithms":["HCPA","MCPA"],"robustness":{"trials":16,"sequential":true,"stop_z":1.96,"min_trials":2}}`,
+		`{"robustness":{"trials":8,"prediction_only":true,"noise":{"task_time":{"mult_sigma":0.5}}}}`,
+		`{"robustness":{"trials":4,"stop_z":-1}}`,
+		`{"robustness":{"trials":4,"sequential":true,"min_trials":5}}`,
+		`{"robustness":{"trials":4,"stop_z":1e309}}`,
 		`{"trials":33}`,
 		`not json at all`,
 	}
@@ -76,6 +82,12 @@ func FuzzCampaignSpecParse(f *testing.F) {
 		}
 		if !(a.FlipThreshold > 0) || a.FlipThreshold > 1 {
 			t.Fatalf("validated plan has flip threshold %g outside (0, 1]", a.FlipThreshold)
+		}
+		if math.IsNaN(a.StopZ) || a.StopZ < 0 || a.StopZ > robust.MaxStopZ {
+			t.Fatalf("validated plan has stop z %g outside [0, %g]", a.StopZ, robust.MaxStopZ)
+		}
+		if a.Sequential && (a.MinTrials < 1 || a.MinTrials > a.Trials) {
+			t.Fatalf("validated sequential plan has min trials %d outside [1, %d]", a.MinTrials, a.Trials)
 		}
 	})
 }

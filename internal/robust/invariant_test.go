@@ -1,0 +1,74 @@
+package robust_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/perfmodel"
+	"repro/internal/platform"
+	"repro/internal/robust"
+)
+
+// overheadModel wraps a model with nonzero startup and redistribution
+// overheads, so the invariance probe sees surfaces noise can actually move.
+type overheadModel struct{ perfmodel.Model }
+
+func (m overheadModel) StartupOverhead(p int) float64         { return 0.001 * float64(p) }
+func (m overheadModel) RedistOverhead(pSrc, pDst int) float64 { return 0.0001 * float64(pSrc*pDst) }
+
+// TestScheduleInvariantProperties drives the replay-eligibility predicate
+// with randomized noise shapes: it must never accept noise that can reach a
+// scheduler input. Soundness is the safety property (a wrong accept would
+// silently replay stale schedules); the completeness direction is pinned for
+// the analytic model, whose overhead surfaces are identically zero.
+func TestScheduleInvariantProperties(t *testing.T) {
+	c := platform.Bayreuth()
+	analytic := perfmodel.NewAnalytic(c)
+	withOverheads := overheadModel{analytic}
+
+	sigma := func(b byte) float64 { return float64(b%4) * 0.5 } // {0, 0.5, 1, 1.5}
+	mkNoise := func(raw [13]byte) robust.Noise {
+		return robust.Noise{
+			TaskTime:  robust.Dim{MultSigma: sigma(raw[0]), AddSigma: sigma(raw[1]), ShapeSigma: sigma(raw[2])},
+			Startup:   robust.Dim{MultSigma: sigma(raw[3]), AddSigma: sigma(raw[4]), ShapeSigma: sigma(raw[5])},
+			Redist:    robust.Dim{MultSigma: sigma(raw[6]), AddSigma: sigma(raw[7]), ShapeSigma: sigma(raw[8])},
+			Bandwidth: robust.Dim{MultSigma: sigma(raw[9]), AddSigma: sigma(raw[10])},
+			Latency:   robust.Dim{MultSigma: sigma(raw[11]), AddSigma: sigma(raw[12])},
+		}
+	}
+
+	sound := func(raw [13]byte) bool {
+		n := mkNoise(raw)
+		inv := robust.ScheduleInvariant(n, analytic, c.Nodes)
+		// Any dimension with a schedule-affecting component forces a reschedule.
+		if n.TaskTime.MultSigma != 0 || n.TaskTime.AddSigma != 0 || n.TaskTime.ShapeSigma != 0 {
+			return !inv
+		}
+		if n.Bandwidth.MultSigma != 0 || n.Bandwidth.AddSigma != 0 ||
+			n.Latency.MultSigma != 0 || n.Latency.AddSigma != 0 {
+			return !inv
+		}
+		if n.Startup.AddSigma != 0 || n.Redist.AddSigma != 0 {
+			return !inv
+		}
+		// What remains is multiplicative/shape noise on the analytic model's
+		// identically-zero overheads: provably inert, so replay is allowed.
+		return inv
+	}
+	if err := quick.Check(sound, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+
+	// With real overhead surfaces, multiplicative startup/redist noise moves
+	// the scheduler's comm estimates — the predicate must refuse.
+	strict := func(raw [13]byte) bool {
+		n := mkNoise(raw)
+		if n.Startup == (robust.Dim{}) && n.Redist == (robust.Dim{}) {
+			return true // nothing to probe
+		}
+		return !robust.ScheduleInvariant(n, withOverheads, c.Nodes)
+	}
+	if err := quick.Check(strict, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

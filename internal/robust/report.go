@@ -44,6 +44,25 @@ func (r *Result) Write(w io.Writer) {
 		}
 	}
 
+	if axis.Sequential {
+		fmt.Fprintf(w, "\nSequential stopping — Wilson z=%.2f, min trials=%d\n", axis.StopZ, axis.MinTrials)
+		fmt.Fprintf(w, "  %-*s %-*s %-10s %6s %15s %7s\n",
+			platW, "platform", wlW, "workload", "model",
+			"level", "trials used", "saved")
+		for _, c := range r.Cells {
+			for li, l := range axis.Levels {
+				used, budget := c.TrialsUsed[li], c.TrialBudget
+				saved := 0.0
+				if budget > 0 {
+					saved = 100 * float64(budget-used) / float64(budget)
+				}
+				fmt.Fprintf(w, "  %-*s %-*s %-10s %6.2f %9d/%-5d %6.1f%%\n",
+					platW, c.Platform.Env, wlW, c.Workload.Key(), c.Model,
+					l, used, budget, saved)
+			}
+		}
+	}
+
 	fmt.Fprintf(w, "\nCritical noise level — smallest level whose flip probability reaches %.2f\n", axis.FlipThreshold)
 	fmt.Fprintf(w, "  %-*s %-*s %-10s %-14s %15s %14s\n",
 		platW, "platform", wlW, "workload", "model", "pair",

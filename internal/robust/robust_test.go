@@ -221,6 +221,13 @@ func TestSpecValidation(t *testing.T) {
 		{"shaped latency", withAxis(robust.Axis{Trials: 1, Noise: robust.Noise{Latency: robust.Dim{ShapeSigma: 1}}}), "multiplicative-only"},
 		{"oversized shape sigma", withAxis(robust.Axis{Trials: 1, Noise: robust.Noise{TaskTime: robust.Dim{ShapeSigma: robust.MaxSigma + 1}}}), "task_time.shape_sigma"},
 		{"bad threshold", withAxis(robust.Axis{Trials: 1, FlipThreshold: 1.5}), "flip_threshold"},
+		{"NaN threshold", withAxis(robust.Axis{Trials: 1, FlipThreshold: math.NaN()}), "flip_threshold"},
+		{"NaN stop z", withAxis(robust.Axis{Trials: 1, StopZ: math.NaN()}), "stop_z"},
+		{"negative stop z", withAxis(robust.Axis{Trials: 1, StopZ: -1}), "stop_z"},
+		{"oversized stop z", withAxis(robust.Axis{Trials: 1, StopZ: robust.MaxStopZ + 1}), "stop_z"},
+		{"negative min trials", withAxis(robust.Axis{Trials: 1, MinTrials: -1}), "min_trials"},
+		{"oversized min trials", withAxis(robust.Axis{Trials: 1, MinTrials: robust.MaxTrials + 1}), "min_trials"},
+		{"min trials over budget", withAxis(robust.Axis{Trials: 2, Sequential: true, MinTrials: 3}), "min_trials"},
 		{"trial-run budget", func() robust.Spec {
 			// 17 platform points × 2 algorithms × 8 levels × 64 trials =
 			// 17408 trial runs, just over the 16384 budget.
@@ -264,8 +271,20 @@ func TestSpecDefaults(t *testing.T) {
 	if a.FlipThreshold != 0.5 {
 		t.Errorf("default flip threshold %g, want 0.5", a.FlipThreshold)
 	}
+	if a.Sequential || a.StopZ != 0 || a.MinTrials != 0 {
+		t.Errorf("sequential defaults %+v leaked into a non-sequential axis", a)
+	}
 	if p.TrialRuns() != 1*2*3*4 {
 		t.Errorf("trial runs %d, want %d", p.TrialRuns(), 1*2*3*4)
+	}
+
+	pq, err := robust.Spec{Spec: baseSpec(), Robustness: robust.Axis{Trials: 4, Sequential: true}}.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aq := pq.Spec.Robustness; aq.StopZ != robust.DefaultStopZ || aq.MinTrials != robust.DefaultMinTrials {
+		t.Errorf("sequential defaults z=%g min=%d, want z=%g min=%d",
+			aq.StopZ, aq.MinTrials, robust.DefaultStopZ, robust.DefaultMinTrials)
 	}
 
 	p0, err := robust.Spec{Spec: baseSpec(), Robustness: robust.Axis{Levels: []float64{9999}}}.Plan()

@@ -39,7 +39,17 @@ const (
 	// MaxTrialRuns bounds campaign runs × levels × trials — the total
 	// schedule-and-simulate work of the Monte Carlo stage.
 	MaxTrialRuns = 16384
+	// MaxStopZ bounds the sequential stop rule's z-score.
+	MaxStopZ = 8.0
 )
+
+// DefaultStopZ is the Wilson-interval z-score of the sequential stop rule
+// when the spec enables stopping without choosing one (a 95% interval).
+const DefaultStopZ = 1.96
+
+// DefaultMinTrials is the sequential stop rule's minimum trial count when
+// the spec enables stopping without choosing one.
+const DefaultMinTrials = 2
 
 // Dim declares one noise dimension; its three components model three
 // distinct ways a fitted model can be wrong. At noise level ℓ:
@@ -125,6 +135,26 @@ type Axis struct {
 	// an instance counts as flipped at a level (default 0.5 — the majority
 	// of trials disagree with the base winner).
 	FlipThreshold float64 `json:"flip_threshold,omitempty"`
+	// Sequential enables per-(instance, level) sequential stopping: trials
+	// stop early once the flip-probability Wilson interval clears
+	// FlipThreshold on either side, bounded by the trial budget. Off by
+	// default, so existing reports are byte-identical; when on, flip
+	// probabilities divide by the trials actually drawn and the report
+	// gains a trials-saved section.
+	Sequential bool `json:"sequential,omitempty"`
+	// StopZ is the z-score of the Wilson interval behind the stop rule;
+	// 0 defaults to DefaultStopZ when Sequential is set.
+	StopZ float64 `json:"stop_z,omitempty"`
+	// MinTrials is the minimum number of trials drawn before the stop rule
+	// may fire; 0 defaults to DefaultMinTrials when Sequential is set.
+	MinTrials int `json:"min_trials,omitempty"`
+	// PredictionOnly declares the draws prediction-only: the scheduler's
+	// inputs stay pinned to the base model, so every trial replays the
+	// base campaign's schedule through the perturbed simulator instead of
+	// rescheduling. This both isolates the "model error changes the
+	// forecast, not the decision" question and makes every trial take the
+	// allocation-free replay path.
+	PredictionOnly bool `json:"prediction_only,omitempty"`
 }
 
 // Spec declares one robustness study: a campaign spec (the base grid, JSON
@@ -166,6 +196,14 @@ func (a *Axis) normalize(campaignSeed int64) {
 	}
 	if a.FlipThreshold == 0 {
 		a.FlipThreshold = 0.5
+	}
+	if a.Sequential {
+		if a.StopZ == 0 {
+			a.StopZ = DefaultStopZ
+		}
+		if a.MinTrials == 0 {
+			a.MinTrials = DefaultMinTrials
+		}
 	}
 }
 
@@ -229,6 +267,15 @@ func (s Spec) Plan() (*Plan, error) {
 	}
 	if math.IsNaN(a.FlipThreshold) || a.FlipThreshold <= 0 || a.FlipThreshold > 1 {
 		return nil, fmt.Errorf("robust: robustness.flip_threshold %g outside (0, 1]", a.FlipThreshold)
+	}
+	if math.IsNaN(a.StopZ) || a.StopZ < 0 || a.StopZ > MaxStopZ {
+		return nil, fmt.Errorf("robust: robustness.stop_z %g outside [0, %g]", a.StopZ, MaxStopZ)
+	}
+	if a.MinTrials < 0 || a.MinTrials > MaxTrials {
+		return nil, fmt.Errorf("robust: robustness.min_trials %d outside [0, %d]", a.MinTrials, MaxTrials)
+	}
+	if a.Sequential && a.MinTrials > a.Trials {
+		return nil, fmt.Errorf("robust: robustness.min_trials %d exceeds trials %d", a.MinTrials, a.Trials)
 	}
 
 	p := &Plan{Spec: s, Campaign: cp}

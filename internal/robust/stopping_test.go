@@ -1,0 +1,151 @@
+package robust_test
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/robust"
+)
+
+func sequentialSpec() robust.Spec {
+	return robust.Spec{Spec: baseSpec(), Robustness: robust.Axis{
+		Trials:     16,
+		Levels:     []float64{0.05, 0.2},
+		Sequential: true,
+	}}
+}
+
+// TestSequentialStoppingAgreement pins the stop rule's statistical claim on
+// synthetic cells with known flip probabilities: across seeded Bernoulli
+// trial streams, the decision taken at the Wilson stopping time (flip
+// fraction vs threshold) agrees with the full-budget decision in at least
+// 99% of runs — early stopping trades trials, not conclusions.
+func TestSequentialStoppingAgreement(t *testing.T) {
+	const (
+		budget    = 64
+		minTrials = robust.DefaultMinTrials
+		z         = robust.DefaultStopZ
+		thr       = 0.5
+		runs      = 2000
+	)
+	rng := rand.New(rand.NewSource(424242))
+	for _, trueP := range []float64{0.02, 0.1, 0.3, 0.7, 0.9, 0.98} {
+		agree, savedTotal := 0, 0
+		for r := 0; r < runs; r++ {
+			flips, used, stopFlips := 0, budget, -1
+			for n := 1; n <= budget; n++ {
+				if rng.Float64() < trueP {
+					flips++
+				}
+				if stopFlips < 0 && n >= minTrials && robust.SeqDecided(flips, n, thr, z) {
+					used, stopFlips = n, flips
+				}
+			}
+			if stopFlips < 0 {
+				stopFlips = flips // never decided: sequential uses the full budget
+			}
+			seqFlip := float64(stopFlips)/float64(used) >= thr
+			fullFlip := float64(flips)/float64(budget) >= thr
+			if seqFlip == fullFlip {
+				agree++
+			}
+			savedTotal += budget - used
+		}
+		if frac := float64(agree) / runs; frac < 0.99 {
+			t.Errorf("p=%g: sequential decision agrees with full budget in %.1f%% of runs, want >= 99%%",
+				trueP, 100*frac)
+		}
+		if trueP <= 0.1 || trueP >= 0.9 {
+			if savedTotal == 0 {
+				t.Errorf("p=%g: stopping never saved a trial; the rule is inert", trueP)
+			}
+		}
+	}
+}
+
+// TestSequentialEngineInvariants runs a sequential spec end to end and
+// checks the bookkeeping: per-level trial sums within [instances·min,
+// budget], determinism across worker counts, and the trials-saved report
+// section.
+func TestSequentialEngineInvariants(t *testing.T) {
+	run := func(workers int) (*robust.Result, string) {
+		eng := newEngine(workers)
+		res, err := eng.Run(context.Background(), sequentialSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		res.Write(&buf)
+		return res, buf.String()
+	}
+	res, serial := run(1)
+	if _, parallel := run(8); serial != parallel {
+		t.Errorf("sequential report differs between workers=1 and workers=8:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial, parallel)
+	}
+	if !strings.Contains(serial, "Sequential stopping — Wilson z=1.96, min trials=2") {
+		t.Errorf("sequential report lacks the stopping section:\n%s", serial)
+	}
+
+	axis := res.Plan.Spec.Robustness
+	for _, c := range res.Cells {
+		if len(c.TrialsUsed) != len(axis.Levels) {
+			t.Fatalf("cell %s: TrialsUsed has %d levels, want %d", c.Platform.Env, len(c.TrialsUsed), len(axis.Levels))
+		}
+		if c.TrialBudget != c.Instances*axis.Trials {
+			t.Errorf("cell %s: budget %d, want %d", c.Platform.Env, c.TrialBudget, c.Instances*axis.Trials)
+		}
+		saved := false
+		for li, used := range c.TrialsUsed {
+			if used < c.Instances*axis.MinTrials || used > c.TrialBudget {
+				t.Errorf("cell %s level %d: %d trials used outside [%d, %d]",
+					c.Platform.Env, li, used, c.Instances*axis.MinTrials, c.TrialBudget)
+			}
+			if used < c.TrialBudget {
+				saved = true
+			}
+		}
+		if !saved {
+			t.Errorf("cell %s: sequential stopping saved no trials at any level", c.Platform.Env)
+		}
+	}
+}
+
+// TestSequentialOffIsByteIdentical pins the compatibility claim: the same
+// spec with sequential stopping off reproduces the PR 5 semantics (flip
+// probabilities over the full budget, no TrialsUsed, no report section).
+func TestSequentialOffIsByteIdentical(t *testing.T) {
+	spec := sequentialSpec()
+	spec.Robustness.Sequential = false
+
+	oracle := robust.OracleEngine{Source: newEngine(0).Source, Workers: 2}
+	ores, err := oracle.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	ores.Write(&want)
+
+	eng := newEngine(2)
+	res, err := eng.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	res.Write(&got)
+	if got.String() != want.String() {
+		t.Errorf("sequential=false diverged from the PR 5 oracle:\n--- fast ---\n%s\n--- oracle ---\n%s",
+			got.String(), want.String())
+	}
+	for _, c := range res.Cells {
+		if c.TrialsUsed != nil || c.TrialBudget != 0 {
+			t.Errorf("sequential=false cell carries stopping bookkeeping: used=%v budget=%d", c.TrialsUsed, c.TrialBudget)
+		}
+	}
+	if strings.Contains(got.String(), "Sequential stopping") {
+		t.Error("sequential=false report renders the stopping section")
+	}
+}

@@ -71,9 +71,23 @@ func (s *Schedule) Order() []int {
 // host-set shapes, precedence feasibility of the estimated timeline, and
 // that tasks overlapping in estimated time never share a processor.
 func (s *Schedule) Validate(clusterSize int) error {
+	return s.validate(clusterSize, nil)
+}
+
+// validate is Validate with an optional scratch supplying the duplicate-host
+// check's storage (an epoch-stamped array instead of a per-task map), so the
+// scratch build path validates without allocating.
+func (s *Schedule) validate(clusterSize int, sc *Scratch) error {
 	n := s.Graph.Len()
 	if len(s.Alloc) != n || len(s.Hosts) != n || len(s.EstStart) != n || len(s.EstFinish) != n {
 		return fmt.Errorf("sched %s: field lengths inconsistent with %d tasks", s.Algorithm, n)
+	}
+	var seen map[int]bool
+	if sc != nil {
+		if cap(sc.seenHost) < clusterSize {
+			sc.seenHost = make([]uint64, clusterSize)
+		}
+		sc.seenHost = sc.seenHost[:clusterSize]
 	}
 	for t := 0; t < n; t++ {
 		if s.Alloc[t] < 1 || s.Alloc[t] > clusterSize {
@@ -84,15 +98,26 @@ func (s *Schedule) Validate(clusterSize int) error {
 			return fmt.Errorf("sched %s: task %d has %d hosts but allocation %d",
 				s.Algorithm, t, len(s.Hosts[t]), s.Alloc[t])
 		}
-		seen := make(map[int]bool, len(s.Hosts[t]))
+		if sc != nil {
+			sc.seenEpoch++
+		} else {
+			seen = make(map[int]bool, len(s.Hosts[t]))
+		}
 		for _, h := range s.Hosts[t] {
 			if h < 0 || h >= clusterSize {
 				return fmt.Errorf("sched %s: task %d uses host %d out of range", s.Algorithm, t, h)
 			}
-			if seen[h] {
-				return fmt.Errorf("sched %s: task %d uses host %d twice", s.Algorithm, t, h)
+			if sc != nil {
+				if sc.seenHost[h] == sc.seenEpoch {
+					return fmt.Errorf("sched %s: task %d uses host %d twice", s.Algorithm, t, h)
+				}
+				sc.seenHost[h] = sc.seenEpoch
+			} else {
+				if seen[h] {
+					return fmt.Errorf("sched %s: task %d uses host %d twice", s.Algorithm, t, h)
+				}
+				seen[h] = true
 			}
-			seen[h] = true
 		}
 		if s.EstFinish[t] < s.EstStart[t] {
 			return fmt.Errorf("sched %s: task %d finishes before it starts", s.Algorithm, t)
@@ -121,6 +146,32 @@ func (s *Schedule) Validate(clusterSize int) error {
 		}
 	}
 	return nil
+}
+
+// Clone returns a deep copy of the schedule sharing only the immutable
+// Graph. Scratch-built schedules alias their scratch's buffers and are
+// invalidated by the next build; Clone detaches one for retention.
+func (s *Schedule) Clone() *Schedule {
+	c := &Schedule{
+		Algorithm: s.Algorithm,
+		Model:     s.Model,
+		Graph:     s.Graph,
+		Alloc:     append([]int(nil), s.Alloc...),
+		Hosts:     make([][]int, len(s.Hosts)),
+		EstStart:  append([]float64(nil), s.EstStart...),
+		EstFinish: append([]float64(nil), s.EstFinish...),
+	}
+	total := 0
+	for _, hs := range s.Hosts {
+		total += len(hs)
+	}
+	flat := make([]int, 0, total)
+	for i, hs := range s.Hosts {
+		off := len(flat)
+		flat = append(flat, hs...)
+		c.Hosts[i] = flat[off:len(flat):len(flat)]
+	}
+	return c
 }
 
 // Algorithm is the allocation phase of a two-phase scheduler.

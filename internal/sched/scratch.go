@@ -1,0 +1,649 @@
+package sched
+
+import (
+	"fmt"
+	"slices"
+
+	"repro/internal/dag"
+)
+
+// Scratch is the allocation-free scheduling path: it owns every buffer the
+// CPA-family allocation loops, the M-HEFT one-phase scheduler, the shared
+// mapping phase and schedule validation need, so repeated builds — the
+// robustness engine's Monte Carlo trials, campaign cells, service requests —
+// reuse storage instead of allocating it per schedule (the internal/simgrid
+// solver pattern, one layer up).
+//
+// A Scratch additionally memoizes the bound cost function per (task, p):
+// CPA-family allocation loops evaluate the same configurations thousands of
+// times per build, and perturbed-model costs (exp/log/cos per call) dominate
+// the trial loop's profile. Memoization is transparent because cost models
+// are pure functions; every schedule a Scratch builds is bit-identical to
+// the one the allocating Build/MHEFT.Build path produces.
+//
+// Usage: Bind once per (graph, cluster size, cost model) context, then Build
+// any number of algorithms against it — the memo persists across builds of
+// the same binding. The returned schedule aliases the scratch's buffers and
+// is invalidated by the next Build; callers that retain schedules must
+// Clone them. A Scratch is not safe for concurrent use; pool one per worker.
+type Scratch struct {
+	g    *dag.Graph
+	p    int // cluster size
+	cost dag.CostFunc
+
+	// cost memo, epoch-stamped so rebinding is O(1).
+	epoch    uint64
+	memoVal  []float64
+	memoEp   []uint64
+	memoCost dag.CostFunc // bound method value, created once
+
+	// per-graph caches (graphs are immutable once built).
+	cachedG *dag.Graph
+	topo    []int
+	entries []int
+	levels  []int
+	width   []int
+
+	// allocation phase
+	alloc []int
+	bl    []float64
+	cp    []int
+
+	// mapping phase
+	avail      []float64
+	nPredsLeft []int
+	ready      []int
+	hostsAt    []hostAvail
+	hostsFlat  []int
+
+	// validation
+	seenHost  []uint64
+	seenEpoch uint64
+
+	// output schedule, reused across builds
+	out Schedule
+}
+
+type hostAvail struct {
+	host int
+	at   float64
+}
+
+// NewScratch returns an empty scratch ready for Bind.
+func NewScratch() *Scratch {
+	sc := &Scratch{}
+	sc.memoCost = sc.lookupCost
+	return sc
+}
+
+// Bind sets the scheduling context. The cost memo is invalidated; per-graph
+// analyses (topological order, entries, precedence levels) are recomputed
+// only when the graph changes.
+func (sc *Scratch) Bind(g *dag.Graph, clusterSize int, cost dag.CostFunc) {
+	sc.g, sc.p, sc.cost = g, clusterSize, cost
+	sc.epoch++
+	need := g.Len() * clusterSize
+	if cap(sc.memoVal) < need {
+		sc.memoVal = make([]float64, need)
+		sc.memoEp = make([]uint64, need)
+	}
+	sc.memoVal = sc.memoVal[:need]
+	sc.memoEp = sc.memoEp[:need]
+	if sc.cachedG != g {
+		sc.cachedG = g
+		topo, err := g.TopoOrder()
+		if err != nil {
+			panic(err) // same contract as dag's analyses on cyclic graphs
+		}
+		sc.topo = topo
+		sc.entries = g.Entries()
+		var nLevels int
+		sc.levels, nLevels = g.Levels()
+		if cap(sc.width) < nLevels {
+			sc.width = make([]int, nLevels)
+		}
+		sc.width = sc.width[:nLevels]
+		for i := range sc.width {
+			sc.width[i] = 0
+		}
+		for _, l := range sc.levels {
+			sc.width[l]++
+		}
+	}
+}
+
+// lookupCost is the memoized cost function bound at construction time (a
+// method value, so Build paths can pass it around without allocating a
+// closure per build).
+func (sc *Scratch) lookupCost(t *dag.Task, p int) float64 {
+	idx := t.ID*sc.p + p - 1
+	if sc.memoEp[idx] == sc.epoch {
+		return sc.memoVal[idx]
+	}
+	v := sc.cost(t, p)
+	sc.memoVal[idx] = v
+	sc.memoEp[idx] = sc.epoch
+	return v
+}
+
+// Cost returns the scratch's memoized view of the bound cost function.
+func (sc *Scratch) Cost() dag.CostFunc { return sc.memoCost }
+
+// Build runs a CPA-family (or baseline) allocation phase plus the shared
+// mapping phase against the bound context, entirely in scratch storage. The
+// returned schedule aliases the scratch and is invalidated by the next
+// Build/BuildMHEFT; Clone it to retain it.
+func (sc *Scratch) Build(algo Algorithm, comm dag.CommFunc) (*Schedule, error) {
+	if sc.g == nil {
+		return nil, fmt.Errorf("sched: scratch build before Bind")
+	}
+	if sc.g.Len() == 0 {
+		return nil, fmt.Errorf("sched %s: empty application", algo.Name())
+	}
+	if sc.p < 1 {
+		return nil, fmt.Errorf("sched %s: cluster size %d", algo.Name(), sc.p)
+	}
+	alloc := sc.allocate(algo)
+	if len(alloc) != sc.g.Len() {
+		return nil, fmt.Errorf("sched %s: allocation has %d entries for %d tasks",
+			algo.Name(), len(alloc), sc.g.Len())
+	}
+	s := sc.mapInto(alloc, comm)
+	s.Algorithm = algo.Name()
+	if err := s.validate(sc.p, sc); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// allocate dispatches the allocation phase. The CPA family and the baselines
+// run scratch-native (no closures, no fresh slices); unknown algorithms fall
+// back to their own Allocate with the memoized cost.
+func (sc *Scratch) allocate(algo Algorithm) []int {
+	n := sc.g.Len()
+	if cap(sc.alloc) < n {
+		sc.alloc = make([]int, n)
+	}
+	alloc := sc.alloc[:n]
+	switch a := algo.(type) {
+	case CPA:
+		return sc.cpaLoop(growNone, 0)
+	case HCPA:
+		floor := a.MinEfficiency
+		if floor <= 0 {
+			floor = DefaultMinEfficiency
+		}
+		return sc.cpaLoop(growHCPA, floor)
+	case MCPA:
+		return sc.cpaLoop(growMCPA, 0)
+	case Sequential:
+		for i := range alloc {
+			alloc[i] = 1
+		}
+		return alloc
+	case DataParallel:
+		for i := range alloc {
+			alloc[i] = sc.p
+		}
+		return alloc
+	case Fixed:
+		p := a.P
+		if p < 1 {
+			p = 1
+		}
+		if p > sc.p {
+			p = sc.p
+		}
+		for i := range alloc {
+			alloc[i] = p
+		}
+		return alloc
+	default:
+		return algo.Allocate(sc.g, sc.p, sc.memoCost)
+	}
+}
+
+// growMode selects the CPA-family growth constraint without a per-build
+// closure.
+type growMode int
+
+const (
+	growNone growMode = iota
+	growHCPA
+	growMCPA
+)
+
+// cpaLoop is cpaLoop (cpa.go) in scratch storage. Beyond buffer reuse it
+// computes the bottom levels once per iteration and derives both the
+// critical-path length and the critical path from them — CriticalPathLength
+// and CriticalPath recompute the identical vector today, so the results are
+// bit-identical.
+func (sc *Scratch) cpaLoop(mode growMode, floor float64) []int {
+	g, clusterSize, cost := sc.g, sc.p, sc.memoCost
+	n := g.Len()
+	alloc := sc.alloc[:n]
+	for i := range alloc {
+		alloc[i] = 1
+	}
+	if n == 0 {
+		return alloc
+	}
+	maxIter := n * clusterSize
+	for iter := 0; iter < maxIter; iter++ {
+		bl := sc.bottomLevels(alloc, nil)
+		tcp := 0.0
+		for _, v := range bl {
+			if v > tcp {
+				tcp = v
+			}
+		}
+		ta := 0.0
+		for _, t := range g.Tasks {
+			ta += cost(t, alloc[t.ID]) * float64(alloc[t.ID])
+		}
+		ta /= float64(clusterSize)
+		if tcp <= ta {
+			break
+		}
+		cp := sc.criticalPath(bl)
+
+		best, bestGain := -1, 0.0
+		for _, id := range cp {
+			a := alloc[id]
+			if a >= clusterSize {
+				continue
+			}
+			task := g.Task(id)
+			switch mode {
+			case growHCPA:
+				p := alloc[task.ID] + 1
+				t1 := cost(task, 1)
+				tp := cost(task, p)
+				if tp <= 0 {
+					continue
+				}
+				if t1/(float64(p)*tp) < floor {
+					continue
+				}
+			case growMCPA:
+				l := sc.levels[task.ID]
+				cap := clusterSize / sc.width[l]
+				if cap < 1 {
+					cap = 1
+				}
+				if alloc[task.ID] >= cap {
+					continue
+				}
+				total := 0
+				for _, other := range g.Tasks {
+					if sc.levels[other.ID] == l {
+						total += alloc[other.ID]
+					}
+				}
+				if total >= clusterSize {
+					continue
+				}
+			}
+			gain := cost(task, a)/float64(a) - cost(task, a+1)/float64(a+1)
+			if gain > bestGain || (gain == bestGain && best >= 0 && id < best) {
+				if gain > 0 {
+					best, bestGain = id, gain
+				}
+			}
+		}
+		if best < 0 {
+			break
+		}
+		alloc[best]++
+	}
+	return alloc
+}
+
+// bottomLevels is dag.BottomLevels over the cached topological order, writing
+// into the scratch vector.
+func (sc *Scratch) bottomLevels(alloc []int, comm dag.CommFunc) []float64 {
+	g, cost := sc.g, sc.memoCost
+	n := len(g.Tasks)
+	if cap(sc.bl) < n {
+		sc.bl = make([]float64, n)
+	}
+	bl := sc.bl[:n]
+	order := sc.topo
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		t := g.Tasks[id]
+		best := 0.0
+		for _, s := range t.Succs() {
+			v := bl[s]
+			if comm != nil {
+				v += comm(t, g.Tasks[s], alloc[id], alloc[s])
+			}
+			if v > best {
+				best = v
+			}
+		}
+		bl[id] = cost(t, alloc[id]) + best
+	}
+	return bl
+}
+
+// criticalPath follows dag.CriticalPath's walk over an already-computed
+// bottom-level vector (comm == nil, the CPA-family case).
+func (sc *Scratch) criticalPath(bl []float64) []int {
+	g := sc.g
+	if len(g.Tasks) == 0 {
+		return nil
+	}
+	start, best := -1, -1.0
+	for _, id := range sc.entries {
+		if bl[id] > best {
+			start, best = id, bl[id]
+		}
+	}
+	path := sc.cp[:0]
+	cur := start
+	for cur >= 0 {
+		path = append(path, cur)
+		next, nbest := -1, -1.0
+		for _, s := range g.Tasks[cur].Succs() {
+			v := bl[s]
+			if v > nbest || (v == nbest && next >= 0 && s < next) {
+				next, nbest = s, v
+			}
+		}
+		cur = next
+	}
+	sc.cp = path
+	return path
+}
+
+// mapInto is MapSchedule (mapping.go) in scratch storage: identical pick
+// order, identical comparator totals, identical arithmetic — only the
+// allocations differ (there are none).
+func (sc *Scratch) mapInto(alloc []int, comm dag.CommFunc) *Schedule {
+	g, clusterSize := sc.g, sc.p
+	cost := sc.memoCost
+	n := g.Len()
+	s := sc.prepareOut(n)
+	s.Alloc = append(s.Alloc[:0], alloc...)
+	alloc = s.Alloc // the scratch alloc buffer stays untouched below
+
+	bl := sc.bottomLevels(alloc, comm)
+
+	avail := sc.resizeAvail(clusterSize)
+	nPredsLeft := sc.resizeNPreds(n)
+	for _, t := range g.Tasks {
+		nPredsLeft[t.ID] = t.InDegree()
+	}
+	ready := append(sc.ready[:0], sc.entries...)
+
+	total := 0
+	for _, k := range alloc {
+		total += k
+	}
+	if cap(sc.hostsFlat) < total {
+		sc.hostsFlat = make([]int, total)
+	}
+	flat := sc.hostsFlat[:total]
+	next := 0
+
+	hs := sc.resizeHostsAt(clusterSize)
+	for count := 0; count < n; count++ {
+		best := -1
+		for _, id := range ready {
+			if best < 0 || bl[id] > bl[best] || (bl[id] == bl[best] && id < best) {
+				best = id
+			}
+		}
+		if best < 0 {
+			panic("sched: mapping ran out of ready tasks before mapping everything")
+		}
+		id := best
+		for i, r := range ready {
+			if r == id {
+				ready = append(ready[:i], ready[i+1:]...)
+				break
+			}
+		}
+		task := g.Task(id)
+		k := alloc[id]
+
+		for h := range hs {
+			hs[h] = hostAvail{host: h, at: avail[h]}
+		}
+		slices.SortFunc(hs, cmpHostAvail)
+		chosen := flat[next : next+k : next+k]
+		next += k
+		procReady := 0.0
+		for i := 0; i < k; i++ {
+			chosen[i] = hs[i].host
+			if hs[i].at > procReady {
+				procReady = hs[i].at
+			}
+		}
+		slices.Sort(chosen)
+
+		dataReady := 0.0
+		for _, p := range task.Preds() {
+			t := s.EstFinish[p]
+			if comm != nil {
+				t += comm(g.Task(p), task, alloc[p], k)
+			}
+			if t > dataReady {
+				dataReady = t
+			}
+		}
+
+		start := procReady
+		if dataReady > start {
+			start = dataReady
+		}
+		finish := start + cost(task, k)
+		s.Hosts[id] = chosen
+		s.EstStart[id] = start
+		s.EstFinish[id] = finish
+		for _, h := range chosen {
+			avail[h] = finish
+		}
+
+		for _, succ := range task.Succs() {
+			nPredsLeft[succ]--
+			if nPredsLeft[succ] == 0 {
+				ready = append(ready, succ)
+			}
+		}
+	}
+	sc.ready = ready[:0]
+	return s
+}
+
+// cmpHostAvail is MapSchedule's host comparator: availability, then host ID —
+// a strict total order (hosts are distinct), so any correct sort yields the
+// identical permutation sort.Slice produced.
+func cmpHostAvail(a, b hostAvail) int {
+	if a.at != b.at {
+		if a.at < b.at {
+			return -1
+		}
+		return 1
+	}
+	return a.host - b.host
+}
+
+// BuildMHEFT runs the one-phase M-HEFT scheduler (mheft.go) against the
+// bound context in scratch storage. Same aliasing rules as Build.
+func (sc *Scratch) BuildMHEFT(m MHEFT, comm dag.CommFunc) (*Schedule, error) {
+	if sc.g == nil {
+		return nil, fmt.Errorf("sched: scratch build before Bind")
+	}
+	g, clusterSize := sc.g, sc.p
+	cost := sc.memoCost
+	n := g.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("sched %s: empty application", m.Name())
+	}
+	if clusterSize < 1 {
+		return nil, fmt.Errorf("sched %s: cluster size %d", m.Name(), clusterSize)
+	}
+	s := sc.prepareOut(n)
+	s.Algorithm = m.Name()
+	if cap(s.Alloc) < n {
+		s.Alloc = make([]int, n)
+	}
+	s.Alloc = s.Alloc[:n]
+	for i := range s.Alloc {
+		s.Alloc[i] = 0
+	}
+	allocCap := m.AllocCap
+	if allocCap <= 0 || allocCap > clusterSize {
+		allocCap = clusterSize
+	}
+
+	// Priorities: bottom levels at unit allocation (the scratch alloc buffer
+	// serves as the all-ones vector).
+	if cap(sc.alloc) < n {
+		sc.alloc = make([]int, n)
+	}
+	ones := sc.alloc[:n]
+	for i := range ones {
+		ones[i] = 1
+	}
+	bl := sc.bottomLevels(ones, comm)
+
+	avail := sc.resizeAvail(clusterSize)
+	nPredsLeft := sc.resizeNPreds(n)
+	for _, t := range g.Tasks {
+		nPredsLeft[t.ID] = t.InDegree()
+	}
+	ready := append(sc.ready[:0], sc.entries...)
+
+	// Host windows: M-HEFT allocations are not known up front, so the flat
+	// backing is sized for the worst case once.
+	if worst := n * allocCap; cap(sc.hostsFlat) < worst {
+		sc.hostsFlat = make([]int, worst)
+	}
+	flatNext := 0
+
+	hs := sc.resizeHostsAt(clusterSize)
+	for mapped := 0; mapped < n; mapped++ {
+		best := -1
+		for _, id := range ready {
+			if best < 0 || bl[id] > bl[best] || (bl[id] == bl[best] && id < best) {
+				best = id
+			}
+		}
+		if best < 0 {
+			panic("sched: MHEFT ran out of ready tasks")
+		}
+		for i, r := range ready {
+			if r == best {
+				ready = append(ready[:i], ready[i+1:]...)
+				break
+			}
+		}
+		task := g.Task(best)
+
+		for h := range hs {
+			hs[h] = hostAvail{host: h, at: avail[h]}
+		}
+		slices.SortFunc(hs, cmpHostAvail)
+
+		bestP, bestStart, bestFinish := 0, 0.0, 0.0
+		for p := 1; p <= allocCap; p++ {
+			procReady := hs[p-1].at
+			dataReady := 0.0
+			for _, pr := range task.Preds() {
+				t := s.EstFinish[pr]
+				if comm != nil {
+					t += comm(g.Task(pr), task, s.Alloc[pr], p)
+				}
+				if t > dataReady {
+					dataReady = t
+				}
+			}
+			start := procReady
+			if dataReady > start {
+				start = dataReady
+			}
+			finish := start + cost(task, p)
+			if bestP == 0 || finish < bestFinish-1e-12 {
+				bestP, bestStart, bestFinish = p, start, finish
+			}
+		}
+
+		chosen := sc.hostsFlat[flatNext : flatNext+bestP : flatNext+bestP]
+		flatNext += bestP
+		for i := 0; i < bestP; i++ {
+			chosen[i] = hs[i].host
+		}
+		slices.Sort(chosen)
+		s.Alloc[best] = bestP
+		s.Hosts[best] = chosen
+		s.EstStart[best] = bestStart
+		s.EstFinish[best] = bestFinish
+		for _, h := range chosen {
+			avail[h] = bestFinish
+		}
+		for _, succ := range task.Succs() {
+			nPredsLeft[succ]--
+			if nPredsLeft[succ] == 0 {
+				ready = append(ready, succ)
+			}
+		}
+	}
+	sc.ready = ready[:0]
+	if err := s.validate(clusterSize, sc); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// prepareOut readies the reusable output schedule for n tasks.
+func (sc *Scratch) prepareOut(n int) *Schedule {
+	s := &sc.out
+	s.Algorithm, s.Model = "", ""
+	s.Graph = sc.g
+	if cap(s.Hosts) < n {
+		s.Hosts = make([][]int, n)
+	}
+	s.Hosts = s.Hosts[:n]
+	for i := range s.Hosts {
+		s.Hosts[i] = nil
+	}
+	if cap(s.EstStart) < n {
+		s.EstStart = make([]float64, n)
+		s.EstFinish = make([]float64, n)
+	}
+	s.EstStart = s.EstStart[:n]
+	s.EstFinish = s.EstFinish[:n]
+	for i := 0; i < n; i++ {
+		s.EstStart[i] = 0
+		s.EstFinish[i] = 0
+	}
+	return s
+}
+
+func (sc *Scratch) resizeAvail(clusterSize int) []float64 {
+	if cap(sc.avail) < clusterSize {
+		sc.avail = make([]float64, clusterSize)
+	}
+	avail := sc.avail[:clusterSize]
+	for i := range avail {
+		avail[i] = 0
+	}
+	return avail
+}
+
+func (sc *Scratch) resizeNPreds(n int) []int {
+	if cap(sc.nPredsLeft) < n {
+		sc.nPredsLeft = make([]int, n)
+	}
+	return sc.nPredsLeft[:n]
+}
+
+func (sc *Scratch) resizeHostsAt(clusterSize int) []hostAvail {
+	if cap(sc.hostsAt) < clusterSize {
+		sc.hostsAt = make([]hostAvail, clusterSize)
+	}
+	return sc.hostsAt[:clusterSize]
+}

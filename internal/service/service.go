@@ -72,6 +72,12 @@ type Service struct {
 	// instead of building a network (and fresh engines) per request.
 	netMu sync.Mutex
 	nets  map[string]*simgrid.Net
+
+	// scratch pools reusable scheduling state for the synchronous schedule,
+	// simulate and batch paths, so homogeneous builds reuse buffers across
+	// requests instead of allocating per call. Schedules built through the
+	// pool are Cloned before the scratch is returned.
+	scratch sync.Pool
 }
 
 // labKey identifies one assembled lab (one workload × one environment).
@@ -137,6 +143,17 @@ func (s *Service) net(env string, c platform.Cluster) (*simgrid.Net, error) {
 	s.nets[env] = n
 	return n, nil
 }
+
+// acquireScratch draws a scheduling scratch from the pool.
+func (s *Service) acquireScratch() *sched.Scratch {
+	if sc, ok := s.scratch.Get().(*sched.Scratch); ok {
+		return sc
+	}
+	return sched.NewScratch()
+}
+
+// releaseScratch returns a scratch to the pool.
+func (s *Service) releaseScratch(sc *sched.Scratch) { s.scratch.Put(sc) }
 
 // Registry exposes the fitted-model registry.
 func (s *Service) Registry() *ModelRegistry { return s.registry }
@@ -272,7 +289,7 @@ func (s *Service) build(req *ScheduleRequest) (*sched.Schedule, perfmodel.Model,
 		return nil, nil, nil, false, err
 	}
 	c := truth.Cluster
-	schedule, err := buildSchedule(algo, req.DAG, c, model, req.Model)
+	schedule, err := s.buildSchedule(algo, req.DAG, c, model, req.Model)
 	if err != nil {
 		return nil, nil, nil, false, err
 	}
@@ -285,14 +302,23 @@ func (s *Service) build(req *ScheduleRequest) (*sched.Schedule, perfmodel.Model,
 
 // buildSchedule runs one scheduling pass — homogeneous or heterogeneous,
 // per the cluster — under the given model. Shared by the single and batched
-// paths so their schedules agree by construction.
-func buildSchedule(algo sched.Algorithm, g *dag.Graph, c platform.Cluster, model perfmodel.Model, kind string) (*sched.Schedule, error) {
+// paths so their schedules agree by construction. Homogeneous builds go
+// through a pooled scheduling scratch (bit-identical to sched.Build) and are
+// detached with Clone before the scratch returns to the pool, so concurrent
+// requests reuse buffers without aliasing each other's responses.
+func (s *Service) buildSchedule(algo sched.Algorithm, g *dag.Graph, c platform.Cluster, model perfmodel.Model, kind string) (*sched.Schedule, error) {
 	cost := perfmodel.CostFunc(model)
 	comm := perfmodel.CommFunc(model, c)
 	var schedule *sched.Schedule
 	var err error
 	if c.IsHomogeneous() {
-		schedule, err = sched.Build(algo, g, c.Nodes, cost, comm)
+		sc := s.acquireScratch()
+		sc.Bind(g, c.Nodes, cost)
+		schedule, err = sc.Build(algo, comm)
+		if err == nil {
+			schedule = schedule.Clone()
+		}
+		s.releaseScratch(sc)
 	} else {
 		schedule, err = sched.BuildHetero(algo, g, c, cost, comm)
 	}
@@ -497,7 +523,7 @@ func (s *Service) SimulateBatch(ctx context.Context, req SimulateBatchRequest) (
 	}
 	err = experiments.ForEachCellCtx(ctx, s.opts.Parallelism, len(req.DAGs), func(i int) error {
 		g := req.DAGs[i]
-		schedule, err := buildSchedule(algo, g, c, model, req.Model)
+		schedule, err := s.buildSchedule(algo, g, c, model, req.Model)
 		if err != nil {
 			return fmt.Errorf("service: batch dag %d: %w", i, err)
 		}

@@ -49,6 +49,11 @@ type Action struct {
 	// OnComplete, if non-nil, runs when the action finishes. It may add
 	// new actions to the engine.
 	OnComplete func(e *Engine, a *Action)
+	// Tag is an opaque caller-owned index (e.g. a task or edge ID); the
+	// engine never reads it and Reset preserves it, so callers replaying
+	// recycled actions can recover what an action stands for in callbacks
+	// without a per-action closure.
+	Tag int
 
 	added      bool
 	state      ActionState

@@ -69,6 +69,12 @@ func (n *Net) AcquireEngine() *Engine {
 	return n.pool.Get().(*Engine)
 }
 
+// ResetEngine resets an engine (not necessarily from this net's pool) to
+// this net's capacities at time zero, without the capacity-vector copy
+// Capacities would make — the allocation-free way to point a privately owned
+// engine at a re-parameterised net of the same shape.
+func (n *Net) ResetEngine(e *Engine) { e.Reset(n.caps) }
+
 // ReleaseEngine returns an engine obtained from AcquireEngine to the pool.
 // The engine — including any Completed() slice read from it — must not be
 // used after release. The engine is reset eagerly so recycled engines do
@@ -118,13 +124,30 @@ func (n *Net) RouteLatency(src, dst int) float64 {
 // redistribution, B == 0 pure computation). The action's latency is the
 // maximum route latency over communicating pairs.
 func (n *Net) Ptask(name string, hosts []int, comp []float64, bytes [][]float64) *Action {
+	a := &Action{Name: name}
+	n.FillPtask(a, hosts, comp, bytes)
+	return a
+}
+
+// FillPtask populates an existing action with the L07 parallel task described
+// by comp and bytes (see Ptask), reusing the action's Usage map so replay
+// paths can re-arm recycled actions without allocating. Delay is set to the
+// maximum route latency and Work to 1; Name, Tag, Bound and OnComplete are
+// left untouched.
+func (n *Net) FillPtask(a *Action, hosts []int, comp []float64, bytes [][]float64) {
+	name := a.Name
 	if comp != nil && len(comp) != len(hosts) {
 		panic(fmt.Sprintf("simgrid: ptask %q: comp length %d != hosts %d", name, len(comp), len(hosts)))
 	}
 	if bytes != nil && len(bytes) != len(hosts) {
 		panic(fmt.Sprintf("simgrid: ptask %q: bytes rows %d != hosts %d", name, len(bytes), len(hosts)))
 	}
-	usage := make(map[int]float64)
+	if a.Usage == nil {
+		a.Usage = make(map[int]float64)
+	} else {
+		clear(a.Usage)
+	}
+	usage := a.Usage
 	latency := 0.0
 	for i, h := range hosts {
 		if comp != nil && comp[i] > 0 {
@@ -155,7 +178,8 @@ func (n *Net) Ptask(name string, hosts []int, comp []float64, bytes [][]float64)
 			}
 		}
 	}
-	return &Action{Name: name, Delay: latency, Work: 1, Usage: usage}
+	a.Delay = latency
+	a.Work = 1
 }
 
 // Fixed builds an action that simply lasts the given duration without

@@ -1,0 +1,9 @@
+//go:build !race
+
+// Package testutil holds tiny cross-package test helpers. RaceEnabled lets
+// allocation-count guards skip themselves under the race detector, whose
+// instrumentation allocates.
+package testutil
+
+// RaceEnabled reports whether the race detector is active in this build.
+const RaceEnabled = false

@@ -1,0 +1,565 @@
+package tgrid
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/dag"
+	"repro/internal/redist"
+	"repro/internal/sched"
+	"repro/internal/simgrid"
+)
+
+// TimingScaler is a Timing that can additionally report, for a parallel
+// task, the multiplicative factor relating its per-rank flop counts to the
+// bound base timing's. The replay path uses it to re-arm a recorded parallel
+// task by scaling its CPU usage in place instead of rebuilding the whole
+// L07 description — the allocation-free equivalent of TaskWork.
+type TimingScaler interface {
+	Timing
+	// TaskScale returns (f, true) when this timing's parallel-task
+	// description for the configuration is the base description with all
+	// per-rank flop counts multiplied by f (communication unchanged), or
+	// (0, false) when no such factor exists and the task must fall back
+	// to a fixed TaskWork duration.
+	TaskScale(task *dag.Task, p int) (float64, bool)
+}
+
+// Unscaled adapts the bound base Timing itself to TimingScaler: replaying
+// with Unscaled{base} reproduces Run(net, s, base) exactly.
+type Unscaled struct{ Timing }
+
+// TaskScale implements TimingScaler with the identity factor.
+func (Unscaled) TaskScale(*dag.Task, int) (float64, bool) { return 1, true }
+
+// ScaledTiming adapts a perturbed performance model to TimingScaler the same
+// way ModelTiming adapts a model to Timing. The model's TaskPtaskScale
+// (perfmodel.Perturbed implements it) reports the per-configuration flop
+// factor relative to its base model, so a Replayer bound with
+// ModelTiming{base} replays ScaledTiming{perturbed} without ever
+// materialising the perturbed parallel-task descriptions.
+type ScaledTiming struct {
+	Model interface {
+		TaskTime(task *dag.Task, p int) float64
+		StartupOverhead(p int) float64
+		RedistOverhead(pSrc, pDst int) float64
+		TaskPtask(task *dag.Task, p int) (comp []float64, bytes [][]float64)
+		TaskPtaskScale(task *dag.Task, p int) (factor float64, ok bool)
+	}
+}
+
+// TaskStartup implements Timing.
+func (m ScaledTiming) TaskStartup(task *dag.Task, p int) float64 {
+	return m.Model.StartupOverhead(p)
+}
+
+// TaskWork implements Timing (the fixed-duration fallback path).
+func (m ScaledTiming) TaskWork(task *dag.Task, hosts []int) (float64, []float64, [][]float64) {
+	p := len(hosts)
+	comp, bytes := m.Model.TaskPtask(task, p)
+	if comp != nil || bytes != nil {
+		return 0, comp, bytes
+	}
+	return m.Model.TaskTime(task, p), nil, nil
+}
+
+// RedistOverhead implements Timing.
+func (m ScaledTiming) RedistOverhead(pSrc, pDst int) float64 {
+	return m.Model.RedistOverhead(pSrc, pDst)
+}
+
+// TaskScale implements TimingScaler.
+func (m ScaledTiming) TaskScale(task *dag.Task, p int) (float64, bool) {
+	return m.Model.TaskPtaskScale(task, p)
+}
+
+// replayTask is the recorded execution of one task: a recycled action plus
+// everything needed to re-arm it under a new timing.
+type replayTask struct {
+	act     simgrid.Action
+	p       int
+	hosts   []int // window into the replayer's flat host copy
+	isPtask bool
+	cross   bool      // any cross-host communication (pays route latency)
+	cpuRes  []int     // CPU resource index per communicating rank
+	cpuBase []float64 // base per-rank flop count, scaled by TaskScale
+}
+
+// replayEdge is the recorded redistribution of one DAG edge.
+type replayEdge struct {
+	act        simgrid.Action
+	src, dst   int
+	pSrc, pDst int
+	hasBytes   bool
+	cross      bool
+}
+
+type ptaskKey struct {
+	kernel dag.Kernel
+	n, p   int
+}
+
+type ptaskDesc struct {
+	fixed float64
+	comp  []float64
+	bytes [][]float64
+}
+
+type commKey struct {
+	n, pSrc, pDst int
+}
+
+// Replayer replays one schedule through the simulator many times under
+// varying timings without allocating in steady state — the fast path of the
+// robustness trial loop. Bind records the schedule's execution structure
+// (actions, usage shapes, dependency counts) against a base Timing; each
+// Replay then re-arms the recorded actions under a TimingScaler and a
+// (possibly re-parameterised) net of the same shape, and returns the
+// makespan. Replay(net, Unscaled{base}) equals Run(net, s, base) bit for
+// bit, and Replay with ScaledTiming{perturbed} equals Run under the
+// perturbed model.
+//
+// A Replayer may be re-Bound to different schedules of the same or different
+// graphs; its internal caches (parallel-task descriptions keyed by
+// configuration, redistribution matrices) persist across binds, so binding
+// per trial in a reschedule loop is cheap. The parallel-task cache assumes
+// TaskWork depends only on (task.Kernel, task.N, len(hosts)), which holds
+// for ModelTiming (performance models describe homogeneous platforms); it is
+// invalidated when the base Timing changes. A Replayer is not safe for
+// concurrent use.
+type Replayer struct {
+	net  *simgrid.Net // layout reference from the last Bind
+	g    *dag.Graph
+	base Timing
+
+	eng  *simgrid.Engine
+	rnet *simgrid.Net // net of the Replay in progress
+	cur  TimingScaler
+
+	hostsFlat []int
+	hosts     [][]int
+	estStart  []float64
+	order     []int
+
+	tasks       []replayTask
+	edges       []replayEdge
+	edgeIdx     [][]int
+	edgeIdxFlat []int
+
+	waiting0 []int
+	waiting  []int
+	relFlat  []int // releasedBy, flattened
+	relOff   []int // per-task cursor/offset into relFlat
+	relEnd   []int
+	pairP    []int // host-release prerequisites in discovery order
+	preStart []int // per-task range into pairP
+	preEnd   []int
+
+	lastOnHost []int
+	seenEp     []uint64
+	ep         uint64
+	ehostsBuf  []int
+
+	ptasks map[ptaskKey]ptaskDesc
+	comms  map[commKey][][]float64
+	names  []string
+
+	onTask, onEdge func(*simgrid.Engine, *simgrid.Action)
+}
+
+// NewReplayer returns an empty replayer.
+func NewReplayer() *Replayer {
+	r := &Replayer{
+		ptasks: make(map[ptaskKey]ptaskDesc),
+		comms:  make(map[commKey][][]float64),
+	}
+	r.onTask = func(e *simgrid.Engine, a *simgrid.Action) { r.taskDone(a.Tag) }
+	r.onEdge = func(e *simgrid.Engine, a *simgrid.Action) { r.arrive(r.edges[a.Tag].dst) }
+	return r
+}
+
+// Bind records the schedule's execution structure against the base timing.
+// The schedule must already be valid for the net's cluster (Bind does not
+// re-validate); its relevant fields are copied, so schedules backed by a
+// sched.Scratch may be overwritten after Bind returns.
+func (r *Replayer) Bind(net *simgrid.Net, s *sched.Schedule, base Timing) error {
+	g := s.Graph
+	n := g.Len()
+	clusterSize := net.Cluster.Nodes
+	if base != r.base {
+		clear(r.ptasks)
+		r.base = base
+	}
+	r.net = net
+	r.g = g
+
+	// Snapshot the schedule fields Replay reads after Bind returns.
+	total := 0
+	for _, hs := range s.Hosts {
+		total += len(hs)
+	}
+	if cap(r.hostsFlat) < total {
+		r.hostsFlat = make([]int, 0, total)
+	}
+	r.hostsFlat = r.hostsFlat[:0]
+	r.hosts = resizeIntSlices(r.hosts, n)
+	for i, hs := range s.Hosts {
+		off := len(r.hostsFlat)
+		r.hostsFlat = append(r.hostsFlat, hs...)
+		r.hosts[i] = r.hostsFlat[off:len(r.hostsFlat):len(r.hostsFlat)]
+	}
+	r.estStart = append(r.estStart[:0], s.EstStart...)
+
+	// Launch order: estimated start time, ties by ID (a total order, so any
+	// correct sort reproduces Schedule.Order's stable-sort permutation).
+	r.order = resizeInts(r.order, n)
+	for i := range r.order {
+		r.order[i] = i
+	}
+	sortByEstStart(r.order, r.estStart)
+
+	// Host-occupancy chains: prerequisite counts and, per task, the distinct
+	// earlier occupants of its processors, in first-seen order.
+	r.lastOnHost = resizeInts(r.lastOnHost, clusterSize)
+	for h := range r.lastOnHost {
+		r.lastOnHost[h] = -1
+	}
+	r.waiting0 = resizeInts(r.waiting0, n)
+	r.waiting = resizeInts(r.waiting, n)
+	r.seenEp = resizeUint64s(r.seenEp, n)
+	r.preStart = resizeInts(r.preStart, n)
+	r.preEnd = resizeInts(r.preEnd, n)
+	r.pairP = r.pairP[:0]
+	for _, t := range g.Tasks {
+		r.waiting0[t.ID] = t.InDegree()
+	}
+	for _, id := range r.order {
+		r.ep++
+		r.preStart[id] = len(r.pairP)
+		for _, h := range r.hosts[id] {
+			if prev := r.lastOnHost[h]; prev >= 0 && r.seenEp[prev] != r.ep {
+				r.seenEp[prev] = r.ep
+				r.waiting0[id]++
+				r.pairP = append(r.pairP, prev)
+			}
+			r.lastOnHost[h] = id
+		}
+		r.preEnd[id] = len(r.pairP)
+	}
+
+	// releasedBy[p] lists the tasks waiting on a host p releases, in
+	// ascending waiter ID — the order Run's construction produces.
+	r.relOff = resizeInts(r.relOff, n)
+	r.relEnd = resizeInts(r.relEnd, n)
+	clear(r.relOff)
+	for _, p := range r.pairP {
+		r.relOff[p]++
+	}
+	off := 0
+	for id := 0; id < n; id++ {
+		cnt := r.relOff[id]
+		r.relOff[id] = off
+		r.relEnd[id] = off
+		off += cnt
+	}
+	r.relFlat = resizeInts(r.relFlat, off)
+	for w := 0; w < n; w++ {
+		for i := r.preStart[w]; i < r.preEnd[w]; i++ {
+			p := r.pairP[i]
+			r.relFlat[r.relEnd[p]] = w
+			r.relEnd[p]++
+		}
+	}
+
+	// Task records.
+	if cap(r.tasks) < n {
+		tasks := make([]replayTask, n)
+		copy(tasks, r.tasks)
+		r.tasks = tasks
+	}
+	r.tasks = r.tasks[:n]
+	for id := 0; id < n; id++ {
+		task := g.Task(id)
+		rec := &r.tasks[id]
+		rec.p = len(r.hosts[id])
+		rec.hosts = r.hosts[id]
+		rec.act.Name = r.taskName(id)
+		rec.act.Tag = id
+		rec.act.OnComplete = r.onTask
+		d := r.ptaskDesc(task, rec.p, rec.hosts)
+		rec.isPtask = d.comp != nil || d.bytes != nil
+		rec.cross = false
+		rec.cpuRes = rec.cpuRes[:0]
+		rec.cpuBase = rec.cpuBase[:0]
+		if rec.isPtask {
+			net.FillPtask(&rec.act, rec.hosts, d.comp, d.bytes)
+			for res := range rec.act.Usage {
+				if res >= clusterSize {
+					rec.cross = true
+					break
+				}
+			}
+			for i, h := range rec.hosts {
+				if d.comp != nil && d.comp[i] > 0 {
+					rec.cpuRes = append(rec.cpuRes, net.CPU(h))
+					rec.cpuBase = append(rec.cpuBase, d.comp[i])
+				}
+			}
+		} else {
+			rec.act.Work = 0
+			rec.act.Delay = 0
+		}
+	}
+
+	// Edge records, in (source ID, successor order) — the order Run starts
+	// them relative to each source's completion.
+	nEdges := g.EdgeCount()
+	if cap(r.edges) < nEdges {
+		edges := make([]replayEdge, nEdges)
+		copy(edges, r.edges)
+		r.edges = edges
+	}
+	r.edges = r.edges[:nEdges]
+	r.edgeIdx = resizeIntSlices(r.edgeIdx, n)
+	r.edgeIdxFlat = resizeInts(r.edgeIdxFlat, nEdges)
+	ei := 0
+	ehosts := r.ehostsBuf
+	for id := 0; id < n; id++ {
+		task := g.Task(id)
+		succs := task.Succs()
+		start := ei
+		for _, succ := range succs {
+			rec := &r.edges[ei]
+			r.edgeIdxFlat[ei] = ei
+			rec.src, rec.dst = id, succ
+			rec.pSrc, rec.pDst = len(r.hosts[id]), len(r.hosts[succ])
+			rec.act.Name = "redist"
+			rec.act.Tag = ei
+			rec.act.OnComplete = r.onEdge
+			rec.hasBytes = task.OutputBytes() > 0
+			if rec.hasBytes {
+				full, err := r.commMatrix(task.N, rec.pSrc, rec.pDst)
+				if err != nil {
+					return fmt.Errorf("tgrid: edge %d->%d: %w", id, succ, err)
+				}
+				ehosts = append(ehosts[:0], r.hosts[id]...)
+				ehosts = append(ehosts, r.hosts[succ]...)
+				net.FillPtask(&rec.act, ehosts, nil, full)
+				rec.cross = len(rec.act.Usage) > 0
+			} else {
+				rec.act.Work = 0
+				rec.act.Delay = 0
+				rec.cross = false
+			}
+			ei++
+		}
+		r.edgeIdx[id] = r.edgeIdxFlat[start:ei:ei]
+	}
+	r.ehostsBuf = ehosts
+	return nil
+}
+
+// Replay re-runs the bound schedule under the given timing on a net with the
+// same resource layout as the bind net (same node count and backplane
+// presence; capacities and latencies may differ) and returns the makespan.
+func (r *Replayer) Replay(net *simgrid.Net, timing TimingScaler) (float64, error) {
+	if r.g == nil {
+		return 0, fmt.Errorf("tgrid: replay before bind")
+	}
+	if net.Cluster.Nodes != r.net.Cluster.Nodes || net.HasBackplane() != r.net.HasBackplane() {
+		return 0, fmt.Errorf("tgrid: replay net layout differs from bind net")
+	}
+	if r.eng == nil {
+		r.eng = net.NewEngine()
+	} else {
+		net.ResetEngine(r.eng)
+	}
+	for i := range r.tasks {
+		r.tasks[i].act.Reset()
+	}
+	for i := range r.edges {
+		r.edges[i].act.Reset()
+	}
+	copy(r.waiting, r.waiting0)
+	r.rnet = net
+	r.cur = timing
+	n := len(r.tasks)
+	for id := 0; id < n; id++ {
+		if r.waiting[id] == 0 {
+			r.launch(id)
+		}
+	}
+	makespan, err := r.eng.Run()
+	r.rnet = nil
+	r.cur = nil
+	if err != nil {
+		return 0, fmt.Errorf("tgrid: %w", err)
+	}
+	for id := 0; id < n; id++ {
+		if r.waiting[id] != 0 {
+			return 0, fmt.Errorf("tgrid: task %d never became ready (deadlocked schedule)", id)
+		}
+	}
+	return makespan, nil
+}
+
+func (r *Replayer) launch(id int) {
+	rec := &r.tasks[id]
+	task := r.g.Task(id)
+	startup := r.cur.TaskStartup(task, rec.p)
+	if startup < 0 {
+		panic(fmt.Sprintf("tgrid: negative startup for task %d", id))
+	}
+	a := &rec.act
+	scaled := false
+	if rec.isPtask {
+		if f, ok := r.cur.TaskScale(task, rec.p); ok {
+			for k, res := range rec.cpuRes {
+				a.Usage[res] = rec.cpuBase[k] * f
+			}
+			a.Work = 1
+			lat := 0.0
+			if rec.cross {
+				lat = 2 * r.rnet.Cluster.LinkLatency
+			}
+			// Mirrors Run's Delay = latency + (startup + fixed); fixed
+			// is 0 on the parallel-task path, so this is bit-identical.
+			a.Delay = lat + startup
+			scaled = true
+		}
+	}
+	if !scaled {
+		fixed, comp, bytes := r.cur.TaskWork(task, rec.hosts)
+		if comp != nil || bytes != nil {
+			panic(fmt.Sprintf("tgrid: replay timing returned a parallel task for task %d without a scale factor", id))
+		}
+		a.Work = 0
+		a.Delay = startup + fixed
+	}
+	r.eng.Add(a)
+}
+
+func (r *Replayer) startEdge(ei int) {
+	rec := &r.edges[ei]
+	overhead := r.cur.RedistOverhead(rec.pSrc, rec.pDst)
+	a := &rec.act
+	if rec.hasBytes {
+		lat := 0.0
+		if rec.cross {
+			lat = 2 * r.rnet.Cluster.LinkLatency
+		}
+		a.Delay = lat + overhead
+	} else {
+		a.Delay = overhead
+	}
+	r.eng.Add(a)
+}
+
+func (r *Replayer) taskDone(id int) {
+	for _, ei := range r.edgeIdx[id] {
+		r.startEdge(ei)
+	}
+	for i := r.relOff[id]; i < r.relEnd[id]; i++ {
+		r.arrive(r.relFlat[i])
+	}
+}
+
+func (r *Replayer) arrive(id int) {
+	r.waiting[id]--
+	if r.waiting[id] < 0 {
+		panic(fmt.Sprintf("tgrid: task %d over-released", id))
+	}
+	if r.waiting[id] == 0 {
+		r.launch(id)
+	}
+}
+
+// ptaskDesc returns the base timing's TaskWork outputs for a configuration,
+// memoised by (kernel, n, p).
+func (r *Replayer) ptaskDesc(task *dag.Task, p int, hosts []int) ptaskDesc {
+	key := ptaskKey{kernel: task.Kernel, n: task.N, p: p}
+	if d, ok := r.ptasks[key]; ok {
+		return d
+	}
+	fixed, comp, bytes := r.base.TaskWork(task, hosts)
+	d := ptaskDesc{fixed: fixed, comp: comp, bytes: bytes}
+	r.ptasks[key] = d
+	return d
+}
+
+// commMatrix returns the full (pSrc+pDst)² byte matrix of a redistribution,
+// memoised by (n, pSrc, pDst) — a pure function of the 1-D block overlap
+// plan.
+func (r *Replayer) commMatrix(n, pSrc, pDst int) ([][]float64, error) {
+	key := commKey{n: n, pSrc: pSrc, pDst: pDst}
+	if m, ok := r.comms[key]; ok {
+		return m, nil
+	}
+	sd, err := redist.NewDist(n, pSrc)
+	if err != nil {
+		return nil, err
+	}
+	dd, err := redist.NewDist(n, pDst)
+	if err != nil {
+		return nil, err
+	}
+	m, err := redist.CommMatrix(sd, dd)
+	if err != nil {
+		return nil, err
+	}
+	full := make([][]float64, pSrc+pDst)
+	for i := range full {
+		full[i] = make([]float64, pSrc+pDst)
+	}
+	for i := 0; i < pSrc; i++ {
+		for j := 0; j < pDst; j++ {
+			full[i][pSrc+j] = float64(m[i][j])
+		}
+	}
+	r.comms[key] = full
+	return full, nil
+}
+
+func (r *Replayer) taskName(id int) string {
+	for len(r.names) <= id {
+		r.names = append(r.names, "task-"+strconv.Itoa(len(r.names)))
+	}
+	return r.names[id]
+}
+
+// sortByEstStart sorts ids by estimated start time, ties by ID. The key is a
+// total order, so this reproduces Schedule.Order's stable-sort permutation;
+// an insertion sort (schedules are tens of tasks) keeps the bind path
+// allocation-free where sort.SliceStable would not.
+func sortByEstStart(ids []int, est []float64) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0; j-- {
+			a, b := ids[j-1], ids[j]
+			if est[a] < est[b] || (est[a] == est[b] && a < b) {
+				break
+			}
+			ids[j-1], ids[j] = b, a
+		}
+	}
+}
+
+func resizeInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func resizeUint64s(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
+}
+
+func resizeIntSlices(s [][]int, n int) [][]int {
+	if cap(s) < n {
+		return make([][]int, n)
+	}
+	return s[:n]
+}
