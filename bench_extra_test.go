@@ -14,6 +14,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/kernels"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/perfmodel"
 	"repro/internal/redist"
 	"repro/internal/robust"
@@ -111,6 +112,53 @@ func BenchmarkRobustnessTrials(b *testing.B) {
 			b.ReportMetric(float64(after.Mallocs-before.Mallocs)/trialRuns, "allocs/trial")
 		})
 	}
+}
+
+// BenchmarkMetricsOverhead prices the telemetry layer against the hottest
+// unit of work it instruments: one schedule replay, the robustness engine's
+// per-trial cost. "bare" is the replay alone; "instrumented" adds a counter
+// increment, a histogram observation and a progress update per replay — a
+// deliberate upper bound, since the real engines batch their telemetry per
+// (instance, level) rather than per trial. The ns/op gap between the two
+// variants is the worst-case per-trial cost of metrics being enabled, and
+// must stay far under 2% of the replay itself.
+func BenchmarkMetricsOverhead(b *testing.B) {
+	c := Bayreuth()
+	model := perfmodel.NewAnalytic(c)
+	net, err := simgrid.NewNet(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := dag.MustGenerate(dag.GenParams{Tasks: 10, InputMatrices: 8, AddRatio: 0.5, N: 2000, Seed: 1})
+	s, err := sched.Build(sched.HCPA{}, g, c.Nodes, perfmodel.CostFunc(model), perfmodel.CommFunc(model, c))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := obs.NewRegistry()
+	trials := r.Counter("bench_trials_total", "Trials replayed by the overhead benchmark.")
+	spans := r.Histogram("bench_makespan_seconds", "Simulated makespans seen by the overhead benchmark.", obs.DefBuckets)
+	prog := &obs.Progress{}
+
+	b.Run("bare", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := tgrid.Run(net, s, tgrid.ModelTiming{Model: model}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("instrumented", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := tgrid.Run(net, s, tgrid.ModelTiming{Model: model})
+			if err != nil {
+				b.Fatal(err)
+			}
+			trials.Inc()
+			spans.Observe(res.Makespan)
+			prog.AddTrialsUsed(1)
+		}
+	})
 }
 
 // BenchmarkScalingStudy regenerates the §IX platform-scaling scenario: the

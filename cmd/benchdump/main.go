@@ -12,8 +12,8 @@
 // -merge (the default), existing entries for other benchmarks are kept, so
 // cheap and expensive benchmarks can be recorded by separate invocations:
 //
-//	go run ./cmd/benchdump -out BENCH_PR6.json -bench 'BenchmarkMaxMinSolver$|BenchmarkVirtualReplay$'
-//	go run ./cmd/benchdump -out BENCH_PR6.json -benchtime 1x -bench 'BenchmarkStudySerialVsParallel|BenchmarkServiceScheduleThroughput|BenchmarkRobustnessTrials$'
+//	go run ./cmd/benchdump -out BENCH_PR7.json -bench 'BenchmarkMaxMinSolver$|BenchmarkVirtualReplay$'
+//	go run ./cmd/benchdump -out BENCH_PR7.json -benchtime 1x -bench 'BenchmarkStudySerialVsParallel|BenchmarkServiceScheduleThroughput|BenchmarkRobustnessTrials$'
 //
 // BenchmarkRobustnessTrials runs as four sub-benchmarks (resched/replay ×
 // full-budget/sequential); each reports trialruns/s and allocs/trial custom
@@ -36,9 +36,9 @@ import (
 )
 
 // defaultBench is the key-benchmark set: the steady-state solver, the
-// virtual replay, the study engine, the service schedule path and the
-// Monte Carlo robustness trials.
-const defaultBench = "BenchmarkMaxMinSolver$|BenchmarkVirtualReplay$|BenchmarkStudySerialVsParallel|BenchmarkServiceScheduleThroughput|BenchmarkRobustnessTrials$"
+// virtual replay, the study engine, the service schedule path, the Monte
+// Carlo robustness trials and the telemetry overhead probe.
+const defaultBench = "BenchmarkMaxMinSolver$|BenchmarkVirtualReplay$|BenchmarkStudySerialVsParallel|BenchmarkServiceScheduleThroughput|BenchmarkRobustnessTrials$|BenchmarkMetricsOverhead$"
 
 // Result is one benchmark's measurement.
 type Result struct {
@@ -77,7 +77,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchdump: ")
 	var (
-		out       = flag.String("out", "BENCH_PR6.json", "output JSON file")
+		out       = flag.String("out", "BENCH_PR7.json", "output JSON file")
 		bench     = flag.String("bench", defaultBench, "benchmark regex passed to go test -bench")
 		benchtime = flag.String("benchtime", "1s", "go test -benchtime (e.g. 1s, 100x, 1x for a smoke run)")
 		pkg       = flag.String("pkg", ".", "package to benchmark")

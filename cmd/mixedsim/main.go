@@ -28,9 +28,11 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/robust"
 	"repro/internal/service"
 )
@@ -47,6 +49,7 @@ func main() {
 		trials       = flag.Int("trials", 1, "emulated cluster runs averaged per measured makespan")
 		parallel     = flag.Int("parallel", 0, "study-execution worker pool size (0 = one per CPU); output is identical for every value")
 		jsonPath     = flag.String("json", "", "additionally write the full machine-readable report to this path")
+		progress     = flag.Bool("progress", false, "print a live progress ticker to stderr (-campaign and -robust modes)")
 	)
 	flag.Parse()
 
@@ -69,16 +72,25 @@ func main() {
 				log.Fatalf("-%s is not supported in %s mode", f.Name, mode)
 			}
 		})
+		var prog *obs.Progress
+		if *progress {
+			prog = &obs.Progress{}
+			stop := startTicker(prog)
+			defer stop()
+		}
 		var err error
 		if *campaignPath != "" {
-			err = runCampaign(*campaignPath, cfg, os.Stdout)
+			err = runCampaign(*campaignPath, cfg, prog, os.Stdout)
 		} else {
-			err = runRobust(*robustPath, cfg, os.Stdout)
+			err = runRobust(*robustPath, cfg, prog, os.Stdout)
 		}
 		if err != nil {
 			log.Fatal(err)
 		}
 		return
+	}
+	if *progress {
+		log.Fatal("-progress is only supported in -campaign and -robust modes")
 	}
 
 	lab, err := experiments.NewLab(cfg)
@@ -122,9 +134,44 @@ func main() {
 	}
 }
 
+// startTicker prints the progress record to stderr twice a second (and once
+// more on stop), so long sweeps show cells and trials advancing without
+// touching the report on stdout. The returned stop must be called before the
+// process exits.
+func startTicker(prog *obs.Progress) (stop func()) {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	line := func() {
+		s := prog.Snapshot()
+		fmt.Fprintf(os.Stderr, "\rprogress: cells %d/%d", s.CellsDone, s.CellsTotal)
+		if s.TrialBudget > 0 {
+			fmt.Fprintf(os.Stderr, "  trials %d/%d", s.TrialsUsed, s.TrialBudget)
+		}
+	}
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(500 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				line()
+				fmt.Fprintln(os.Stderr)
+				return
+			case <-tick.C:
+				line()
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
+}
+
 // runCampaign loads a declarative what-if spec and sweeps it against a
 // fresh fit-once registry; the CLI flags supply the spec's seed defaults.
-func runCampaign(path string, cfg experiments.Config, w io.Writer) error {
+func runCampaign(path string, cfg experiments.Config, prog *obs.Progress, w io.Writer) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -143,7 +190,7 @@ func runCampaign(path string, cfg experiments.Config, w io.Writer) error {
 		spec.Trials = cfg.ExpTrials
 	}
 	reg := service.NewModelRegistry(cfg.Profile, cfg.Empirical)
-	eng := campaign.Engine{Source: reg, Workers: cfg.Parallelism}
+	eng := campaign.Engine{Source: reg, Workers: cfg.Parallelism, Progress: prog}
 	res, err := eng.Run(context.Background(), spec)
 	if err != nil {
 		return err
@@ -155,7 +202,7 @@ func runCampaign(path string, cfg experiments.Config, w io.Writer) error {
 // runRobust loads a robustness spec (a campaign spec plus a "robustness"
 // axis) and executes the Monte Carlo winner-stability study against a fresh
 // fit-once registry; the CLI flags supply the spec's seed defaults.
-func runRobust(path string, cfg experiments.Config, w io.Writer) error {
+func runRobust(path string, cfg experiments.Config, prog *obs.Progress, w io.Writer) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -174,7 +221,7 @@ func runRobust(path string, cfg experiments.Config, w io.Writer) error {
 		spec.Trials = cfg.ExpTrials
 	}
 	reg := service.NewModelRegistry(cfg.Profile, cfg.Empirical)
-	eng := robust.Engine{Source: reg, Workers: cfg.Parallelism}
+	eng := robust.Engine{Source: reg, Workers: cfg.Parallelism, Progress: prog}
 	res, err := eng.Run(context.Background(), spec)
 	if err != nil {
 		return err

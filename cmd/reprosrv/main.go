@@ -9,13 +9,18 @@
 //
 // Usage:
 //
-//	reprosrv -addr :8080
+//	reprosrv -addr :8080 -log-format json -pprof
 //	curl localhost:8080/healthz
+//	curl localhost:8080/metrics
 //	curl -X POST localhost:8080/v1/schedule -d @request.json
 //	curl -X POST localhost:8080/v1/campaigns -d @campaign.json
 //
-// See docs/SERVICE.md for the API reference and a walkthrough, and
-// docs/CAMPAIGNS.md for the campaign spec schema.
+// Observability: GET /metrics serves the Prometheus exposition, every
+// request is logged as a structured line (-log-format json|text), and
+// -metrics-addr can serve /metrics and /debug/pprof/ on a separate private
+// listener. See docs/SERVICE.md for the API reference and a walkthrough,
+// docs/OBSERVABILITY.md for the metric catalogue, and docs/CAMPAIGNS.md for
+// the campaign spec schema.
 package main
 
 import (
@@ -24,11 +29,15 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"log/slog"
+
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -36,16 +45,29 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("reprosrv: ")
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		seed       = flag.Int64("seed", 42, "default measurement-campaign noise seed")
-		suiteSeed  = flag.Int64("suite-seed", 2011, "default seed for the 54-DAG study suite")
-		parallel   = flag.Int("parallel", 0, "per-study cell-engine worker pool size (0 = one per CPU)")
-		jobWorkers = flag.Int("job-workers", 2, "concurrent study jobs")
-		queueCap   = flag.Int("queue", 16, "pending-job queue capacity")
-		retain     = flag.Int("retain", 64, "finished jobs whose results are retained")
-		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget")
+		addr        = flag.String("addr", ":8080", "listen address")
+		seed        = flag.Int64("seed", 42, "default measurement-campaign noise seed")
+		suiteSeed   = flag.Int64("suite-seed", 2011, "default seed for the 54-DAG study suite")
+		parallel    = flag.Int("parallel", 0, "per-study cell-engine worker pool size (0 = one per CPU)")
+		jobWorkers  = flag.Int("job-workers", 2, "concurrent study jobs")
+		queueCap    = flag.Int("queue", 16, "pending-job queue capacity")
+		retain      = flag.Int("retain", 64, "finished jobs whose results are retained")
+		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget")
+		logFormat   = flag.String("log-format", "text", "request log format: text or json")
+		metricsAddr = flag.String("metrics-addr", "", "optional separate listener for /metrics and /debug/pprof/ (e.g. a private port)")
+		enablePprof = flag.Bool("pprof", false, "mount /debug/pprof/ on the API handler")
 	)
 	flag.Parse()
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		log.Fatalf("unknown -log-format %q (want text or json)", *logFormat)
+	}
 
 	opts := service.DefaultOptions()
 	opts.Seed = *seed
@@ -54,9 +76,31 @@ func main() {
 	opts.JobWorkers = *jobWorkers
 	opts.QueueCap = *queueCap
 	opts.Retain = *retain
+	opts.Logger = slog.New(handler)
+	opts.EnablePprof = *enablePprof
 	svc := service.New(opts)
 
 	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+
+	if *metricsAddr != "" {
+		// The private listener always exposes pprof: it is the operator's
+		// port, not the API surface -pprof gates.
+		mmux := http.NewServeMux()
+		mmux.Handle("GET /metrics", obs.Default.Handler())
+		mmux.HandleFunc("/debug/pprof/", pprof.Index)
+		mmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		msrv := &http.Server{Addr: *metricsAddr, Handler: mmux}
+		go func() {
+			log.Printf("metrics listening on %s", *metricsAddr)
+			if err := msrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("metrics listener: %v", err)
+			}
+		}()
+		defer msrv.Close()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -8,12 +8,28 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/dag"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/perfmodel"
 	"repro/internal/platform"
 	"repro/internal/sched"
 	"repro/internal/simgrid"
 	"repro/internal/stats"
 	"repro/internal/tgrid"
+)
+
+// Campaign telemetry: grid cells completed (one cell = one platform ×
+// workload × model point scored over its whole suite) and scheduling-scratch
+// pool traffic. Counters never feed back into reports — campaign output is
+// byte-identical with or without anyone scraping them.
+var (
+	cellsCompleted = obs.Default.Counter("repro_campaign_cells_completed_total",
+		"Campaign grid cells fully scored.")
+	scratchAcquires = obs.Default.Counter("repro_pool_acquires_total",
+		"Pool acquisitions, by pool.", obs.L("pool", "campaign_scratch"))
+	scratchReleases = obs.Default.Counter("repro_pool_releases_total",
+		"Pool releases, by pool.", obs.L("pool", "campaign_scratch"))
+	scratchNews = obs.Default.Counter("repro_pool_news_total",
+		"Pool misses that built a fresh object, by pool.", obs.L("pool", "campaign_scratch"))
 )
 
 // ModelSource is the fit-once model registry the engine executes against
@@ -52,6 +68,11 @@ type Engine struct {
 	// engine's replay path re-simulates these base schedules under
 	// perturbed models without rescheduling.
 	KeepSchedules bool
+	// Progress, when non-nil, receives live cell counts (total at plan
+	// time, done as each cell finishes) for job-status and CLI progress
+	// reporting. It is write-only: nothing the engine reports through it
+	// feeds back into the campaign's results.
+	Progress *obs.Progress
 
 	// scratch pools per-worker scheduling scratch structs across cells.
 	scratch sync.Pool
@@ -162,6 +183,7 @@ func (e *Engine) Run(ctx context.Context, spec Spec) (*Result, error) {
 		}
 	}
 
+	e.Progress.AddCellsTotal(int64(len(plan.Platforms) * len(plan.Workloads) * len(plan.Models)))
 	res := &Result{Plan: plan}
 	for _, pt := range plan.Platforms {
 		truth, err := e.Source.Environment(pt.Env)
@@ -207,6 +229,8 @@ func (e *Engine) Run(ctx context.Context, spec Spec) (*Result, error) {
 					return nil, err
 				}
 				res.Cells = append(res.Cells, cell)
+				cellsCompleted.Inc()
+				e.Progress.AddCellsDone(1)
 			}
 		}
 	}
@@ -362,13 +386,18 @@ func deriveHidden(base *cluster.Hidden, pt PlatformPoint) *cluster.Hidden {
 // acquireScratch hands out a pooled scheduling scratch (one per concurrent
 // worker in steady state).
 func (e *Engine) acquireScratch() *sched.Scratch {
+	scratchAcquires.Inc()
 	if sc, ok := e.scratch.Get().(*sched.Scratch); ok {
 		return sc
 	}
+	scratchNews.Inc()
 	return sched.NewScratch()
 }
 
-func (e *Engine) releaseScratch(sc *sched.Scratch) { e.scratch.Put(sc) }
+func (e *Engine) releaseScratch(sc *sched.Scratch) {
+	scratchReleases.Inc()
+	e.scratch.Put(sc)
+}
 
 // BuildScheduleScratch is BuildSchedule through a reusable scheduling
 // scratch: the caller binds sc to (g, c.Nodes, cost) once and then builds

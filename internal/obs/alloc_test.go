@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// TestObserveAllocFree pins the package's core claim: once a metric is
+// registered, observing it — counter increments, gauge moves, histogram
+// observations, progress updates — allocates nothing. This is what licenses
+// instrumentation on the simulation hot paths that the sched/tgrid
+// AllocsPerRun guards keep allocation-free.
+func TestObserveAllocFree(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are inflated by race instrumentation")
+	}
+	r := NewRegistry()
+	c := r.Counter("test_alloc_total", "h", L("pool", "engine"))
+	g := r.Gauge("test_alloc_gauge", "h")
+	h := r.Histogram("test_alloc_seconds", "h", DefBuckets)
+	p := &Progress{}
+	if allocs := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		c.Add(3)
+		g.Inc()
+		g.Dec()
+		g.Set(7)
+		h.Observe(0.042)
+		h.Observe(1e9) // +Inf bucket
+		p.AddCellsDone(1)
+		p.AddTrialsUsed(8)
+	}); allocs != 0 {
+		t.Errorf("steady-state observation allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestSnapshotAllocFree pins Progress.Snapshot: the watch poll loop and the
+// CLI ticker snapshot continuously while jobs run.
+func TestSnapshotAllocFree(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are inflated by race instrumentation")
+	}
+	p := &Progress{}
+	p.AddCellsTotal(10)
+	var sink ProgressSnapshot
+	if allocs := testing.AllocsPerRun(100, func() {
+		sink = p.Snapshot()
+	}); allocs != 0 {
+		t.Errorf("snapshot allocates %.1f times per run, want 0", allocs)
+	}
+	_ = sink
+}

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// TextContentType is the Prometheus text exposition content type served by
+// Handler.
+const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4): families sorted by name, one HELP and
+// TYPE line per family, series sorted by label signature, histograms
+// expanded into cumulative _bucket/_sum/_count lines.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	if r.dirty || len(r.names) != len(r.families) {
+		r.names = r.names[:0]
+		for name := range r.families {
+			r.names = append(r.names, name)
+		}
+		sort.Strings(r.names)
+		r.dirty = false
+	}
+	names := append([]string(nil), r.names...)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.families[name]
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		// Snapshot the series list under the lock; values are atomics and
+		// need no further synchronisation.
+		r.mu.Lock()
+		ser := append([]*series(nil), f.series...)
+		r.mu.Unlock()
+
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range ser {
+			switch {
+			case s.counter != nil:
+				writeSample(&b, f.name, s.labels, "", "", formatUint(s.counter.Value()))
+			case s.gaugeFn != nil:
+				writeSample(&b, f.name, s.labels, "", "", formatFloat(s.gaugeFn()))
+			case s.gauge != nil:
+				writeSample(&b, f.name, s.labels, "", "", strconv.FormatInt(s.gauge.Value(), 10))
+			case s.histogram != nil:
+				h := s.histogram
+				cum := uint64(0)
+				for i, bound := range h.bounds {
+					cum += h.counts[i].Load()
+					writeSample(&b, f.name+"_bucket", s.labels, "le", formatFloat(bound), formatUint(cum))
+				}
+				cum += h.counts[len(h.bounds)].Load()
+				writeSample(&b, f.name+"_bucket", s.labels, "le", "+Inf", formatUint(cum))
+				writeSample(&b, f.name+"_sum", s.labels, "", "", formatFloat(h.Sum()))
+				writeSample(&b, f.name+"_count", s.labels, "", "", formatUint(h.Count()))
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeSample emits one exposition line; extraKey/extraValue append one more
+// label pair (the histogram "le" bound).
+func writeSample(b *strings.Builder, name string, labels []Label, extraKey, extraValue, value string) {
+	b.WriteString(name)
+	if len(labels) > 0 || extraKey != "" {
+		b.WriteByte('{')
+		first := true
+		for _, l := range labels {
+			if !first {
+				b.WriteByte(',')
+			}
+			first = false
+			b.WriteString(l.Key)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(l.Value))
+			b.WriteByte('"')
+		}
+		if extraKey != "" {
+			if !first {
+				b.WriteByte(',')
+			}
+			b.WriteString(extraKey)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(extraValue))
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(value)
+	b.WriteByte('\n')
+}
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double quote and newline.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string: backslash and newline.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+// formatFloat renders a float the way Prometheus expects: the shortest
+// round-trippable form (strconv spells infinities "+Inf"/"-Inf" and NaN
+// "NaN", which is exactly the exposition grammar).
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler serves the registry in the text exposition format — the GET
+// /metrics endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", TextContentType)
+		_ = r.WritePrometheus(w)
+	})
+}

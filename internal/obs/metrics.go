@@ -1,0 +1,283 @@
+// Package obs is the reproduction's observability layer: a dependency-free,
+// allocation-free metrics core (atomic counters, gauges and fixed-bucket
+// histograms preallocated at registration, exposed in the Prometheus text
+// format), plus job-progress snapshots shared by the service's job manager
+// and the campaign/robustness engines.
+//
+// The design constraint is the same one the simulation core lives under
+// (docs/PERF.md): instrumenting a hot path must not make it allocate.
+// Every metric is registered once — typically in a package-level var — and
+// observed through plain atomic operations afterwards; registration owns all
+// allocation, observation owns none. Exposition walks the registry under a
+// lock and may allocate freely; it never runs on a hot path.
+//
+// Counters within one family (same name, different labels) share HELP/TYPE
+// lines in the exposition. Registration is get-or-register: asking twice for
+// the same (name, labels) returns the same metric, so multiple Service
+// instances in one process share one set of process-wide series.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one fixed key/value pair attached to a metric at registration.
+// Labels are bound once; there is no per-observation label lookup, which is
+// what keeps observation allocation-free.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative; counters only go up).
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Add adds n (which may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram. The bucket layout is frozen at
+// registration (upper bounds strictly increasing, +Inf implicit), so Observe
+// is a bounds walk plus three atomic operations — no allocation, safe for
+// concurrent use.
+type Histogram struct {
+	bounds []float64       // upper bounds, exclusive of +Inf
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// DefBuckets is the default latency bucket layout, in seconds.
+var DefBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60}
+
+// FitBuckets suits model-fitting campaigns and job runs: wider, up to
+// minutes.
+var FitBuckets = []float64{0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300, 600}
+
+// metricType enumerates the exposition TYPE line.
+type metricType string
+
+const (
+	typeCounter   metricType = "counter"
+	typeGauge     metricType = "gauge"
+	typeHistogram metricType = "histogram"
+)
+
+// series is one registered (labels, metric) pair within a family.
+type series struct {
+	labels []Label
+	key    string // canonical label signature, for get-or-register and sorting
+
+	counter   *Counter
+	gauge     *Gauge
+	gaugeFn   func() float64
+	histogram *Histogram
+}
+
+// family is all series sharing one metric name.
+type family struct {
+	name   string
+	help   string
+	typ    metricType
+	series []*series
+}
+
+// Registry holds registered metrics and renders them in the Prometheus text
+// exposition format. The zero value is not usable; use NewRegistry or the
+// package-level Default.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	names    []string // registration-independent sorted order, rebuilt lazily
+	dirty    bool
+}
+
+// Default is the process-wide registry every package-level metric registers
+// on; the service's /metrics endpoint exposes it.
+var Default = NewRegistry()
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// labelKey builds the canonical signature of a label set.
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = l.Key + "\x00" + l.Value
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "\x01")
+}
+
+// validName matches the Prometheus metric and label name grammar.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// register returns the series for (name, labels), creating family and series
+// as needed. Type or help mismatches against an existing family panic: they
+// are programming errors, caught the first time the package loads.
+func (r *Registry) register(name, help string, typ metricType, labels []Label) *series {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validName(l.Key) || strings.HasPrefix(l.Key, "__") {
+			panic(fmt.Sprintf("obs: metric %s has invalid label name %q", name, l.Key))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ}
+		r.families[name] = f
+		r.dirty = true
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %s re-registered as %s (was %s)", name, typ, f.typ))
+	}
+	key := labelKey(labels)
+	for _, s := range f.series {
+		if s.key == key {
+			return s
+		}
+	}
+	s := &series{labels: append([]Label(nil), labels...), key: key}
+	f.series = append(f.series, s)
+	sort.Slice(f.series, func(a, b int) bool { return f.series[a].key < f.series[b].key })
+	return s
+}
+
+// Counter returns the counter for (name, labels), registering it on first
+// use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.register(name, help, typeCounter, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s.counter == nil {
+		s.counter = &Counter{}
+	}
+	return s.counter
+}
+
+// Gauge returns the gauge for (name, labels), registering it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	s := r.register(name, help, typeGauge, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s.gauge == nil {
+		s.gauge = &Gauge{}
+	}
+	return s.gauge
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at exposition
+// time (e.g. runtime.NumGoroutine). Re-registration replaces the function.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	s := r.register(name, help, typeGauge, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s.gaugeFn = fn
+}
+
+// Histogram returns the histogram for (name, labels), registering it with
+// the given bucket upper bounds (strictly increasing; +Inf is implicit) on
+// first use. Later calls for the same series ignore buckets and return the
+// existing histogram.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if len(buckets) == 0 {
+		panic(fmt.Sprintf("obs: histogram %s has no buckets", name))
+	}
+	for i := 1; i < len(buckets); i++ {
+		if !(buckets[i] > buckets[i-1]) {
+			panic(fmt.Sprintf("obs: histogram %s buckets not strictly increasing at %d", name, i))
+		}
+	}
+	s := r.register(name, help, typeHistogram, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s.histogram == nil {
+		s.histogram = &Histogram{
+			bounds: append([]float64(nil), buckets...),
+			counts: make([]atomic.Uint64, len(buckets)+1),
+		}
+	}
+	return s.histogram
+}

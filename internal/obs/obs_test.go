@@ -1,0 +1,370 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// parseExposition is a minimal Prometheus text-format parser used by the
+// roundtrip tests: it returns samples by full series line prefix and records
+// the HELP/TYPE lines seen before each family's samples.
+type exposition struct {
+	help    map[string]string
+	typ     map[string]string
+	samples []sample
+}
+
+type sample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// parseLabels parses `k="v",...` with exposition-format unescaping.
+func parseLabels(t *testing.T, s string) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	i := 0
+	for i < len(s) {
+		eq := strings.IndexByte(s[i:], '=')
+		if eq < 0 {
+			t.Fatalf("malformed label section %q", s)
+		}
+		key := s[i : i+eq]
+		i += eq + 1
+		if i >= len(s) || s[i] != '"' {
+			t.Fatalf("label %s not quoted in %q", key, s)
+		}
+		i++
+		var val strings.Builder
+		for i < len(s) && s[i] != '"' {
+			if s[i] == '\\' && i+1 < len(s) {
+				i++
+				switch s[i] {
+				case 'n':
+					val.WriteByte('\n')
+				case '\\', '"':
+					val.WriteByte(s[i])
+				default:
+					t.Fatalf("unknown escape \\%c in %q", s[i], s)
+				}
+			} else {
+				val.WriteByte(s[i])
+			}
+			i++
+		}
+		if i >= len(s) {
+			t.Fatalf("unterminated label value in %q", s)
+		}
+		i++ // closing quote
+		out[key] = val.String()
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+	}
+	return out
+}
+
+func parseExposition(t *testing.T, text string) *exposition {
+	t.Helper()
+	e := &exposition{help: map[string]string{}, typ: map[string]string{}}
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, help, _ := strings.Cut(rest, " ")
+			e.help[name] = help
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, typ, _ := strings.Cut(rest, " ")
+			e.typ[name] = typ
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		id, valStr := line[:sp], line[sp+1:]
+		var value float64
+		switch valStr {
+		case "+Inf":
+			value = math.Inf(1)
+		case "-Inf":
+			value = math.Inf(-1)
+		default:
+			v, err := strconv.ParseFloat(valStr, 64)
+			if err != nil {
+				t.Fatalf("bad value in %q: %v", line, err)
+			}
+			value = v
+		}
+		name, labels := id, map[string]string{}
+		if br := strings.IndexByte(id, '{'); br >= 0 {
+			if !strings.HasSuffix(id, "}") {
+				t.Fatalf("malformed labels in %q", line)
+			}
+			name = id[:br]
+			labels = parseLabels(t, id[br+1:len(id)-1])
+		}
+		e.samples = append(e.samples, sample{name: name, labels: labels, value: value})
+	}
+	return e
+}
+
+func (e *exposition) find(name string, match map[string]string) []sample {
+	var out []sample
+	for _, s := range e.samples {
+		if s.name != name {
+			continue
+		}
+		ok := true
+		for k, v := range match {
+			if s.labels[k] != v {
+				ok = false
+			}
+		}
+		if ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// TestExpositionRoundtrip scrapes a registry in-process and checks the
+// format contract: HELP/TYPE lines precede samples, label values escape
+// correctly, and histogram buckets are cumulative, monotone and le="+Inf"
+// agrees with _count.
+func TestExpositionRoundtrip(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_requests_total", "requests served", L("route", "/v1/jobs"), L("code", "2xx"))
+	c.Add(7)
+	r.Counter("test_requests_total", "requests served", L("route", "/metrics"), L("code", "2xx")).Inc()
+	g := r.Gauge("test_in_flight", "in-flight requests")
+	g.Set(3)
+	r.GaugeFunc("test_goroutines", "goroutines", func() float64 { return 42 })
+	weird := r.Counter("test_escapes_total", "path with \"quotes\", back\\slashes and\nnewlines",
+		L("path", "a\"b\\c\nd"))
+	weird.Add(2)
+	h := r.Histogram("test_latency_seconds", "latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.02, 0.05, 0.5, 2, 3} {
+		h.Observe(v)
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	e := parseExposition(t, text)
+
+	for name, typ := range map[string]string{
+		"test_requests_total":  "counter",
+		"test_in_flight":       "gauge",
+		"test_goroutines":      "gauge",
+		"test_escapes_total":   "counter",
+		"test_latency_seconds": "histogram",
+	} {
+		if e.typ[name] != typ {
+			t.Errorf("TYPE %s = %q, want %q", name, e.typ[name], typ)
+		}
+		if e.help[name] == "" {
+			t.Errorf("HELP %s missing", name)
+		}
+	}
+	// HELP/TYPE must precede the family's first sample, exactly once.
+	for _, name := range []string{"test_requests_total", "test_latency_seconds"} {
+		helpAt := strings.Index(text, "# HELP "+name)
+		typeAt := strings.Index(text, "# TYPE "+name)
+		sampleAt := strings.Index(text, "\n"+name)
+		if helpAt < 0 || typeAt < 0 || sampleAt < 0 || !(helpAt < typeAt && typeAt < sampleAt) {
+			t.Errorf("%s: HELP(%d) TYPE(%d) sample(%d) out of order", name, helpAt, typeAt, sampleAt)
+		}
+		if strings.Count(text, "# TYPE "+name) != 1 {
+			t.Errorf("%s: TYPE emitted more than once", name)
+		}
+	}
+
+	if got := e.find("test_requests_total", map[string]string{"route": "/v1/jobs"}); len(got) != 1 || got[0].value != 7 {
+		t.Errorf("counter sample = %+v, want one sample of 7", got)
+	}
+	if got := e.find("test_escapes_total", map[string]string{"path": "a\"b\\c\nd"}); len(got) != 1 || got[0].value != 2 {
+		t.Errorf("escaped label roundtrip failed: %+v", got)
+	}
+	if got := e.find("test_goroutines", nil); len(got) != 1 || got[0].value != 42 {
+		t.Errorf("gauge func sample = %+v, want 42", got)
+	}
+
+	// Histogram: cumulative buckets 1, 3, 4, +Inf=6; sum matches; monotone.
+	buckets := e.find("test_latency_seconds_bucket", nil)
+	if len(buckets) != 4 {
+		t.Fatalf("got %d buckets, want 4 (incl. +Inf): %+v", len(buckets), buckets)
+	}
+	prev := -1.0
+	for _, s := range buckets {
+		if s.value < prev {
+			t.Errorf("bucket le=%s count %g below previous %g — not cumulative", s.labels["le"], s.value, prev)
+		}
+		prev = s.value
+	}
+	last := buckets[len(buckets)-1]
+	if last.labels["le"] != "+Inf" {
+		t.Errorf("last bucket le=%q, want +Inf", last.labels["le"])
+	}
+	count := e.find("test_latency_seconds_count", nil)
+	if len(count) != 1 || count[0].value != 6 || last.value != count[0].value {
+		t.Errorf("count %v vs +Inf bucket %v, want both 6", count, last.value)
+	}
+	sum := e.find("test_latency_seconds_sum", nil)
+	if want := 0.005 + 0.02 + 0.05 + 0.5 + 2 + 3; len(sum) != 1 || math.Abs(sum[0].value-want) > 1e-12 {
+		t.Errorf("sum %v, want %g", sum, want)
+	}
+}
+
+// TestGetOrRegister pins the idempotence contract: the same (name, labels)
+// returns the same metric, different labels a different one, and a type
+// mismatch panics.
+func TestGetOrRegister(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("test_idem_total", "h", L("k", "a"))
+	b := r.Counter("test_idem_total", "h", L("k", "a"))
+	if a != b {
+		t.Error("same (name, labels) returned distinct counters")
+	}
+	if c := r.Counter("test_idem_total", "h", L("k", "b")); c == a {
+		t.Error("different labels returned the same counter")
+	}
+	h1 := r.Histogram("test_idem_seconds", "h", []float64{1, 2})
+	h2 := r.Histogram("test_idem_seconds", "h", []float64{5, 6, 7})
+	if h1 != h2 {
+		t.Error("histogram re-registration returned a new histogram")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("type mismatch did not panic")
+		}
+	}()
+	r.Gauge("test_idem_total", "h")
+}
+
+// TestConcurrentHammer hammers one family from 16 goroutines — the -race
+// run proves observation is data-race-free, and the final counts prove no
+// increment is lost.
+func TestConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	const goroutines, perG = 16, 10_000
+	c := r.Counter("test_hammer_total", "h")
+	g := r.Gauge("test_hammer_gauge", "h")
+	h := r.Histogram("test_hammer_seconds", "h", []float64{0.25, 0.5, 0.75})
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(float64(i%100) / 100)
+				if i%1000 == 0 {
+					// Concurrent scrapes must not race with observers.
+					var b strings.Builder
+					_ = r.WritePrometheus(&b)
+				}
+				// Concurrent get-or-register of the same series.
+				if r.Counter("test_hammer_total", "h") != c {
+					t.Error("get-or-register returned a different counter")
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*perG {
+		t.Errorf("counter lost increments: %d, want %d", got, goroutines*perG)
+	}
+	if g.Value() != 0 {
+		t.Errorf("gauge = %d, want 0", g.Value())
+	}
+	if h.Count() != goroutines*perG {
+		t.Errorf("histogram count %d, want %d", h.Count(), goroutines*perG)
+	}
+	var total uint64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+	}
+	if total != h.Count() {
+		t.Errorf("bucket sum %d != count %d", total, h.Count())
+	}
+}
+
+// TestProgressSnapshot covers the nil-safety and accumulation contract.
+func TestProgressSnapshot(t *testing.T) {
+	var nilP *Progress
+	nilP.AddCellsDone(5) // must not panic
+	if s := nilP.Snapshot(); s != (ProgressSnapshot{}) {
+		t.Errorf("nil snapshot = %+v, want zero", s)
+	}
+	p := &Progress{}
+	p.AddCellsTotal(8)
+	p.AddCellsDone(3)
+	p.AddTrialBudget(100)
+	p.AddTrialsUsed(42)
+	want := ProgressSnapshot{CellsDone: 3, CellsTotal: 8, TrialsUsed: 42, TrialBudget: 100}
+	if s := p.Snapshot(); s != want {
+		t.Errorf("snapshot = %+v, want %+v", s, want)
+	}
+}
+
+// TestValidation pins the registration-time panics.
+func TestValidation(t *testing.T) {
+	r := NewRegistry()
+	for name, fn := range map[string]func(){
+		"bad metric name":      func() { r.Counter("1bad", "h") },
+		"bad label name":       func() { r.Counter("test_ok_total", "h", L("0k", "v")) },
+		"reserved label name":  func() { r.Counter("test_ok2_total", "h", L("__name__", "v")) },
+		"empty buckets":        func() { r.Histogram("test_h_seconds", "h", nil) },
+		"unsorted buckets":     func() { r.Histogram("test_h2_seconds", "h", []float64{2, 1}) },
+		"duplicate bucket val": func() { r.Histogram("test_h3_seconds", "h", []float64{1, 1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestHandlerContentType pins the scrape endpoint's content type.
+func TestHandlerContentType(t *testing.T) {
+	if !strings.Contains(TextContentType, "version=0.0.4") {
+		t.Fatalf("content type %q lost the exposition version", TextContentType)
+	}
+}
+
+// TestManySeriesOrdering checks deterministic output ordering across
+// registration orders.
+func TestManySeriesOrdering(t *testing.T) {
+	render := func(order []int) string {
+		r := NewRegistry()
+		for _, i := range order {
+			r.Counter("test_order_total", "h", L("i", fmt.Sprint(i))).Add(uint64(i))
+		}
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if render([]int{3, 1, 2}) != render([]int{2, 3, 1}) {
+		t.Error("exposition depends on registration order")
+	}
+}

@@ -13,12 +13,36 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/dag"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/perfmodel"
 	"repro/internal/platform"
 	"repro/internal/sched"
 	"repro/internal/simgrid"
 	"repro/internal/stats"
 	"repro/internal/tgrid"
+)
+
+// Robustness telemetry: Monte Carlo cells and trials (split by whether the
+// trial replayed the base schedule or rescheduled from scratch), trials the
+// sequential stop rule saved against the budget, and runner-pool traffic.
+// All updates are batched per (instance, level) outside the trial loop —
+// the loop itself stays allocation-free and contention-free — and nothing
+// the engine reports feeds back into its results.
+var (
+	robustCellsCompleted = obs.Default.Counter("repro_robust_cells_completed_total",
+		"Monte Carlo stability cells fully aggregated.")
+	trialsReplay = obs.Default.Counter("repro_robust_trials_total",
+		"Monte Carlo perturbation trials executed, by mode.", obs.L("mode", "replay"))
+	trialsResched = obs.Default.Counter("repro_robust_trials_total",
+		"Monte Carlo perturbation trials executed, by mode.", obs.L("mode", "resched"))
+	trialsSaved = obs.Default.Counter("repro_robust_trials_saved_total",
+		"Trials the sequential stop rule saved against the full budget.")
+	runnerAcquires = obs.Default.Counter("repro_pool_acquires_total",
+		"Pool acquisitions, by pool.", obs.L("pool", "robust_runner"))
+	runnerReleases = obs.Default.Counter("repro_pool_releases_total",
+		"Pool releases, by pool.", obs.L("pool", "robust_runner"))
+	runnerNews = obs.Default.Counter("repro_pool_news_total",
+		"Pool misses that built a fresh object, by pool.", obs.L("pool", "robust_runner"))
 )
 
 // fragileLimit caps the per-pair "most fragile instances" table.
@@ -46,6 +70,11 @@ type Engine struct {
 	// Workers bounds the per-instance worker pool (<= 0: one per CPU).
 	// Reports are byte-identical for every value.
 	Workers int
+	// Progress, when non-nil, receives live cell and trial counts: the base
+	// campaign's cells plus one cell per Monte Carlo stabilisation, and the
+	// trial budget versus trials actually drawn. It is write-only — the
+	// engine never reads it back, so attaching one cannot change any result.
+	Progress *obs.Progress
 	// runners pools per-worker trial state (scheduling scratches, replayers,
 	// makespan buffers) across cells and instances.
 	runners sync.Pool
@@ -139,7 +168,7 @@ func (e *Engine) Run(ctx context.Context, spec Spec) (*Result, error) {
 		return nil, fmt.Errorf("robust: engine has no model source")
 	}
 	trials := plan.Spec.Robustness.Trials
-	ceng := campaign.Engine{Source: e.Source, Workers: e.Workers, KeepRaw: trials > 0, KeepSchedules: trials > 0}
+	ceng := campaign.Engine{Source: e.Source, Workers: e.Workers, KeepRaw: trials > 0, KeepSchedules: trials > 0, Progress: e.Progress}
 	base, err := ceng.Run(ctx, plan.Spec.Spec)
 	if err != nil {
 		return nil, err
@@ -148,6 +177,8 @@ func (e *Engine) Run(ctx context.Context, spec Spec) (*Result, error) {
 	if trials == 0 {
 		return res, nil
 	}
+	// The Monte Carlo stage revisits every base cell once more.
+	e.Progress.AddCellsTotal(int64(len(base.Cells)))
 
 	// Walk the campaign's (possibly canonicalised) plan in the same nested
 	// order the campaign engine emitted its cells, so base.Cells[ci] is
@@ -184,6 +215,8 @@ func (e *Engine) Run(ctx context.Context, spec Spec) (*Result, error) {
 					return nil, err
 				}
 				res.Cells = append(res.Cells, cell)
+				robustCellsCompleted.Inc()
+				e.Progress.AddCellsDone(1)
 				ci++
 			}
 		}
@@ -270,6 +303,7 @@ func (e *Engine) stabilizeCell(ctx context.Context, plan *Plan, cp *campaign.Pla
 	algos := cp.Algorithms
 	study := "robust/" + pt.Env + "/" + wp.Key() + "/" + kind
 	nL, nT := len(axis.Levels), axis.Trials
+	e.Progress.AddTrialBudget(int64(len(suite)) * int64(nL) * int64(nT))
 
 	setups := make([][]trialSetup, nL)
 	for li, level := range axis.Levels {
@@ -395,6 +429,21 @@ func (e *Engine) stabilizeCell(ctx context.Context, plan *Plan, cp *campaign.Pla
 		}
 		outs[i] = o
 		useds[i] = used
+		// Batched trial accounting, once per instance: the trial loop itself
+		// touches no shared counters.
+		var drawn int64
+		for _, u := range used {
+			drawn += int64(u)
+		}
+		if replayAll {
+			trialsReplay.Add(uint64(drawn) * uint64(len(algos)))
+		} else {
+			trialsResched.Add(uint64(drawn) * uint64(len(algos)))
+		}
+		e.Progress.AddTrialsUsed(drawn)
+		if axis.Sequential {
+			trialsSaved.Add(uint64(int64(nL)*int64(nT) - drawn))
+		}
 		return nil
 	})
 	if err != nil {
@@ -522,8 +571,10 @@ type trialRunner struct {
 }
 
 func (e *Engine) acquireRunner(nAlgos int) *trialRunner {
+	runnerAcquires.Inc()
 	run, _ := e.runners.Get().(*trialRunner)
 	if run == nil {
+		runnerNews.Inc()
 		run = &trialRunner{sc: sched.NewScratch(), rep: tgrid.NewReplayer()}
 	}
 	for len(run.reps) < nAlgos {
@@ -536,7 +587,10 @@ func (e *Engine) acquireRunner(nAlgos int) *trialRunner {
 	return run
 }
 
-func (e *Engine) releaseRunner(run *trialRunner) { e.runners.Put(run) }
+func (e *Engine) releaseRunner(run *trialRunner) {
+	runnerReleases.Inc()
+	e.runners.Put(run)
+}
 
 // scheduleInvariant reports whether the noise axis cannot change any input
 // the schedulers read from this particular model — task-time costs, startup

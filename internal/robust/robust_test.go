@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/campaign"
+	"repro/internal/obs"
 	"repro/internal/profiler"
 	"repro/internal/robust"
 	"repro/internal/service"
@@ -76,10 +77,12 @@ func TestTrialsZeroReducesToCampaign(t *testing.T) {
 
 // TestRobustDeterministicAcrossWorkerCounts pins the acceptance criterion:
 // the full robustness report is byte-identical at workers=1 and workers=8,
-// each on a fresh registry.
+// each on a fresh registry — and attaching a live Progress record (as the
+// service's job tracking and the CLI ticker do) changes nothing.
 func TestRobustDeterministicAcrossWorkerCounts(t *testing.T) {
-	run := func(workers int) string {
+	run := func(workers int, p *obs.Progress) string {
 		eng := newEngine(workers)
+		eng.Progress = p
 		res, err := eng.Run(context.Background(), testSpec())
 		if err != nil {
 			t.Fatal(err)
@@ -88,11 +91,25 @@ func TestRobustDeterministicAcrossWorkerCounts(t *testing.T) {
 		res.Write(&buf)
 		return buf.String()
 	}
-	serial := run(1)
-	parallel := run(8)
+	serial := run(1, nil)
+	parallel := run(8, nil)
 	if serial != parallel {
 		t.Errorf("robustness report differs between workers=1 and workers=8:\n--- serial ---\n%s\n--- parallel ---\n%s",
 			serial, parallel)
+	}
+
+	prog := &obs.Progress{}
+	tracked := run(4, prog)
+	if tracked != serial {
+		t.Errorf("robustness report changes when a Progress record is attached:\n--- tracked ---\n%s\n--- bare ---\n%s",
+			tracked, serial)
+	}
+	snap := prog.Snapshot()
+	if snap.CellsTotal == 0 || snap.CellsDone != snap.CellsTotal {
+		t.Errorf("progress finished at %d/%d cells, want all cells done", snap.CellsDone, snap.CellsTotal)
+	}
+	if snap.TrialBudget == 0 || snap.TrialsUsed == 0 || snap.TrialsUsed > snap.TrialBudget {
+		t.Errorf("progress trials = %d of budget %d, want 0 < used <= budget", snap.TrialsUsed, snap.TrialBudget)
 	}
 }
 

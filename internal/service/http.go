@@ -3,10 +3,17 @@ package service
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/dag"
+	"repro/internal/obs"
 	"repro/internal/robust"
 )
 
@@ -63,31 +70,77 @@ func decode(w http.ResponseWriter, r *http.Request, v any) bool {
 //	GET  /v1/robustness      list retained robustness studies
 //	GET  /v1/robustness/{id} poll one robustness study
 //	GET  /v1/models          fitted-model registry contents and build cost
+//	GET  /metrics            Prometheus text exposition
+//	     /debug/pprof/*      runtime profiles (only with Options.EnablePprof)
+//
+// The job, campaign and robustness poll endpoints accept ?watch=<duration>
+// to long-poll: the response is deferred until the job's state or progress
+// changes, or the duration elapses.
+//
+// Every route is wrapped in the observability middleware: per-route request
+// metrics, structured request logs with request IDs, and the guarantee that
+// any error response — including the mux's own 404/405 — carries the JSON
+// {"error": ...} envelope.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
-	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
-	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
-	mux.HandleFunc("POST /v1/campaigns", s.handleSubmitCampaign)
-	mux.HandleFunc("GET /v1/campaigns", s.handleListCampaigns)
-	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleGetCampaign)
-	mux.HandleFunc("POST /v1/robustness", s.handleSubmitRobustness)
-	mux.HandleFunc("GET /v1/robustness", s.handleListRobustness)
-	mux.HandleFunc("GET /v1/robustness/{id}", s.handleGetRobustness)
-	mux.HandleFunc("GET /v1/models", s.handleModels)
-	return mux
+	routes := map[string]*routeInstruments{"": instrumentsFor("unmatched")}
+	handle := func(pattern string, h http.Handler) {
+		routes[pattern] = instrumentsFor(pattern)
+		mux.Handle(pattern, named(pattern, h))
+	}
+	handleFunc := func(pattern string, h http.HandlerFunc) { handle(pattern, h) }
+	handleFunc("GET /healthz", s.handleHealth)
+	handleFunc("POST /v1/schedule", s.handleSchedule)
+	handleFunc("POST /v1/simulate", s.handleSimulate)
+	handleFunc("POST /v1/jobs", s.handleSubmitJob)
+	handleFunc("GET /v1/jobs", s.handleListJobs)
+	handleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	handleFunc("POST /v1/campaigns", s.handleSubmitCampaign)
+	handleFunc("GET /v1/campaigns", s.handleListCampaigns)
+	handleFunc("GET /v1/campaigns/{id}", s.handleGetCampaign)
+	handleFunc("POST /v1/robustness", s.handleSubmitRobustness)
+	handleFunc("GET /v1/robustness", s.handleListRobustness)
+	handleFunc("GET /v1/robustness/{id}", s.handleGetRobustness)
+	handleFunc("GET /v1/models", s.handleModels)
+	handle("GET /metrics", obs.Default.Handler())
+	if s.opts.EnablePprof {
+		handleFunc("/debug/pprof/", pprof.Index)
+		handleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		handleFunc("/debug/pprof/profile", pprof.Profile)
+		handleFunc("/debug/pprof/symbol", pprof.Symbol)
+		handleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return s.withObs(routes, mux)
 }
 
-// HealthResponse is the /healthz payload.
+// HealthResponse is the /healthz payload: liveness plus basic process
+// vitals, cheap enough to scrape aggressively.
 type HealthResponse struct {
-	Status string `json:"status"`
+	Status        string  `json:"status"`
+	Version       string  `json:"version"`
+	GoVersion     string  `json:"go_version"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Goroutines    int     `json:"goroutines"`
 }
+
+// buildVersion resolves the module version stamped into the binary; "(devel)"
+// for plain `go build`, "unknown" when no build info is embedded (e.g. some
+// test binaries).
+var buildVersion = sync.OnceValue(func() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		return bi.Main.Version
+	}
+	return "unknown"
+})
 
 func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok"})
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:        "ok",
+		Version:       buildVersion(),
+		GoVersion:     runtime.Version(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Goroutines:    runtime.NumGoroutine(),
+	})
 }
 
 func (s *Service) handleSchedule(w http.ResponseWriter, r *http.Request) {
@@ -164,13 +217,60 @@ func (s *Service) handleListJobs(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.jobs.List())
 }
 
-func (s *Service) handleGetJob(w http.ResponseWriter, r *http.Request) {
-	status, ok := s.jobs.Get(r.PathValue("id"))
-	if !ok {
-		writeError(w, http.StatusNotFound, errors.New("service: no such job"))
+// watchParam parses the optional ?watch long-poll parameter: absent means a
+// plain poll; a bare "watch" selects the default window; otherwise the value
+// is a Go duration, capped so a stuck client cannot pin a connection.
+func watchParam(r *http.Request) (time.Duration, bool, error) {
+	const (
+		defaultWatch = 30 * time.Second
+		maxWatch     = 60 * time.Second
+	)
+	if !r.URL.Query().Has("watch") {
+		return 0, false, nil
+	}
+	raw := r.URL.Query().Get("watch")
+	if raw == "" {
+		return defaultWatch, true, nil
+	}
+	d, err := time.ParseDuration(raw)
+	if err != nil {
+		return 0, false, fmt.Errorf("service: bad watch duration %q: %w", raw, err)
+	}
+	if d <= 0 {
+		return 0, false, fmt.Errorf("service: watch duration %q must be positive", raw)
+	}
+	if d > maxWatch {
+		d = maxWatch
+	}
+	return d, true, nil
+}
+
+// getJob serves the job poll endpoints: a plain status read, or — with
+// ?watch — a long-poll that responds as soon as the job's state or progress
+// moves. pred filters the job kinds the endpoint exposes.
+func (s *Service) getJob(w http.ResponseWriter, r *http.Request, pred func(string) bool, notFound string) {
+	d, watch, err := watchParam(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	id := r.PathValue("id")
+	status, ok := s.jobs.Get(id)
+	if !ok || !pred(status.Kind) {
+		writeError(w, http.StatusNotFound, errors.New(notFound))
+		return
+	}
+	if watch {
+		if status, ok = s.jobs.Watch(r.Context(), id, d); !ok {
+			writeError(w, http.StatusNotFound, errors.New(notFound))
+			return
+		}
+	}
 	writeJSON(w, http.StatusOK, status)
+}
+
+func (s *Service) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	s.getJob(w, r, func(string) bool { return true }, "service: no such job")
 }
 
 func (s *Service) handleSubmitCampaign(w http.ResponseWriter, r *http.Request) {
@@ -209,12 +309,7 @@ func (s *Service) handleListCampaigns(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleGetCampaign(w http.ResponseWriter, r *http.Request) {
-	status, ok := s.jobs.Get(r.PathValue("id"))
-	if !ok || !isCampaignKind(status.Kind) {
-		writeError(w, http.StatusNotFound, errors.New("service: no such campaign"))
-		return
-	}
-	writeJSON(w, http.StatusOK, status)
+	s.getJob(w, r, isCampaignKind, "service: no such campaign")
 }
 
 func (s *Service) handleSubmitRobustness(w http.ResponseWriter, r *http.Request) {
@@ -240,12 +335,7 @@ func (s *Service) handleListRobustness(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleGetRobustness(w http.ResponseWriter, r *http.Request) {
-	status, ok := s.jobs.Get(r.PathValue("id"))
-	if !ok || !isRobustKind(status.Kind) {
-		writeError(w, http.StatusNotFound, errors.New("service: no such robustness study"))
-		return
-	}
-	writeJSON(w, http.StatusOK, status)
+	s.getJob(w, r, isRobustKind, "service: no such robustness study")
 }
 
 func (s *Service) handleModels(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,309 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/obs"
+)
+
+// TestErrorEnvelopeEverywhere pins the error contract: every failure a
+// client can provoke — handler rejections, but also the mux's own 404 and
+// 405, which ServeMux writes as plain text — arrives as the JSON
+// {"error": ...} envelope with an application/json content type.
+func TestErrorEnvelopeEverywhere(t *testing.T) {
+	svc := New(DefaultOptions())
+	defer svc.Close(context.Background())
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   string
+		status int
+	}{
+		{"mux 404", http.MethodGet, "/nope", "", http.StatusNotFound},
+		{"mux 405", http.MethodDelete, "/healthz", "", http.StatusMethodNotAllowed},
+		{"schedule bad json", http.MethodPost, "/v1/schedule", "{", http.StatusBadRequest},
+		{"schedule no dag", http.MethodPost, "/v1/schedule", "{}", http.StatusBadRequest},
+		{"simulate both shapes", http.MethodPost, "/v1/simulate",
+			`{"dag": {"tasks": [{"id": 0, "name": "t"}]}, "dags": []}`, http.StatusBadRequest},
+		{"job unknown study", http.MethodPost, "/v1/jobs", `{"study": "nope"}`, http.StatusBadRequest},
+		{"job not found", http.MethodGet, "/v1/jobs/job-999", "", http.StatusNotFound},
+		{"campaign not found", http.MethodGet, "/v1/campaigns/job-999", "", http.StatusNotFound},
+		{"robustness not found", http.MethodGet, "/v1/robustness/job-999", "", http.StatusNotFound},
+		{"campaign empty spec", http.MethodPost, "/v1/campaigns", `{"algorithms": ["NOPE"]}`, http.StatusBadRequest},
+		{"bad watch duration", http.MethodGet, "/v1/jobs/job-1?watch=bogus", "", http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, srv.URL+tc.path, strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.status {
+				t.Errorf("status = %d, want %d", resp.StatusCode, tc.status)
+			}
+			if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+				t.Errorf("Content-Type = %q, want application/json", ct)
+			}
+			if id := resp.Header.Get("X-Request-ID"); id == "" {
+				t.Error("response has no X-Request-ID header")
+			}
+			body, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var envelope apiError
+			if err := json.Unmarshal(body, &envelope); err != nil {
+				t.Fatalf("body is not the JSON error envelope: %v\n%s", err, body)
+			}
+			if envelope.Error == "" {
+				t.Errorf("envelope has empty error message: %s", body)
+			}
+		})
+	}
+}
+
+// TestHealthzVitals pins the /healthz payload shape: liveness plus process
+// vitals, with the "ok" status the CI smoke test greps for.
+func TestHealthzVitals(t *testing.T) {
+	svc := New(DefaultOptions())
+	defer svc.Close(context.Background())
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var health HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" {
+		t.Errorf("status = %q, want ok", health.Status)
+	}
+	if health.Version == "" {
+		t.Error("version is empty")
+	}
+	if !strings.HasPrefix(health.GoVersion, "go") {
+		t.Errorf("go_version = %q", health.GoVersion)
+	}
+	if health.UptimeSeconds < 0 {
+		t.Errorf("uptime_seconds = %g, want >= 0", health.UptimeSeconds)
+	}
+	if health.Goroutines <= 0 {
+		t.Errorf("goroutines = %d, want > 0", health.Goroutines)
+	}
+}
+
+// TestMetricsRoute scrapes GET /metrics through the service's own handler
+// and checks the per-route HTTP series advanced for the /healthz hit that
+// preceded the scrape.
+func TestMetricsRoute(t *testing.T) {
+	svc := New(DefaultOptions())
+	defer svc.Close(context.Background())
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	if _, err := http.Get(srv.URL + "/healthz"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != obs.TextContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, obs.TextContentType)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE repro_http_requests_total counter",
+		`repro_http_requests_total{route="GET /healthz",code="2xx"}`,
+		"# TYPE repro_http_request_seconds histogram",
+		"repro_http_inflight_requests 1", // the scrape itself is in flight
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics exposition is missing %q", want)
+		}
+	}
+}
+
+// TestPprofGating pins that /debug/pprof/ is absent by default and mounted
+// with Options.EnablePprof.
+func TestPprofGating(t *testing.T) {
+	svc := New(DefaultOptions())
+	defer svc.Close(context.Background())
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof without EnablePprof: status %d, want 404", resp.StatusCode)
+	}
+
+	opts := DefaultOptions()
+	opts.EnablePprof = true
+	svc2 := New(opts)
+	defer svc2.Close(context.Background())
+	srv2 := httptest.NewServer(svc2.Handler())
+	defer srv2.Close()
+	resp2, err := http.Get(srv2.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("pprof with EnablePprof: status %d, want 200", resp2.StatusCode)
+	}
+}
+
+// TestWatchLongPoll exercises the long-poll directly on the JobManager: a
+// watch returns early on a progress move, again on the state transition,
+// and immediately for terminal jobs; a missing ID reports false.
+func TestWatchLongPoll(t *testing.T) {
+	old := watchPoll
+	watchPoll = 5 * time.Millisecond
+	defer func() { watchPoll = old }()
+
+	m := NewJobManager(1, 4, 4)
+	defer m.Shutdown(context.Background())
+
+	release := make(chan struct{})
+	var prog *obs.Progress
+	var mu sync.Mutex
+	started := make(chan struct{})
+	status, err := m.SubmitTracked("study", func(ctx context.Context, p *obs.Progress) (string, error) {
+		mu.Lock()
+		prog = p
+		mu.Unlock()
+		close(started)
+		<-release
+		return "out", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	// A progress move alone must wake the watcher.
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		mu.Lock()
+		prog.AddCellsTotal(10)
+		prog.AddCellsDone(3)
+		mu.Unlock()
+	}()
+	got, ok := m.Watch(context.Background(), status.ID, 5*time.Second)
+	if !ok {
+		t.Fatal("watch lost the job")
+	}
+	if got.State != JobRunning || got.Progress == nil || got.Progress.CellsDone != 3 {
+		t.Fatalf("watch after progress move = %+v, want running with cells_done 3", got)
+	}
+
+	// The terminal transition must wake the next watcher.
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		close(release)
+	}()
+	got, ok = m.Watch(context.Background(), status.ID, 5*time.Second)
+	if !ok || got.State != JobDone {
+		t.Fatalf("watch after completion = %+v (ok=%v), want done", got, ok)
+	}
+
+	// Terminal jobs return immediately, well inside the watch window.
+	begin := time.Now()
+	got, ok = m.Watch(context.Background(), status.ID, 5*time.Second)
+	if !ok || got.State != JobDone {
+		t.Fatalf("watch on finished job = %+v (ok=%v)", got, ok)
+	}
+	if elapsed := time.Since(begin); elapsed > time.Second {
+		t.Errorf("watch on terminal job blocked %s", elapsed)
+	}
+
+	if _, ok := m.Watch(context.Background(), "job-999", time.Millisecond); ok {
+		t.Error("watch on unknown job reported ok")
+	}
+}
+
+// TestHTTPCampaignWatchProgress drives ?watch over the wire: a queued
+// campaign's poll endpoint reports monotonically non-decreasing progress and
+// ends with every cell done.
+func TestHTTPCampaignWatchProgress(t *testing.T) {
+	svc := New(DefaultOptions())
+	defer svc.Close(context.Background())
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	spec := campaign.Spec{
+		Name:       "watch-test",
+		Workloads:  campaign.WorkloadAxis{Sizes: []int{2000}},
+		Algorithms: []string{"HCPA", "MCPA"},
+		Models:     []string{"analytic"},
+	}
+	status, err := svc.SubmitCampaign(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var lastDone int64 = -1
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("campaign did not finish in time")
+		}
+		resp, err := http.Get(srv.URL + "/v1/campaigns/" + status.ID + "?watch=2s")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cur JobStatus
+		err = json.NewDecoder(resp.Body).Decode(&cur)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur.Progress == nil {
+			t.Fatal("campaign job status has no progress record")
+		}
+		if cur.Progress.CellsDone < lastDone {
+			t.Fatalf("progress went backwards: %d after %d", cur.Progress.CellsDone, lastDone)
+		}
+		lastDone = cur.Progress.CellsDone
+		if cur.State == JobDone {
+			if cur.Progress.CellsTotal == 0 || cur.Progress.CellsDone != cur.Progress.CellsTotal {
+				t.Fatalf("finished campaign progress = %d/%d, want all cells done",
+					cur.Progress.CellsDone, cur.Progress.CellsTotal)
+			}
+			return
+		}
+		if cur.State == JobFailed || cur.State == JobCancelled {
+			t.Fatalf("campaign ended %s: %s", cur.State, cur.Error)
+		}
+	}
+}

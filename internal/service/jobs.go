@@ -9,7 +9,46 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
+
+// Job-queue telemetry: submission and completion counters (by terminal
+// state), live queue-depth and running gauges, and duration histograms by
+// job family. All process-wide; multiple managers share the series.
+var (
+	jobsSubmitted = obs.Default.Counter("repro_jobs_submitted_total",
+		"Jobs accepted into the queue.")
+	jobsDone = obs.Default.Counter("repro_jobs_completed_total",
+		"Jobs that reached a terminal state, by state.", obs.L("state", "done"))
+	jobsFailed = obs.Default.Counter("repro_jobs_completed_total",
+		"Jobs that reached a terminal state, by state.", obs.L("state", "failed"))
+	jobsCancelled = obs.Default.Counter("repro_jobs_completed_total",
+		"Jobs that reached a terminal state, by state.", obs.L("state", "cancelled"))
+	jobsQueueDepth = obs.Default.Gauge("repro_jobs_queue_depth",
+		"Jobs waiting in the queue.")
+	jobsRunning = obs.Default.Gauge("repro_jobs_running",
+		"Jobs currently executing.")
+	jobDurStudy = obs.Default.Histogram("repro_job_duration_seconds",
+		"Job wall-clock duration, by job family.", obs.FitBuckets, obs.L("kind", "study"))
+	jobDurCampaign = obs.Default.Histogram("repro_job_duration_seconds",
+		"Job wall-clock duration, by job family.", obs.FitBuckets, obs.L("kind", "campaign"))
+	jobDurRobust = obs.Default.Histogram("repro_job_duration_seconds",
+		"Job wall-clock duration, by job family.", obs.FitBuckets, obs.L("kind", "robust"))
+)
+
+// jobDuration maps a job kind to its family's duration histogram; the family
+// set is closed, so label cardinality cannot grow with user-chosen names.
+func jobDuration(kind string) *obs.Histogram {
+	switch {
+	case isCampaignKind(kind):
+		return jobDurCampaign
+	case isRobustKind(kind):
+		return jobDurRobust
+	default:
+		return jobDurStudy
+	}
+}
 
 // JobState is the lifecycle of a queued study run.
 type JobState string
@@ -42,14 +81,23 @@ type JobStatus struct {
 	Output string `json:"output,omitempty"`
 	// Error is the failure message for failed/cancelled jobs.
 	Error string `json:"error,omitempty"`
+	// Progress is the live (or, once finished, final) progress snapshot of
+	// jobs submitted with SubmitTracked: cells completed and — for Monte
+	// Carlo studies — trials drawn against the budget.
+	Progress *obs.ProgressSnapshot `json:"progress,omitempty"`
 }
 
 // JobFunc is the work a job performs; it must honour ctx promptly.
 type JobFunc func(ctx context.Context) (string, error)
 
+// TrackedJobFunc is a JobFunc that reports live progress: the manager owns
+// the record and snapshots it into every status read while the job runs.
+type TrackedJobFunc func(ctx context.Context, prog *obs.Progress) (string, error)
+
 type job struct {
-	status JobStatus
-	fn     JobFunc
+	status   JobStatus
+	fn       JobFunc
+	progress *obs.Progress
 }
 
 // ErrQueueFull is returned by Submit when the bounded queue is at capacity.
@@ -119,6 +167,7 @@ func (m *JobManager) worker() {
 }
 
 func (m *JobManager) run(j *job) {
+	jobsQueueDepth.Dec()
 	m.mu.Lock()
 	if j.status.State != JobQueued { // cancelled while queued
 		m.mu.Unlock()
@@ -129,22 +178,28 @@ func (m *JobManager) run(j *job) {
 	j.status.Started = &started
 	m.mu.Unlock()
 
+	jobsRunning.Inc()
 	out, err := j.fn(m.ctx)
+	jobsRunning.Dec()
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	ended := time.Now()
 	j.status.Ended = &ended
+	jobDuration(j.status.Kind).Observe(ended.Sub(started).Seconds())
 	switch {
 	case err == nil:
 		j.status.State = JobDone
 		j.status.Output = out
+		jobsDone.Inc()
 	case errors.Is(err, context.Canceled) || m.ctx.Err() != nil:
 		j.status.State = JobCancelled
 		j.status.Error = err.Error()
+		jobsCancelled.Inc()
 	default:
 		j.status.State = JobFailed
 		j.status.Error = err.Error()
+		jobsFailed.Inc()
 	}
 	m.finish(j.status.ID)
 }
@@ -163,6 +218,20 @@ func (m *JobManager) finish(id string) {
 // Submit enqueues a job and returns its initial status. It never blocks:
 // a full queue returns ErrQueueFull.
 func (m *JobManager) Submit(kind string, fn JobFunc) (JobStatus, error) {
+	return m.submit(kind, fn, nil)
+}
+
+// SubmitTracked enqueues a job that reports live progress: fn receives a
+// progress record owned by the manager, and every status read while (and
+// after) the job runs carries its latest snapshot — the data behind the
+// ?watch long-poll and the CLI progress ticker. The record is write-only
+// for fn; nothing the job computes may depend on it.
+func (m *JobManager) SubmitTracked(kind string, fn TrackedJobFunc) (JobStatus, error) {
+	prog := &obs.Progress{}
+	return m.submit(kind, func(ctx context.Context) (string, error) { return fn(ctx, prog) }, prog)
+}
+
+func (m *JobManager) submit(kind string, fn JobFunc, prog *obs.Progress) (JobStatus, error) {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
@@ -176,7 +245,8 @@ func (m *JobManager) Submit(kind string, fn JobFunc) (JobStatus, error) {
 			State:   JobQueued,
 			Created: time.Now(),
 		},
-		fn: fn,
+		fn:       fn,
+		progress: prog,
 	}
 	m.jobs[j.status.ID] = j
 	// Copy before enqueueing: a worker may start mutating j.status the
@@ -186,6 +256,8 @@ func (m *JobManager) Submit(kind string, fn JobFunc) (JobStatus, error) {
 
 	select {
 	case m.queue <- j:
+		jobsSubmitted.Inc()
+		jobsQueueDepth.Inc()
 		return status, nil
 	default:
 		m.mu.Lock()
@@ -193,6 +265,17 @@ func (m *JobManager) Submit(kind string, fn JobFunc) (JobStatus, error) {
 		m.mu.Unlock()
 		return JobStatus{}, ErrQueueFull
 	}
+}
+
+// statusLocked copies a job's status, stamping tracked jobs with their
+// current progress snapshot. Callers hold m.mu.
+func (m *JobManager) statusLocked(j *job) JobStatus {
+	status := j.status
+	if j.progress != nil {
+		snap := j.progress.Snapshot()
+		status.Progress = &snap
+	}
+	return status
 }
 
 // Get returns a job's status by ID.
@@ -203,7 +286,7 @@ func (m *JobManager) Get(id string) (JobStatus, bool) {
 	if !ok {
 		return JobStatus{}, false
 	}
-	return j.status, true
+	return m.statusLocked(j), true
 }
 
 // List returns all retained jobs, oldest submission first.
@@ -212,10 +295,66 @@ func (m *JobManager) List() []JobStatus {
 	defer m.mu.Unlock()
 	out := make([]JobStatus, 0, len(m.jobs))
 	for _, j := range m.jobs {
-		out = append(out, j.status)
+		out = append(out, m.statusLocked(j))
 	}
 	sortJobs(out)
 	return out
+}
+
+// watchPoll is the internal cadence of Watch; a variable so tests can
+// tighten it.
+var watchPoll = 150 * time.Millisecond
+
+// terminalState reports whether a job can no longer change.
+func terminalState(s JobState) bool {
+	return s == JobDone || s == JobFailed || s == JobCancelled
+}
+
+// statusChanged reports whether a job's externally visible status moved
+// between two reads: a state transition or any progress movement.
+func statusChanged(a, b JobStatus) bool {
+	if a.State != b.State {
+		return true
+	}
+	if (a.Progress == nil) != (b.Progress == nil) {
+		return true
+	}
+	return a.Progress != nil && *a.Progress != *b.Progress
+}
+
+// Watch long-polls one job: it blocks until the job's state or progress
+// changes from what the caller would see right now, then returns the new
+// status. It returns the current status unchanged once d elapses or ctx is
+// cancelled, and false only if the job does not exist (or was evicted from
+// retention mid-watch). Jobs already in a terminal state return immediately.
+func (m *JobManager) Watch(ctx context.Context, id string, d time.Duration) (JobStatus, bool) {
+	base, ok := m.Get(id)
+	if !ok {
+		return JobStatus{}, false
+	}
+	if terminalState(base.State) {
+		return base, true
+	}
+	deadline := time.NewTimer(d)
+	defer deadline.Stop()
+	tick := time.NewTicker(watchPoll)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return m.Get(id)
+		case <-deadline.C:
+			return m.Get(id)
+		case <-tick.C:
+			cur, ok := m.Get(id)
+			if !ok {
+				return JobStatus{}, false
+			}
+			if statusChanged(base, cur) {
+				return cur, true
+			}
+		}
+	}
 }
 
 // Shutdown cancels the shared context (aborting running jobs at their next
@@ -235,12 +374,14 @@ func (m *JobManager) Shutdown(ctx context.Context) error {
 	for {
 		select {
 		case j := <-m.queue:
+			jobsQueueDepth.Dec()
 			m.mu.Lock()
 			if j.status.State == JobQueued {
 				j.status.State = JobCancelled
 				ended := time.Now()
 				j.status.Ended = &ended
 				j.status.Error = context.Canceled.Error()
+				jobsCancelled.Inc()
 				m.finish(j.status.ID)
 			}
 			m.mu.Unlock()
@@ -263,6 +404,8 @@ func (m *JobManager) Shutdown(ctx context.Context) error {
 				ended := time.Now()
 				j.status.Ended = &ended
 				j.status.Error = context.Canceled.Error()
+				jobsQueueDepth.Dec()
+				jobsCancelled.Inc()
 				m.finish(j.status.ID)
 			}
 		}

@@ -1,0 +1,177 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"log/slog"
+
+	"repro/internal/obs"
+)
+
+// HTTP telemetry: the in-flight gauge is process-wide; per-route request
+// counts (by status class) and latency histograms are registered once per
+// route pattern when Handler() assembles the mux. Registration is idempotent,
+// so multiple Service instances share one set of series.
+var httpInflight = obs.Default.Gauge("repro_http_inflight_requests",
+	"HTTP requests currently being served.")
+
+// reqSeq numbers requests that arrive without an X-Request-ID of their own.
+var reqSeq atomic.Uint64
+
+// routeInstruments is one route's pre-registered series: request totals by
+// status class and the latency histogram. The observe path is lock-free.
+type routeInstruments struct {
+	byClass [4]*obs.Counter // 2xx, 3xx, 4xx, 5xx
+	latency *obs.Histogram
+}
+
+func instrumentsFor(route string) *routeInstruments {
+	ri := &routeInstruments{
+		latency: obs.Default.Histogram("repro_http_request_seconds",
+			"HTTP request latency, by route.", obs.DefBuckets, obs.L("route", route)),
+	}
+	for i, class := range [...]string{"2xx", "3xx", "4xx", "5xx"} {
+		ri.byClass[i] = obs.Default.Counter("repro_http_requests_total",
+			"HTTP requests served, by route and status class.",
+			obs.L("route", route), obs.L("code", class))
+	}
+	return ri
+}
+
+func (ri *routeInstruments) observe(status int, seconds float64) {
+	idx := status/100 - 2
+	if idx < 0 {
+		idx = 0
+	}
+	if idx > 3 {
+		idx = 3
+	}
+	ri.byClass[idx].Inc()
+	ri.latency.Observe(seconds)
+}
+
+// obsResponse wraps a ResponseWriter to record the status and byte count for
+// metrics and logging, and to intercept non-JSON error responses: any >= 400
+// response whose handler did not set an application/json content type (the
+// mux's own plain-text 404/405, stray http.Error calls) has its body
+// captured and re-emitted as the API's standard {"error": ...} envelope, so
+// clients can rely on one error shape for every route.
+type obsResponse struct {
+	http.ResponseWriter
+	route       string
+	status      int
+	bytes       int64
+	wroteHeader bool
+	intercept   bool
+	buf         bytes.Buffer
+}
+
+func (w *obsResponse) WriteHeader(code int) {
+	if w.wroteHeader {
+		return
+	}
+	w.wroteHeader = true
+	w.status = code
+	if code >= 400 && !strings.HasPrefix(w.Header().Get("Content-Type"), "application/json") {
+		w.intercept = true
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Del("Content-Length")
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *obsResponse) Write(b []byte) (int, error) {
+	if !w.wroteHeader {
+		w.WriteHeader(http.StatusOK)
+	}
+	if w.intercept {
+		w.buf.Write(b)
+		return len(b), nil
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// finish flushes an intercepted error body as the JSON envelope.
+func (w *obsResponse) finish() {
+	if !w.intercept {
+		return
+	}
+	msg := strings.TrimSpace(w.buf.String())
+	if msg == "" {
+		msg = http.StatusText(w.status)
+	}
+	b, err := json.Marshal(apiError{Error: msg})
+	if err != nil {
+		return
+	}
+	n, _ := w.ResponseWriter.Write(append(b, '\n'))
+	w.bytes += int64(n)
+}
+
+// named tags the response with the route pattern that matched, so the outer
+// middleware can attribute metrics and logs without re-deriving the route
+// from the raw path (which would explode label cardinality on /v1/jobs/{id}).
+func named(route string, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if ow, ok := w.(*obsResponse); ok {
+			ow.route = route
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+// withObs is the outermost middleware: request IDs, the in-flight gauge,
+// per-route metrics, the error-envelope guarantee, and one structured log
+// line per request.
+func (s *Service) withObs(routes map[string]*routeInstruments, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = "req-" + strconv.FormatUint(reqSeq.Add(1), 10)
+		}
+		w.Header().Set("X-Request-ID", id)
+		httpInflight.Inc()
+		defer httpInflight.Dec()
+
+		ow := &obsResponse{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(ow, r)
+		ow.finish()
+		dur := time.Since(start)
+
+		ri := routes[ow.route]
+		if ri == nil {
+			ri = routes[""]
+		}
+		ri.observe(ow.status, dur.Seconds())
+
+		level := slog.LevelInfo
+		if ow.status >= 500 {
+			level = slog.LevelError
+		} else if ow.status >= 400 {
+			level = slog.LevelWarn
+		}
+		route := ow.route
+		if route == "" {
+			route = "unmatched"
+		}
+		s.logger.LogAttrs(r.Context(), level, "request",
+			slog.String("id", id),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.String("route", route),
+			slog.Int("status", ow.status),
+			slog.Int64("bytes", ow.bytes),
+			slog.Duration("dur", dur),
+			slog.String("remote", r.RemoteAddr),
+		)
+	})
+}

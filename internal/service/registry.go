@@ -9,12 +9,31 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/perfmodel"
 	"repro/internal/platform"
 	"repro/internal/profiler"
+)
+
+// Registry telemetry: how often model lookups hit the cache, how many
+// fitting campaigns actually ran and how long they took, and how many
+// callers were coalesced onto a build already in flight — the paper's
+// fit-once economics, observable at runtime.
+var (
+	modelFits = obs.Default.Counter("repro_model_fits_total",
+		"Fitting campaigns run (profile + empirical, once per environment and seed).")
+	modelFitSeconds = obs.Default.Histogram("repro_model_fit_seconds",
+		"Wall-clock duration of fitting campaigns.", obs.FitBuckets)
+	modelHits = obs.Default.Counter("repro_model_cache_hits_total",
+		"Model lookups served from cache.")
+	modelMisses = obs.Default.Counter("repro_model_cache_misses_total",
+		"Model lookups that were the first for their key.")
+	modelCoalesced = obs.Default.Counter("repro_model_fit_coalesced_waits_total",
+		"Model lookups that blocked on a fitting campaign another caller was already running.")
 )
 
 // ModelKey identifies one fitted model: the environment it was measured on,
@@ -67,6 +86,9 @@ type fitCampaign struct {
 	emp   *perfmodel.Empirical
 	err   error
 	dur   time.Duration
+	// done flips once the build finished (either way); campaignFor reads it
+	// before blocking on once to tell a coalesced wait from a cheap re-read.
+	done atomic.Bool
 }
 
 type campaignKey struct {
@@ -152,6 +174,7 @@ func (c *fitCampaign) build(env EnvFunc, seed int64, p profiler.ProfileOptions, 
 	ran := false
 	c.once.Do(func() {
 		ran = true
+		defer c.done.Store(true)
 		start := time.Now()
 		c.truth = env()
 		em, err := cluster.NewEmulator(c.truth, seed)
@@ -191,7 +214,18 @@ func (r *ModelRegistry) campaignFor(env string, seed int64) (*fitCampaign, bool,
 		r.campaigns[key] = c
 	}
 	r.mu.Unlock()
+	wasDone := c.done.Load()
 	ran := c.build(mk, seed, r.profile, r.empirical)
+	switch {
+	case ran:
+		modelFits.Inc()
+		if c.err == nil {
+			modelFitSeconds.Observe(c.dur.Seconds())
+		}
+	case !wasDone:
+		// Another caller owned the build and this one blocked on it.
+		modelCoalesced.Inc()
+	}
 	if c.err != nil {
 		return nil, false, c.err
 	}
@@ -256,9 +290,11 @@ func (r *ModelRegistry) Get(key ModelKey) (perfmodel.Model, bool, error) {
 	hit := e.built
 	if hit {
 		e.hits++
+		modelHits.Inc()
 	} else {
 		e.built = true
 		e.buildMillis = buildMillis
+		modelMisses.Inc()
 	}
 	return model, hit, nil
 }

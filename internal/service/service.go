@@ -5,12 +5,17 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"strings"
 	"sync"
+	"time"
+
+	"log/slog"
 
 	"repro/internal/campaign"
 	"repro/internal/dag"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/perfmodel"
 	"repro/internal/platform"
 	"repro/internal/profiler"
@@ -40,6 +45,12 @@ type Options struct {
 	// runs (defaults mirror the paper).
 	Profile   profiler.ProfileOptions
 	Empirical profiler.EmpiricalOptions
+	// Logger receives one structured line per HTTP request; nil disables
+	// request logging (metrics are always on).
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on Handler().
+	// Off by default: profiles expose internals and cost CPU to capture.
+	EnablePprof bool
 }
 
 // DefaultOptions mirrors the paper's evaluation setup.
@@ -63,6 +74,8 @@ type Service struct {
 	opts     Options
 	registry *ModelRegistry
 	jobs     *JobManager
+	logger   *slog.Logger
+	start    time.Time
 
 	labMu sync.Mutex
 	labs  map[labKey]*labEntry
@@ -118,10 +131,16 @@ func New(opts Options) *Service {
 	if opts.Empirical.Sizes == nil {
 		opts.Empirical = def.Empirical
 	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	return &Service{
 		opts:     opts,
 		registry: NewModelRegistry(opts.Profile, opts.Empirical),
 		jobs:     NewJobManager(opts.JobWorkers, opts.QueueCap, opts.Retain),
+		logger:   logger,
+		start:    time.Now(),
 		labs:     make(map[labKey]*labEntry),
 		nets:     make(map[string]*simgrid.Net),
 	}
@@ -144,16 +163,31 @@ func (s *Service) net(env string, c platform.Cluster) (*simgrid.Net, error) {
 	return n, nil
 }
 
+// Scratch-pool telemetry for the synchronous request paths.
+var (
+	svcScratchAcquires = obs.Default.Counter("repro_pool_acquires_total",
+		"Pool acquisitions, by pool.", obs.L("pool", "service_scratch"))
+	svcScratchReleases = obs.Default.Counter("repro_pool_releases_total",
+		"Pool releases, by pool.", obs.L("pool", "service_scratch"))
+	svcScratchNews = obs.Default.Counter("repro_pool_news_total",
+		"Pool misses that built a fresh object, by pool.", obs.L("pool", "service_scratch"))
+)
+
 // acquireScratch draws a scheduling scratch from the pool.
 func (s *Service) acquireScratch() *sched.Scratch {
+	svcScratchAcquires.Inc()
 	if sc, ok := s.scratch.Get().(*sched.Scratch); ok {
 		return sc
 	}
+	svcScratchNews.Inc()
 	return sched.NewScratch()
 }
 
 // releaseScratch returns a scratch to the pool.
-func (s *Service) releaseScratch(sc *sched.Scratch) { s.scratch.Put(sc) }
+func (s *Service) releaseScratch(sc *sched.Scratch) {
+	svcScratchReleases.Inc()
+	s.scratch.Put(sc)
+}
 
 // Registry exposes the fitted-model registry.
 func (s *Service) Registry() *ModelRegistry { return s.registry }
@@ -684,8 +718,8 @@ func (s *Service) SubmitCampaign(spec campaign.Spec) (JobStatus, error) {
 	if spec.Name != "" {
 		kind += ":" + spec.Name
 	}
-	return s.jobs.Submit(kind, func(ctx context.Context) (string, error) {
-		return s.RunCampaign(ctx, spec)
+	return s.jobs.SubmitTracked(kind, func(ctx context.Context, prog *obs.Progress) (string, error) {
+		return s.runCampaign(ctx, spec, prog)
 	})
 }
 
@@ -694,8 +728,15 @@ func (s *Service) SubmitCampaign(spec campaign.Spec) (JobStatus, error) {
 // registered under deterministic names, so repeated campaigns (and plain
 // schedule requests against the same derived platforms) reuse the fits.
 func (s *Service) RunCampaign(ctx context.Context, spec campaign.Spec) (string, error) {
+	return s.runCampaign(ctx, spec, nil)
+}
+
+// runCampaign is RunCampaign with an optional live progress record (attached
+// by the job manager for queued campaigns). Progress is write-only in the
+// engine, so the report is byte-identical with or without it.
+func (s *Service) runCampaign(ctx context.Context, spec campaign.Spec, prog *obs.Progress) (string, error) {
 	spec = s.normalizeCampaign(spec)
-	eng := campaign.Engine{Source: s.registry, Workers: s.opts.Parallelism}
+	eng := campaign.Engine{Source: s.registry, Workers: s.opts.Parallelism, Progress: prog}
 	res, err := eng.Run(ctx, spec)
 	if err != nil {
 		return "", err
@@ -739,8 +780,8 @@ func (s *Service) SubmitRobustness(spec robust.Spec) (JobStatus, error) {
 	if spec.Name != "" {
 		kind += ":" + spec.Name
 	}
-	return s.jobs.Submit(kind, func(ctx context.Context) (string, error) {
-		return s.RunRobustness(ctx, spec)
+	return s.jobs.SubmitTracked(kind, func(ctx context.Context, prog *obs.Progress) (string, error) {
+		return s.runRobustness(ctx, spec, prog)
 	})
 }
 
@@ -749,8 +790,14 @@ func (s *Service) SubmitRobustness(spec robust.Spec) (JobStatus, error) {
 // campaign (byte-identical to submitting it as a plain campaign) followed
 // by the winner-stability sections.
 func (s *Service) RunRobustness(ctx context.Context, spec robust.Spec) (string, error) {
+	return s.runRobustness(ctx, spec, nil)
+}
+
+// runRobustness is RunRobustness with an optional live progress record; as
+// with campaigns, attaching one cannot change a byte of the report.
+func (s *Service) runRobustness(ctx context.Context, spec robust.Spec, prog *obs.Progress) (string, error) {
 	spec = s.normalizeRobustness(spec)
-	eng := robust.Engine{Source: s.registry, Workers: s.opts.Parallelism}
+	eng := robust.Engine{Source: s.registry, Workers: s.opts.Parallelism, Progress: prog}
 	res, err := eng.Run(ctx, spec)
 	if err != nil {
 		return "", err

@@ -4,7 +4,20 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/platform"
+)
+
+// Engine-pool telemetry: how often simulations draw a warm engine versus
+// paying for a fresh one. Registered once per process; the counters are
+// plain atomics, so the acquire/release fast path stays allocation-free.
+var (
+	enginePoolAcquires = obs.Default.Counter("repro_pool_acquires_total",
+		"Pool acquisitions, by pool.", obs.L("pool", "engine"))
+	enginePoolReleases = obs.Default.Counter("repro_pool_releases_total",
+		"Pool releases, by pool.", obs.L("pool", "engine"))
+	enginePoolNews = obs.Default.Counter("repro_pool_news_total",
+		"Pool misses that built a fresh object, by pool.", obs.L("pool", "engine"))
 )
 
 // Net maps a platform.Cluster onto engine resources, implementing the star
@@ -47,7 +60,10 @@ func NewNet(c platform.Cluster) (*Net, error) {
 	if c.BackplaneBandwidth > 0 {
 		n.caps[n.Backplane()] = c.BackplaneBandwidth
 	}
-	n.pool.New = func() any { return NewEngine(n.caps) }
+	n.pool.New = func() any {
+		enginePoolNews.Inc()
+		return NewEngine(n.caps)
+	}
 	return n, nil
 }
 
@@ -66,6 +82,7 @@ func (n *Net) NewEngine() *Engine { return NewEngine(n.caps) }
 // the pool lookup. Pair every acquire with a ReleaseEngine once the run's
 // results have been read off.
 func (n *Net) AcquireEngine() *Engine {
+	enginePoolAcquires.Inc()
 	return n.pool.Get().(*Engine)
 }
 
@@ -80,6 +97,7 @@ func (n *Net) ResetEngine(e *Engine) { e.Reset(n.caps) }
 // used after release. The engine is reset eagerly so recycled engines do
 // not pin finished actions in memory while parked.
 func (n *Net) ReleaseEngine(e *Engine) {
+	enginePoolReleases.Inc()
 	e.Reset(nil)
 	n.pool.Put(e)
 }
