@@ -15,6 +15,13 @@
 //	curl -X POST localhost:8080/v1/schedule -d @request.json
 //	curl -X POST localhost:8080/v1/campaigns -d @campaign.json
 //
+// With -store-dir the daemon becomes a replica of a durable cluster: jobs
+// live in a WAL'd pool on disk (claimed by lease, reclaimed from crashed
+// replicas), fitted models persist across restarts, and any number of
+// replicas can share one store directory. See docs/CLUSTER.md.
+//
+//	reprosrv -addr :8080 -store-dir /var/lib/repro -replica-id r1 -lease-ttl 10s
+//
 // Observability: GET /metrics serves the Prometheus exposition, every
 // request is logged as a structured line (-log-format json|text), and
 // -metrics-addr can serve /metrics and /debug/pprof/ on a separate private
@@ -39,7 +46,19 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/service"
+	"repro/internal/store"
 )
+
+// flagSet reports whether a flag was explicitly set on the command line.
+func flagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
 
 func main() {
 	log.SetFlags(0)
@@ -56,6 +75,9 @@ func main() {
 		logFormat   = flag.String("log-format", "text", "request log format: text or json")
 		metricsAddr = flag.String("metrics-addr", "", "optional separate listener for /metrics and /debug/pprof/ (e.g. a private port)")
 		enablePprof = flag.Bool("pprof", false, "mount /debug/pprof/ on the API handler")
+		storeDir    = flag.String("store-dir", "", "durable store directory: jobs and fitted models persist here and are shared with every replica on the same directory")
+		replicaID   = flag.String("replica-id", "", "this replica's lease-holder identity (default hostname-pid; requires -store-dir)")
+		leaseTTL    = flag.Duration("lease-ttl", 10*time.Second, "job lease duration; a replica silent this long loses its jobs to the reclaimer (requires -store-dir)")
 	)
 	flag.Parse()
 
@@ -78,7 +100,23 @@ func main() {
 	opts.Retain = *retain
 	opts.Logger = slog.New(handler)
 	opts.EnablePprof = *enablePprof
+	if *storeDir == "" && (*replicaID != "" || flagSet("lease-ttl")) {
+		log.Fatal("-replica-id and -lease-ttl require -store-dir")
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, store.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer st.Close()
+		opts.Store = st
+		opts.ReplicaID = *replicaID
+		opts.LeaseTTL = *leaseTTL
+	}
 	svc := service.New(opts)
+	if *storeDir != "" {
+		log.Printf("replica %s on store %s (lease ttl %s)", svc.Jobs().Replica(), *storeDir, *leaseTTL)
+	}
 
 	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 

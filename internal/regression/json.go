@@ -1,0 +1,80 @@
+package regression
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+)
+
+// The wire names of the predefined basis functions. Fits are serialized by
+// the durable model cache (internal/store), so a Fit built on one daemon can
+// be reloaded by another; only the predefined Table II bases round-trip —
+// a Fit over a custom basis fails to marshal rather than silently changing
+// shape on reload.
+const (
+	basisLinear      = "linear"
+	basisInverse     = "inverse"
+	basisHalfInverse = "half-inverse"
+)
+
+// nameOfBasis maps a predefined basis back to its wire name by function
+// identity.
+func nameOfBasis(b Basis) (string, error) {
+	switch reflect.ValueOf(b).Pointer() {
+	case reflect.ValueOf(Linear).Pointer():
+		return basisLinear, nil
+	case reflect.ValueOf(Inverse).Pointer():
+		return basisInverse, nil
+	case reflect.ValueOf(HalfInverse).Pointer():
+		return basisHalfInverse, nil
+	}
+	return "", fmt.Errorf("regression: fit uses a basis with no wire name")
+}
+
+// basisByName resolves a wire name to its predefined basis.
+func basisByName(name string) (Basis, error) {
+	switch name {
+	case basisLinear:
+		return Linear, nil
+	case basisInverse:
+		return Inverse, nil
+	case basisHalfInverse:
+		return HalfInverse, nil
+	}
+	return nil, fmt.Errorf("regression: unknown basis %q", name)
+}
+
+// fitJSON is the wire form of Fit.
+type fitJSON struct {
+	A     float64 `json:"a"`
+	B     float64 `json:"b"`
+	R2    float64 `json:"r2"`
+	Basis string  `json:"basis"`
+}
+
+// MarshalJSON implements json.Marshaler. Only fits over the predefined
+// bases (Linear, Inverse, HalfInverse) can be serialized.
+func (f Fit) MarshalJSON() ([]byte, error) {
+	if f.basis == nil {
+		return nil, fmt.Errorf("regression: cannot marshal a zero Fit")
+	}
+	name, err := nameOfBasis(f.basis)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(fitJSON{A: f.A, B: f.B, R2: f.R2, Basis: name})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (f *Fit) UnmarshalJSON(data []byte) error {
+	var w fitJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	basis, err := basisByName(w.Basis)
+	if err != nil {
+		return err
+	}
+	*f = Fit{A: w.A, B: w.B, R2: w.R2, basis: basis}
+	return nil
+}

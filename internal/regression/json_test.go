@@ -1,0 +1,85 @@
+package regression
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestFitJSONRoundTrip(t *testing.T) {
+	xs := []float64{1, 2, 4, 8, 16, 32}
+	ys := make([]float64, len(xs))
+	for _, basis := range []struct {
+		name string
+		b    Basis
+	}{
+		{"linear", Linear},
+		{"inverse", Inverse},
+		{"half-inverse", HalfInverse},
+	} {
+		for i, x := range xs {
+			ys[i] = 3*basis.b(x) + 0.25
+		}
+		fit := MustFit(xs, ys, basis.b)
+		data, err := json.Marshal(fit)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", basis.name, err)
+		}
+		if !strings.Contains(string(data), `"basis":"`+basis.name+`"`) {
+			t.Fatalf("%s: wire form %s lacks basis name", basis.name, data)
+		}
+		var back Fit
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("%s: unmarshal: %v", basis.name, err)
+		}
+		if back.A != fit.A || back.B != fit.B || back.R2 != fit.R2 {
+			t.Fatalf("%s: coefficients changed: %+v vs %+v", basis.name, back, fit)
+		}
+		for _, x := range xs {
+			if got, want := back.Predict(x), fit.Predict(x); got != want {
+				t.Fatalf("%s: Predict(%v) = %v, want %v", basis.name, x, got, want)
+			}
+		}
+	}
+}
+
+func TestFitJSONRejectsUnknown(t *testing.T) {
+	var f Fit
+	if err := json.Unmarshal([]byte(`{"a":1,"b":2,"r2":0.9,"basis":"sqrt"}`), &f); err == nil {
+		t.Fatal("unmarshal accepted an unknown basis")
+	}
+	// A zero Fit (no basis) cannot be serialised — the caller would lose
+	// the curve shape silently otherwise.
+	if _, err := json.Marshal(Fit{A: 1, B: 2}); err == nil {
+		t.Fatal("marshal accepted a Fit with no basis")
+	}
+}
+
+func TestPiecewiseJSONRoundTrip(t *testing.T) {
+	xs := []float64{1, 2, 4, 8, 16, 20, 24, 28, 32}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		if x <= 16 {
+			ys[i] = 5/x + 1
+		} else {
+			ys[i] = 0.1*x + 0.5
+		}
+	}
+	pw, err := FitPiecewise(xs, ys, Inverse, 16, 16)
+	if err != nil {
+		t.Fatalf("FitPiecewise: %v", err)
+	}
+	data, err := json.Marshal(pw)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Piecewise
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	for _, x := range []float64{1, 8, 16, 17, 32} {
+		if got, want := back.Predict(x), pw.Predict(x); got != want {
+			t.Fatalf("Predict(%v) = %v, want %v", x, got, want)
+		}
+	}
+}

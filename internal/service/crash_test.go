@@ -1,0 +1,195 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/robust"
+	"repro/internal/store"
+)
+
+// Crash-recovery harness: the test binary re-executes itself as worker
+// replicas (the standard helper-process pattern), the parent drives the
+// shared store directly. A worker that dies by SIGKILL mid-job cannot
+// release anything — recovery happens purely through lease expiry, WAL
+// replay of whatever the dead writer managed to sync, and the reclaimer on
+// a surviving replica.
+
+// crashWorkerEnv, when set, turns a test-binary invocation into a worker
+// replica on the given store directory instead of a test run.
+const crashWorkerEnv = "REPRO_CRASH_WORKER_DIR"
+const crashWorkerIDEnv = "REPRO_CRASH_WORKER_ID"
+
+func TestMain(m *testing.M) {
+	if dir := os.Getenv(crashWorkerEnv); dir != "" {
+		runCrashWorker(dir, os.Getenv(crashWorkerIDEnv))
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// runCrashWorker is the worker-replica main: a headless service over the
+// shared store whose claim loops pick jobs from the durable pool. It blocks
+// until killed.
+func runCrashWorker(dir, id string) {
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crash worker: %v\n", err)
+		os.Exit(1)
+	}
+	opts := DefaultOptions()
+	opts.Store = st
+	opts.ReplicaID = id
+	opts.LeaseTTL = 300 * time.Millisecond
+	opts.JobWorkers = 1
+	_ = New(opts)
+	fmt.Println("worker ready") // parent waits for this line
+	select {}
+}
+
+// startCrashWorker launches one worker replica and waits for it to come up.
+func startCrashWorker(t *testing.T, dir, id string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^$")
+	cmd.Env = append(os.Environ(), crashWorkerEnv+"="+dir, crashWorkerIDEnv+"="+id)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatalf("worker %s: %v", id, err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("worker %s: %v", id, err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	buf := make([]byte, 64)
+	if _, err := stdout.Read(buf); err != nil {
+		t.Fatalf("worker %s never became ready: %v", id, err)
+	}
+	return cmd
+}
+
+// crashSpec is a robustness study sized to run for a few seconds — long
+// enough to SIGKILL the first worker mid-run with margin on slow machines.
+// Every seed is explicit, so normalization is the identity and any replica
+// resolves the exact same work.
+func crashSpec() robust.Spec {
+	return robust.Spec{
+		Spec: campaign.Spec{
+			Name:       "crash",
+			Seed:       42,
+			Workloads:  campaign.WorkloadAxis{Sizes: []int{2000, 3000}, SuiteSeeds: []int64{2011}},
+			Algorithms: []string{"CPA", "HCPA", "MCPA"},
+			Models:     []string{"analytic"},
+		},
+		Robustness: robust.Axis{
+			Trials: 64,
+			Levels: []float64{0.02, 0.05, 0.1, 0.2, 0.3, 0.5},
+		},
+	}
+}
+
+// TestCrashRecoveryByteIdentity is the durability pin: a job whose first
+// replica is SIGKILL'd mid-run is reclaimed by a second replica after lease
+// expiry and completes with output byte-identical to an uninterrupted
+// in-process run of the same spec.
+func TestCrashRecoveryByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process crash test in -short mode")
+	}
+	spec := crashSpec()
+
+	// The uninterrupted reference, computed in-process with no store.
+	ref := New(DefaultOptions())
+	defer ref.Close(context.Background())
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+	want, err := ref.RunRobustness(ctx, spec)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+
+	// Submit the same spec into a durable pool, exactly as the service's
+	// durable submit path would.
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	defer st.Close()
+	payload, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := st.SubmitJob("robust:crash", payload)
+	if err != nil {
+		t.Fatalf("SubmitJob: %v", err)
+	}
+
+	// Worker 1 claims the job; wait for proof it is genuinely mid-run
+	// (progress flows through lease renewals), then SIGKILL it.
+	w1 := startCrashWorker(t, dir, "w1")
+	deadline := time.Now().Add(time.Minute)
+	for {
+		if time.Now().After(deadline) {
+			j, _, _ := st.Job(rec.ID)
+			t.Fatalf("worker 1 never got mid-run: %+v", j)
+		}
+		j, ok, err := st.Job(rec.ID)
+		if err != nil || !ok {
+			t.Fatalf("Job: ok=%v err=%v", ok, err)
+		}
+		if j.State == store.StateDone {
+			t.Fatal("job finished before the crash could be injected; grow crashSpec")
+		}
+		if j.State == store.StateRunning && j.Progress != nil && j.Progress.TrialsUsed > 0 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := w1.Process.Kill(); err != nil { // SIGKILL: no release, no cleanup
+		t.Fatalf("kill worker 1: %v", err)
+	}
+	w1.Wait()
+
+	// Worker 2 on the same directory reclaims after the lease expires and
+	// finishes the job.
+	startCrashWorker(t, dir, "w2")
+	for {
+		j, ok, err := st.Job(rec.ID)
+		if err != nil || !ok {
+			t.Fatalf("Job: ok=%v err=%v", ok, err)
+		}
+		if j.State == store.StateDone || j.State == store.StateFailed {
+			if j.State != store.StateDone {
+				t.Fatalf("job failed after reclaim: %s", j.Error)
+			}
+			if j.Holder != "w2" {
+				t.Fatalf("finished by %q, want the surviving replica w2", j.Holder)
+			}
+			if j.Restarts < 1 {
+				t.Fatalf("restarts = %d, want ≥ 1 (the reclaim)", j.Restarts)
+			}
+			if j.Output != want {
+				t.Fatalf("post-crash output differs from uninterrupted run (%d vs %d bytes)",
+					len(j.Output), len(want))
+			}
+			return
+		}
+		select {
+		case <-ctx.Done():
+			t.Fatalf("job never finished after reclaim: %+v", j)
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}

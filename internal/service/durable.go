@@ -1,0 +1,333 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+// Durable job-pool mode: when a JobManager is backed by a store.Store, jobs
+// are not queued in process memory — submissions append (kind, payload)
+// records to the shared WAL, and every replica's workers claim queued jobs
+// by lease, renew while running, and write the terminal transition back.
+// Any replica sharing the store directory serves status reads for any job,
+// and a job whose holder dies mid-run is reclaimed after lease expiry and
+// restarted from its payload on a surviving replica (deterministic work
+// makes the rerun's output identical to an uninterrupted one).
+
+// PayloadRunner materialises a durable job from its submission record. The
+// service installs a runner that dispatches on kind: campaign and
+// robustness kinds decode their specs, everything else is a study request.
+type PayloadRunner func(ctx context.Context, kind string, payload []byte, prog *obs.Progress) (string, error)
+
+// ErrNotDurable is returned by SubmitPayload on a manager without a store.
+var ErrNotDurable = errors.New("service: job manager has no store")
+
+// durable holds the store-backed state of a JobManager.
+type durable struct {
+	st      *store.Store
+	replica string
+	ttl     time.Duration
+	runner  PayloadRunner
+
+	// local tracks jobs running on this replica, so status reads overlay
+	// their live progress over the (renew-cadence) snapshots in the store.
+	mu    sync.Mutex
+	local map[string]*obs.Progress
+
+	lastHeartbeat atomic.Int64 // unix nanos of the last replica record
+}
+
+// claimPoll is the idle claim-loop cadence; a variable so tests tighten it.
+var claimPoll = 100 * time.Millisecond
+
+// walCompactBytes is the WAL size past which a terminal transition triggers
+// snapshot compaction; a variable so tests can force compaction on every
+// completion.
+var walCompactBytes = int64(256 << 10)
+
+// NewDurableJobManager starts a store-backed manager: workers claim-loop
+// goroutines over the shared pool, retaining the last retain finished jobs
+// in the store across all replicas. The replica name is this process's
+// lease holder identity; ttl is the lease duration (renewed at ttl/3 while
+// a job runs).
+func NewDurableJobManager(workers, retain int, st *store.Store, replica string, ttl time.Duration, runner PayloadRunner) *JobManager {
+	if workers < 1 {
+		workers = 1
+	}
+	if retain < 1 {
+		retain = 1
+	}
+	if ttl <= 0 {
+		ttl = 10 * time.Second
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &JobManager{
+		ctx:    ctx,
+		cancel: cancel,
+		retain: retain,
+		jobs:   make(map[string]*job),
+		dur: &durable{
+			st: st, replica: replica, ttl: ttl, runner: runner,
+			local: make(map[string]*obs.Progress),
+		},
+	}
+	for i := 0; i < workers; i++ {
+		m.wg.Add(1)
+		go m.claimLoop()
+	}
+	return m
+}
+
+// Durable reports whether the manager is backed by a shared store.
+func (m *JobManager) Durable() bool { return m.dur != nil }
+
+// Replica returns the manager's lease-holder identity ("" when not durable).
+func (m *JobManager) Replica() string {
+	if m.dur == nil {
+		return ""
+	}
+	return m.dur.replica
+}
+
+// SubmitPayload appends a job to the shared pool. Durable managers only.
+func (m *JobManager) SubmitPayload(kind string, payload json.RawMessage) (JobStatus, error) {
+	if m.dur == nil {
+		return JobStatus{}, ErrNotDurable
+	}
+	m.mu.Lock()
+	closed := m.closed
+	m.mu.Unlock()
+	if closed {
+		return JobStatus{}, ErrShuttingDown
+	}
+	rec, err := m.dur.st.SubmitJob(kind, payload)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	jobsSubmitted.Inc()
+	return m.statusFromRecord(rec), nil
+}
+
+// statusFromRecord maps a store record to the external status shape,
+// overlaying live local progress for jobs running on this replica.
+func (m *JobManager) statusFromRecord(rec store.JobRecord) JobStatus {
+	status := JobStatus{
+		ID:       rec.ID,
+		Kind:     rec.Kind,
+		State:    JobState(rec.State),
+		Created:  rec.Created,
+		Started:  rec.Started,
+		Ended:    rec.Ended,
+		Output:   rec.Output,
+		Error:    rec.Error,
+		Progress: rec.Progress,
+		Replica:  rec.Holder,
+		Restarts: rec.Restarts,
+	}
+	m.dur.mu.Lock()
+	prog, local := m.dur.local[rec.ID]
+	m.dur.mu.Unlock()
+	if local && rec.State == store.StateRunning {
+		snap := prog.Snapshot()
+		if snap != (obs.ProgressSnapshot{}) {
+			status.Progress = &snap
+		}
+	}
+	return status
+}
+
+// claimLoop is one worker's life: claim a job when one is available, run
+// it, otherwise heartbeat and idle.
+func (m *JobManager) claimLoop() {
+	defer m.wg.Done()
+	for {
+		if m.ctx.Err() != nil {
+			return
+		}
+		rec, ok, err := m.dur.st.Claim(m.dur.replica, m.dur.ttl)
+		if err == nil && ok {
+			m.runDurable(rec)
+			continue
+		}
+		m.heartbeat()
+		select {
+		case <-m.ctx.Done():
+			return
+		case <-time.After(claimPoll):
+		}
+	}
+}
+
+// heartbeat registers the replica as live, at most every ttl/2.
+func (m *JobManager) heartbeat() {
+	now := time.Now().UnixNano()
+	last := m.dur.lastHeartbeat.Load()
+	if now-last < int64(m.dur.ttl/2) || !m.dur.lastHeartbeat.CompareAndSwap(last, now) {
+		return
+	}
+	_ = m.dur.st.Heartbeat(m.dur.replica, 2*m.dur.ttl)
+}
+
+// renewEvery is the lease-renewal cadence for a held job.
+func (m *JobManager) renewEvery() time.Duration {
+	d := m.dur.ttl / 3
+	if d < 20*time.Millisecond {
+		d = 20 * time.Millisecond
+	}
+	return d
+}
+
+// runDurable executes one claimed job: a renewal goroutine keeps the lease
+// (and the stored progress snapshot) fresh while the runner works; losing
+// the lease cancels the run. Terminal transitions are fenced by holder in
+// the store, so a takeover can never be overwritten by the loser.
+func (m *JobManager) runDurable(rec store.JobRecord) {
+	prog := &obs.Progress{}
+	m.dur.mu.Lock()
+	m.dur.local[rec.ID] = prog
+	m.dur.mu.Unlock()
+	defer func() {
+		m.dur.mu.Lock()
+		delete(m.dur.local, rec.ID)
+		m.dur.mu.Unlock()
+	}()
+
+	ctx, cancel := context.WithCancel(m.ctx)
+	defer cancel()
+	var leaseLost atomic.Bool
+	renewDone := make(chan struct{})
+	go func() {
+		defer close(renewDone)
+		tick := time.NewTicker(m.renewEvery())
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				snap := prog.Snapshot()
+				err := m.dur.st.Renew(rec.ID, m.dur.replica, m.dur.ttl, snapPtr(snap))
+				if errors.Is(err, store.ErrLeaseLost) {
+					leaseLost.Store(true)
+					cancel()
+					return
+				}
+			}
+		}
+	}()
+
+	jobsRunning.Inc()
+	started := time.Now()
+	out, err := m.dur.runner(ctx, rec.Kind, rec.Payload, prog)
+	jobsRunning.Dec()
+	cancel()
+	<-renewDone
+	jobDuration(rec.Kind).Observe(time.Since(started).Seconds())
+
+	snap := prog.Snapshot()
+	switch {
+	case leaseLost.Load():
+		// Another replica owns the job now; any store write would be
+		// rejected as a stale holder's.
+	case err == nil:
+		if werr := m.dur.st.Complete(rec.ID, m.dur.replica, out, snapPtr(snap)); werr == nil {
+			jobsDone.Inc()
+		}
+	case m.ctx.Err() != nil:
+		// Graceful shutdown: hand the job back so another replica restarts
+		// it promptly instead of waiting out the lease.
+		_ = m.dur.st.Release(rec.ID, m.dur.replica)
+	default:
+		if werr := m.dur.st.Fail(rec.ID, m.dur.replica, err.Error()); werr == nil {
+			jobsFailed.Inc()
+		}
+	}
+	m.maybeCompact()
+}
+
+// snapPtr boxes a non-zero snapshot, so untracked jobs keep a bare status.
+func snapPtr(snap obs.ProgressSnapshot) *obs.ProgressSnapshot {
+	if snap == (obs.ProgressSnapshot{}) {
+		return nil
+	}
+	return &snap
+}
+
+// maybeCompact compacts the store once the WAL outgrows the threshold,
+// pruning finished jobs beyond the retention window — the durable analogue
+// of the in-memory manager's eviction, and the reason the WAL cannot grow
+// without bound.
+func (m *JobManager) maybeCompact() {
+	size, err := m.dur.st.WALSize()
+	if err != nil || size < walCompactBytes {
+		return
+	}
+	_ = m.dur.st.Compact(m.retain)
+}
+
+// durableGet reads one job's status through the store.
+func (m *JobManager) durableGet(id string) (JobStatus, bool) {
+	rec, ok, err := m.dur.st.Job(id)
+	if err != nil || !ok {
+		return JobStatus{}, false
+	}
+	return m.statusFromRecord(rec), true
+}
+
+// durableList reads every retained job through the store.
+func (m *JobManager) durableList() []JobStatus {
+	recs, err := m.dur.st.Jobs()
+	if err != nil {
+		return nil
+	}
+	out := make([]JobStatus, 0, len(recs))
+	for _, rec := range recs {
+		out = append(out, m.statusFromRecord(rec))
+	}
+	sortJobs(out)
+	return out
+}
+
+// durableShutdown stops the claim loops and waits for running jobs to
+// release their leases. Queued jobs stay queued — they are durable state
+// other replicas (or the next start) will claim, not this process's to
+// cancel.
+func (m *JobManager) durableShutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	m.mu.Unlock()
+	m.cancel()
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// defaultReplicaID derives a stable-enough holder identity for a process.
+func defaultReplicaID() string {
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "replica"
+	}
+	return fmt.Sprintf("%s-%d", host, os.Getpid())
+}

@@ -85,6 +85,12 @@ type JobStatus struct {
 	// jobs submitted with SubmitTracked: cells completed and — for Monte
 	// Carlo studies — trials drawn against the budget.
 	Progress *obs.ProgressSnapshot `json:"progress,omitempty"`
+	// Replica is the lease holder running (or, once finished, the one that
+	// ran) the job; set only on store-backed clusters.
+	Replica string `json:"replica,omitempty"`
+	// Restarts counts lease takeovers: how many times the job was reclaimed
+	// from a dead or wedged replica and restarted on another.
+	Restarts int `json:"restarts,omitempty"`
 }
 
 // JobFunc is the work a job performs; it must honour ctx promptly.
@@ -106,15 +112,20 @@ var ErrQueueFull = errors.New("service: job queue full")
 // ErrShuttingDown is returned by Submit after Shutdown started.
 var ErrShuttingDown = errors.New("service: shutting down")
 
-// JobManager runs submitted jobs on a fixed worker pool over a bounded
-// queue, tracks their states, and retains the results of the most recent
-// finished jobs.
+// JobManager runs submitted jobs on a fixed worker pool, tracks their
+// states, and retains the results of the most recent finished jobs. It has
+// two backends: in-memory (NewJobManager — a bounded queue, everything dies
+// with the process) and durable (NewDurableJobManager — a shared store.Store
+// where N replicas claim jobs by lease; see durable.go).
 type JobManager struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 	queue  chan *job
 	wg     sync.WaitGroup
 	retain int
+
+	// dur is non-nil for store-backed managers.
+	dur *durable
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -232,6 +243,9 @@ func (m *JobManager) SubmitTracked(kind string, fn TrackedJobFunc) (JobStatus, e
 }
 
 func (m *JobManager) submit(kind string, fn JobFunc, prog *obs.Progress) (JobStatus, error) {
+	if m.dur != nil {
+		return JobStatus{}, errors.New("service: closure submits need the in-memory manager; durable jobs go through SubmitPayload")
+	}
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
@@ -280,6 +294,9 @@ func (m *JobManager) statusLocked(j *job) JobStatus {
 
 // Get returns a job's status by ID.
 func (m *JobManager) Get(id string) (JobStatus, bool) {
+	if m.dur != nil {
+		return m.durableGet(id)
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	j, ok := m.jobs[id]
@@ -291,6 +308,9 @@ func (m *JobManager) Get(id string) (JobStatus, bool) {
 
 // List returns all retained jobs, oldest submission first.
 func (m *JobManager) List() []JobStatus {
+	if m.dur != nil {
+		return m.durableList()
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := make([]JobStatus, 0, len(m.jobs))
@@ -359,8 +379,12 @@ func (m *JobManager) Watch(ctx context.Context, id string, d time.Duration) (Job
 
 // Shutdown cancels the shared context (aborting running jobs at their next
 // cancellation point), marks still-queued jobs cancelled, and waits for the
-// workers to drain or ctx to expire.
+// workers to drain or ctx to expire. Durable managers instead release their
+// running jobs' leases and leave queued jobs for other replicas.
 func (m *JobManager) Shutdown(ctx context.Context) error {
+	if m.dur != nil {
+		return m.durableShutdown(ctx)
+	}
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()

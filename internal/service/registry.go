@@ -17,6 +17,7 @@ import (
 	"repro/internal/perfmodel"
 	"repro/internal/platform"
 	"repro/internal/profiler"
+	"repro/internal/store"
 )
 
 // Registry telemetry: how often model lookups hit the cache, how many
@@ -34,6 +35,8 @@ var (
 		"Model lookups that were the first for their key.")
 	modelCoalesced = obs.Default.Counter("repro_model_fit_coalesced_waits_total",
 		"Model lookups that blocked on a fitting campaign another caller was already running.")
+	modelLoads = obs.Default.Counter("repro_model_disk_loads_total",
+		"Fitting campaigns skipped because a durable model cache entry was loaded instead.")
 )
 
 // ModelKey identifies one fitted model: the environment it was measured on,
@@ -86,6 +89,9 @@ type fitCampaign struct {
 	emp   *perfmodel.Empirical
 	err   error
 	dur   time.Duration
+	// fromDisk marks a build served from the durable model cache: the fitted
+	// models were loaded instead of re-measured, so no campaign ran.
+	fromDisk bool
 	// done flips once the build finished (either way); campaignFor reads it
 	// before blocking on once to tell a coalesced wait from a cheap re-read.
 	done atomic.Bool
@@ -110,6 +116,11 @@ type ModelRegistry struct {
 	profile   profiler.ProfileOptions
 	empirical profiler.EmpiricalOptions
 	envs      map[string]EnvFunc
+
+	// st, when non-nil, is the durable model cache: fitted models are
+	// persisted after a campaign and loaded instead of re-measured on later
+	// runs (or by other replicas sharing the store directory).
+	st *store.Store
 
 	mu        sync.Mutex
 	campaigns map[campaignKey]*fitCampaign
@@ -169,8 +180,12 @@ func (r *ModelRegistry) GetModel(env, kind string, seed int64) (perfmodel.Model,
 
 // build runs both campaigns for a (environment, seed), exactly once, and
 // reports whether this call was the one that ran them (callers that merely
-// blocked on another goroutine's build get false).
-func (c *fitCampaign) build(env EnvFunc, seed int64, p profiler.ProfileOptions, e profiler.EmpiricalOptions) bool {
+// blocked on another goroutine's build get false). With a durable cache the
+// campaigns are skipped when a saved fit for the key loads cleanly; study
+// paths draw noise from per-cell sessions rather than the emulator's shared
+// stream, so a fresh emulator plus loaded models reproduces the reports of
+// a fitted run byte-for-byte.
+func (c *fitCampaign) build(envName string, env EnvFunc, seed int64, p profiler.ProfileOptions, e profiler.EmpiricalOptions, st *store.Store) bool {
 	ran := false
 	c.once.Do(func() {
 		ran = true
@@ -183,6 +198,15 @@ func (c *fitCampaign) build(env EnvFunc, seed int64, p profiler.ProfileOptions, 
 			return
 		}
 		c.em = em
+		if st != nil {
+			if prof, emp, ok := st.LoadModels(envName, seed); ok {
+				c.prof, c.emp = prof, emp
+				c.fromDisk = true
+				c.dur = time.Since(start)
+				modelLoads.Inc()
+				return
+			}
+		}
 		if c.prof, c.err = profiler.BuildProfileModel(em, p); c.err != nil {
 			return
 		}
@@ -194,6 +218,11 @@ func (c *fitCampaign) build(env EnvFunc, seed int64, p profiler.ProfileOptions, 
 			return
 		}
 		c.dur = time.Since(start)
+		if st != nil {
+			// Persistence is best-effort: a failed save costs the next process
+			// a refit, never correctness.
+			_ = st.SaveModels(envName, seed, c.prof, c.emp, float64(c.dur)/float64(time.Millisecond))
+		}
 	})
 	return ran
 }
@@ -215,8 +244,11 @@ func (r *ModelRegistry) campaignFor(env string, seed int64) (*fitCampaign, bool,
 	}
 	r.mu.Unlock()
 	wasDone := c.done.Load()
-	ran := c.build(mk, seed, r.profile, r.empirical)
+	ran := c.build(env, mk, seed, r.profile, r.empirical, r.st)
 	switch {
+	case ran && c.fromDisk:
+		// Served from the durable cache; no measurement campaign ran, so
+		// neither the fit counter nor its histogram moves.
 	case ran:
 		modelFits.Inc()
 		if c.err == nil {
@@ -297,6 +329,35 @@ func (r *ModelRegistry) Get(key ModelKey) (perfmodel.Model, bool, error) {
 		modelMisses.Inc()
 	}
 	return model, hit, nil
+}
+
+// SetStore attaches a durable model cache. Call before the first lookup;
+// campaigns already in flight keep their original (cacheless) behaviour.
+func (r *ModelRegistry) SetStore(st *store.Store) { r.st = st }
+
+// Warm pre-registers every fit found in the durable cache, so a restarted
+// (or newly joined) replica's GET /v1/models lists the keys measured in
+// previous lives and the first lookup for each counts as a cache hit. The
+// fitted models themselves still load lazily, on first use.
+func (r *ModelRegistry) Warm() int {
+	if r.st == nil {
+		return 0
+	}
+	keys := r.st.ModelKeys()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	warmed := 0
+	for _, k := range keys {
+		for _, kind := range []string{"profile", "empirical"} {
+			mk := ModelKey{Environment: k.Environment, Kind: kind, Seed: k.Seed}
+			if _, ok := r.entries[mk]; ok {
+				continue
+			}
+			r.entries[mk] = &entry{built: true}
+			warmed++
+		}
+	}
+	return warmed
 }
 
 // Models lists the registry contents in a stable order.

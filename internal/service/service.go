@@ -3,6 +3,7 @@ package service
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/robust"
 	"repro/internal/sched"
 	"repro/internal/simgrid"
+	"repro/internal/store"
 	"repro/internal/tgrid"
 )
 
@@ -51,6 +53,18 @@ type Options struct {
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ on Handler().
 	// Off by default: profiles expose internals and cost CPU to capture.
 	EnablePprof bool
+	// Store, when non-nil, makes the service a replica of a durable cluster:
+	// jobs live in the shared WAL'd pool (claimed by lease, reclaimed on
+	// crash) and fitted models persist under the store directory, so both
+	// survive restarts and are shared by every replica on the directory.
+	Store *store.Store
+	// ReplicaID is this process's lease-holder identity (hostname-pid when
+	// empty). Only meaningful with a Store.
+	ReplicaID string
+	// LeaseTTL is how long a claimed job's lease lasts between renewals
+	// (default 10s). A replica that misses renewals for a full TTL loses its
+	// jobs to the reclaimer. Only meaningful with a Store.
+	LeaseTTL time.Duration
 }
 
 // DefaultOptions mirrors the paper's evaluation setup.
@@ -135,15 +149,63 @@ func New(opts Options) *Service {
 	if logger == nil {
 		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
-	return &Service{
+	if opts.ReplicaID == "" {
+		opts.ReplicaID = defaultReplicaID()
+	}
+	s := &Service{
 		opts:     opts,
 		registry: NewModelRegistry(opts.Profile, opts.Empirical),
-		jobs:     NewJobManager(opts.JobWorkers, opts.QueueCap, opts.Retain),
 		logger:   logger,
 		start:    time.Now(),
 		labs:     make(map[labKey]*labEntry),
 		nets:     make(map[string]*simgrid.Net),
 	}
+	if opts.Store != nil {
+		s.registry.SetStore(opts.Store)
+		s.registry.Warm()
+		s.jobs = NewDurableJobManager(opts.JobWorkers, opts.Retain,
+			opts.Store, opts.ReplicaID, opts.LeaseTTL, s.runPayload)
+	} else {
+		s.jobs = NewJobManager(opts.JobWorkers, opts.QueueCap, opts.Retain)
+	}
+	return s
+}
+
+// runPayload is the durable pool's dispatcher: it rematerialises a claimed
+// job from its submission record. Campaign and robustness kinds carry their
+// spec as the payload; every other kind is a study request. Because the
+// specs are normalized at submission, a replayed run resolves the same
+// seeds — and so the same reports — as the submitting replica would have.
+func (s *Service) runPayload(ctx context.Context, kind string, payload []byte, prog *obs.Progress) (string, error) {
+	switch {
+	case isCampaignKind(kind):
+		var spec campaign.Spec
+		if err := json.Unmarshal(payload, &spec); err != nil {
+			return "", fmt.Errorf("service: campaign payload: %w", err)
+		}
+		return s.runCampaign(ctx, spec, prog)
+	case isRobustKind(kind):
+		var spec robust.Spec
+		if err := json.Unmarshal(payload, &spec); err != nil {
+			return "", fmt.Errorf("service: robustness payload: %w", err)
+		}
+		return s.runRobustness(ctx, spec, prog)
+	default:
+		var req StudyRequest
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return "", fmt.Errorf("service: study payload: %w", err)
+		}
+		return s.RunStudy(ctx, req)
+	}
+}
+
+// submitDurable marshals a validated submission into the shared pool.
+func (s *Service) submitDurable(kind string, v any) (JobStatus, error) {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	return s.jobs.SubmitPayload(kind, payload)
 }
 
 // net returns the cached network of an environment, building it on first
@@ -661,6 +723,9 @@ func (s *Service) SubmitStudy(req StudyRequest) (JobStatus, error) {
 	if _, err := s.registry.Environment(req.Environment); err != nil {
 		return JobStatus{}, badRequest{err}
 	}
+	if s.jobs.Durable() {
+		return s.submitDurable(req.Study, req)
+	}
 	return s.jobs.Submit(req.Study, func(ctx context.Context) (string, error) {
 		return s.RunStudy(ctx, req)
 	})
@@ -717,6 +782,9 @@ func (s *Service) SubmitCampaign(spec campaign.Spec) (JobStatus, error) {
 	kind := campaignKindPrefix
 	if spec.Name != "" {
 		kind += ":" + spec.Name
+	}
+	if s.jobs.Durable() {
+		return s.submitDurable(kind, spec)
 	}
 	return s.jobs.SubmitTracked(kind, func(ctx context.Context, prog *obs.Progress) (string, error) {
 		return s.runCampaign(ctx, spec, prog)
@@ -779,6 +847,9 @@ func (s *Service) SubmitRobustness(spec robust.Spec) (JobStatus, error) {
 	kind := robustKindPrefix
 	if spec.Name != "" {
 		kind += ":" + spec.Name
+	}
+	if s.jobs.Durable() {
+		return s.submitDurable(kind, spec)
 	}
 	return s.jobs.SubmitTracked(kind, func(ctx context.Context, prog *obs.Progress) (string, error) {
 		return s.runRobustness(ctx, spec, prog)

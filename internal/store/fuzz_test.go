@@ -1,0 +1,84 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzWALReplay feeds arbitrary byte strings to the WAL replay path and
+// checks the recovery contract on each: replay never panics, consumes only
+// whole checksummed frames, is deterministic on its own prefix, and the
+// healing append (truncate to the consumed prefix, add a frame) always
+// yields a log that replays every prior record plus the new one. This is
+// the property the crash-recovery harness relies on: whatever a dying
+// writer leaves behind, the survivors parse the trusted prefix and write
+// over the rest.
+func FuzzWALReplay(f *testing.F) {
+	// Seed the corpus with the interesting shapes: empty, a valid log, a
+	// torn tail, a corrupted checksum, and a length field pointing past the
+	// end. testdata/fuzz/FuzzWALReplay holds committed regression inputs.
+	f.Add([]byte{})
+	valid := appendFrame(appendFrame(nil, []byte(`{"seq":1,"type":"submit","job":"job-1"}`)), []byte(`{"seq":2,"type":"claim","job":"job-1","holder":"r1"}`))
+	f.Add(valid)
+	f.Add(valid[:len(valid)-7]) // torn mid-frame
+	corrupt := append([]byte(nil), valid...)
+	corrupt[len(corrupt)-1] ^= 0xff
+	f.Add(corrupt)
+	overlong := make([]byte, frameHeader)
+	binary.LittleEndian.PutUint32(overlong[0:4], 1<<30)
+	f.Add(append(appendFrame(nil, []byte("x")), overlong...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var payloads [][]byte
+		consumed, err := replayFrames(data, func(p []byte) error {
+			payloads = append(payloads, append([]byte(nil), p...))
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("replay with non-failing fn returned error: %v", err)
+		}
+		if consumed < 0 || consumed > len(data) {
+			t.Fatalf("consumed %d of %d bytes", consumed, len(data))
+		}
+
+		// Replay of the consumed prefix reproduces exactly the same records
+		// — the prefix is self-delimiting, so recovery to the last
+		// checksummed record is well defined.
+		var again [][]byte
+		consumed2, err := replayFrames(data[:consumed], func(p []byte) error {
+			again = append(again, append([]byte(nil), p...))
+			return nil
+		})
+		if err != nil || consumed2 != consumed || len(again) != len(payloads) {
+			t.Fatalf("prefix replay diverged: consumed %d vs %d, %d vs %d records, err %v",
+				consumed2, consumed, len(again), len(payloads), err)
+		}
+		for i := range payloads {
+			if !bytes.Equal(again[i], payloads[i]) {
+				t.Fatalf("prefix replay record %d differs", i)
+			}
+		}
+
+		// Healing: truncating the tail and appending a new frame yields a
+		// fully valid log — every prior record plus the appended one.
+		healed := appendFrame(append([]byte(nil), data[:consumed]...), []byte("appended-after-heal"))
+		var healedPayloads [][]byte
+		consumed3, err := replayFrames(healed, func(p []byte) error {
+			healedPayloads = append(healedPayloads, append([]byte(nil), p...))
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("healed replay: %v", err)
+		}
+		if consumed3 != len(healed) {
+			t.Fatalf("healed log not fully consumed: %d of %d", consumed3, len(healed))
+		}
+		if len(healedPayloads) != len(payloads)+1 {
+			t.Fatalf("healed replay has %d records, want %d", len(healedPayloads), len(payloads)+1)
+		}
+		if !bytes.Equal(healedPayloads[len(healedPayloads)-1], []byte("appended-after-heal")) {
+			t.Fatal("appended frame lost after healing")
+		}
+	})
+}

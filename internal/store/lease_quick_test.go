@@ -1,0 +1,164 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// Property tests over the lease state machine, driven by testing/quick
+// against a simulated clock: random scripts of submit / claim / renew /
+// complete / release / clock-advance operations, with the IP-pool lease
+// invariants checked after every step.
+//
+// Invariants:
+//
+//  1. No double live leases — a successful claim only ever displaces a
+//     holder whose lease had expired at claim time, so at no instant do two
+//     replicas both believe they hold an unexpired lease on one job.
+//  2. Sticky preference — when a claiming replica has an expired lease of
+//     its own up for grabs, the claim returns one of its own jobs.
+//  3. Expired leases are eventually reclaimed — once submissions stop and
+//     the clock passes every expiry, repeated claims drain the pool: every
+//     non-terminal job ends up running under a live lease.
+
+// leaseScript is a randomly generated operation script. Implementing
+// quick.Generator keeps the op encoding in one place.
+type leaseScript struct {
+	ops []byte
+}
+
+func (leaseScript) Generate(r *rand.Rand, size int) reflect.Value {
+	n := r.Intn(60) + 20
+	ops := make([]byte, n)
+	r.Read(ops)
+	return reflect.ValueOf(leaseScript{ops: ops})
+}
+
+var quickHolders = []string{"r1", "r2", "r3"}
+
+func TestLeaseStateMachineProperties(t *testing.T) {
+	run := func(script leaseScript) bool {
+		clock := newFakeClock()
+		dir := t.TempDir()
+		s, err := Open(dir, Options{Now: clock.Now})
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		defer s.Close()
+
+		const ttl = 10 * time.Second
+		running := make(map[string]string) // job -> holder, this script's belief
+		for i, op := range script.ops {
+			holder := quickHolders[int(op>>4)%len(quickHolders)]
+			switch op % 5 {
+			case 0: // submit
+				if _, err := s.SubmitJob(fmt.Sprintf("kind-%d", i), nil); err != nil {
+					t.Fatalf("op %d: SubmitJob: %v", i, err)
+				}
+			case 1: // claim
+				prev := snapshotJobs(t, s)
+				rec, ok, err := s.Claim(holder, ttl)
+				if err != nil {
+					t.Fatalf("op %d: Claim: %v", i, err)
+				}
+				if !ok {
+					break
+				}
+				now := clock.Now()
+				before := prev[rec.ID]
+				// Invariant 1: displacing a different holder requires that
+				// holder's lease to have expired.
+				if before.Holder != "" && before.Holder != holder && before.LeaseExpiry.After(now) {
+					t.Fatalf("op %d: %s stole %s from %s with a live lease (expiry %v, now %v)",
+						i, holder, rec.ID, before.Holder, before.LeaseExpiry, now)
+				}
+				// Invariant 2: sticky preference for the claimant's own
+				// expired jobs.
+				for id, j := range prev {
+					if j.Holder == holder && claimable(&j, now) && before.Holder != holder {
+						t.Fatalf("op %d: %s claimed %s while its own job %s was claimable",
+							i, holder, rec.ID, id)
+					}
+				}
+				running[rec.ID] = holder
+			case 2: // renew by the believed holder
+				for id, h := range running {
+					if h != holder {
+						continue
+					}
+					err := s.Renew(id, holder, ttl, nil)
+					if err == ErrLeaseLost {
+						delete(running, id) // someone reclaimed it; belief corrected
+					} else if err != nil {
+						t.Fatalf("op %d: Renew: %v", i, err)
+					}
+					break
+				}
+			case 3: // complete or release by the believed holder
+				for id, h := range running {
+					if h != holder {
+						continue
+					}
+					var err error
+					if op&0x08 != 0 {
+						err = s.Release(id, holder)
+					} else {
+						err = s.Complete(id, holder, "out", nil)
+					}
+					if err != nil && err != ErrLeaseLost {
+						t.Fatalf("op %d: finish: %v", i, err)
+					}
+					delete(running, id)
+					break
+				}
+			case 4: // advance the clock, sometimes past the TTL
+				step := time.Duration(op) * time.Second / 8
+				clock.Advance(step)
+			}
+		}
+
+		// Invariant 3: quiesce — push every lease past expiry, then let one
+		// replica drain the pool. Every non-terminal job must be claimable
+		// and get claimed.
+		clock.Advance(ttl + time.Second)
+		for {
+			_, ok, err := s.Claim("r1", ttl)
+			if err != nil {
+				t.Fatalf("drain Claim: %v", err)
+			}
+			if !ok {
+				break
+			}
+		}
+		now := clock.Now()
+		for id, j := range snapshotJobs(t, s) {
+			if terminal(j.State) {
+				continue
+			}
+			if j.State != StateRunning || j.Holder != "r1" || !j.LeaseExpiry.After(now) {
+				t.Fatalf("after drain, job %s not reclaimed: %+v", id, j)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(run, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func snapshotJobs(t *testing.T, s *Store) map[string]JobRecord {
+	t.Helper()
+	jobs, err := s.Jobs()
+	if err != nil {
+		t.Fatalf("Jobs: %v", err)
+	}
+	out := make(map[string]JobRecord, len(jobs))
+	for _, j := range jobs {
+		out[j.ID] = j
+	}
+	return out
+}

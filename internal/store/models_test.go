@@ -1,0 +1,128 @@
+package store
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/perfmodel"
+	"repro/internal/regression"
+)
+
+// testProfile builds a small but valid measured profile.
+func testProfile(t *testing.T) *perfmodel.Profile {
+	t.Helper()
+	pd := perfmodel.NewProfileData()
+	for p := 1; p <= 4; p++ {
+		pd.TaskTimes[perfmodel.TaskKey{Kernel: dag.KernelMul, N: 2000, P: p}] = 10.0 / float64(p)
+		pd.TaskTimes[perfmodel.TaskKey{Kernel: dag.KernelAdd, N: 2000, P: p}] = 1.0 / float64(p)
+		pd.Startup[p] = 0.1 * float64(p)
+		pd.RedistByDst[p] = 0.2 * float64(p)
+	}
+	prof, err := perfmodel.NewProfile(pd)
+	if err != nil {
+		t.Fatalf("NewProfile: %v", err)
+	}
+	return prof
+}
+
+// testEmpirical builds a small empirical model from real fits.
+func testEmpirical(t *testing.T) *perfmodel.Empirical {
+	t.Helper()
+	xs := []float64{1, 2, 4, 8, 16, 24, 32}
+	inv := make([]float64, len(xs))
+	lin := make([]float64, len(xs))
+	for i, x := range xs {
+		inv[i] = 12.0/x + 0.5
+		lin[i] = 0.03*x + 0.2
+	}
+	pw, err := regression.FitPiecewise(xs, inv, regression.Inverse, 16, 16)
+	if err != nil {
+		t.Fatalf("FitPiecewise: %v", err)
+	}
+	return &perfmodel.Empirical{
+		MulFits:    map[int]regression.Piecewise{2000: pw},
+		AddFits:    map[int]regression.Fit{2000: regression.MustFit(xs, inv, regression.Inverse)},
+		StartupFit: regression.MustFit(xs, lin, regression.Linear),
+		RedistFit:  regression.MustFit(xs, lin, regression.Linear),
+	}
+}
+
+func TestModelsRoundTrip(t *testing.T) {
+	clock := newFakeClock()
+	dir := t.TempDir()
+	s := openTestStore(t, dir, clock)
+
+	prof := testProfile(t)
+	emp := testEmpirical(t)
+	if err := s.SaveModels("bayreuth", 42, prof, emp, 123.4); err != nil {
+		t.Fatalf("SaveModels: %v", err)
+	}
+
+	// A different handle loads the same models; compare through JSON (Fit
+	// holds an unexported basis func, which DeepEqual cannot compare).
+	s2 := openTestStore(t, dir, clock)
+	gotProf, gotEmp, ok := s2.LoadModels("bayreuth", 42)
+	if !ok {
+		t.Fatal("LoadModels: miss, want hit")
+	}
+	if !reflect.DeepEqual(gotProf.Data, prof.Data) {
+		t.Fatalf("profile data changed across save/load:\n got %+v\nwant %+v", gotProf.Data, prof.Data)
+	}
+	wantEmp, _ := json.Marshal(emp)
+	haveEmp, _ := json.Marshal(gotEmp)
+	if string(wantEmp) != string(haveEmp) {
+		t.Fatalf("empirical changed across save/load:\n got %s\nwant %s", haveEmp, wantEmp)
+	}
+	// The loaded model predicts: its fits carry live basis functions.
+	task := &dag.Task{Kernel: dag.KernelMul, N: 2000}
+	if got, want := gotEmp.TaskTime(task, 4), emp.TaskTime(task, 4); got != want {
+		t.Fatalf("loaded empirical predicts %v, want %v", got, want)
+	}
+
+	keys := s2.ModelKeys()
+	want := []ModelKeyInfo{{Environment: "bayreuth", Seed: 42}}
+	if !reflect.DeepEqual(keys, want) {
+		t.Fatalf("ModelKeys = %+v, want %+v", keys, want)
+	}
+}
+
+// Corruption of any cached file is a miss, never an error.
+func TestModelsCorruptionIsMiss(t *testing.T) {
+	clock := newFakeClock()
+	dir := t.TempDir()
+	s := openTestStore(t, dir, clock)
+	if err := s.SaveModels("bayreuth", 7, testProfile(t), testEmpirical(t), 1); err != nil {
+		t.Fatalf("SaveModels: %v", err)
+	}
+	path := filepath.Join(dir, "models", modelFileName("bayreuth", 7))
+	if err := os.WriteFile(path, []byte(`{"environment":"bayreuth","seed":`), 0o644); err != nil {
+		t.Fatalf("corrupt: %v", err)
+	}
+	if _, _, ok := s.LoadModels("bayreuth", 7); ok {
+		t.Fatal("LoadModels returned a hit on a truncated file")
+	}
+	if _, _, ok := s.LoadModels("bayreuth", 8); ok {
+		t.Fatal("LoadModels returned a hit for a never-saved seed")
+	}
+}
+
+// Environment names with hostile bytes survive the filename escaping.
+func TestModelFileNameEscaping(t *testing.T) {
+	clock := newFakeClock()
+	s := openTestStore(t, t.TempDir(), clock)
+	env := "scaled/64 nodes@2x"
+	if err := s.SaveModels(env, -3, testProfile(t), testEmpirical(t), 1); err != nil {
+		t.Fatalf("SaveModels: %v", err)
+	}
+	if _, _, ok := s.LoadModels(env, -3); !ok {
+		t.Fatal("LoadModels miss for escaped environment name")
+	}
+	keys := s.ModelKeys()
+	if len(keys) != 1 || keys[0].Environment != env || keys[0].Seed != -3 {
+		t.Fatalf("ModelKeys = %+v", keys)
+	}
+}

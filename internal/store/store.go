@@ -1,0 +1,378 @@
+// Package store gives the service a durable, multi-process backbone: a
+// file-backed store that N reprosrv replicas sharing one directory use to
+// persist fitted performance models (the registry's fit-once economics made
+// restart-proof) and to coordinate a shared job pool through a checksummed
+// write-ahead log with lease-based claiming.
+//
+// Layout of a store directory:
+//
+//	LOCK                 flock target serialising every read-modify-write
+//	MANIFEST             {"gen":N} — the live snapshot/WAL generation
+//	snapshot-<gen>.json  full job-pool state at the generation boundary
+//	wal-<gen>.log        checksummed frames appended since the snapshot
+//	models/<env>@<seed>.json  one durable model-cache entry per fit
+//
+// Every job-pool operation runs under an exclusive flock: the caller first
+// replays any WAL records other replicas appended since its last look, then
+// appends its own records and syncs before unlocking. Compaction bumps the
+// generation: the surviving jobs are written to a fresh snapshot, the WAL
+// restarts empty, and other replicas detect the generation change through
+// MANIFEST and reload.
+//
+// The lease discipline over the job pool translates the classic SQL IP-pool
+// allocator (SELECT ... FOR UPDATE SKIP LOCKED with an expiry_time and
+// sticky reassignment to the previous holder) into Go: replicas claim
+// queued jobs by writing a lease record (holder, expiry), renew it while
+// running, and any replica may reclaim a job whose lease expired — with
+// claim ordering that hands a replica its own previous jobs first.
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Store telemetry: lease traffic, WAL growth and compactions, shared by
+// every Store instance in the process.
+var (
+	leaseClaims = obs.Default.Counter("repro_store_lease_claims_total",
+		"Jobs claimed from the shared pool by this process.")
+	leaseRenewals = obs.Default.Counter("repro_store_lease_renewals_total",
+		"Lease renewals written by this process.")
+	leaseReclaims = obs.Default.Counter("repro_store_lease_reclaims_total",
+		"Claims that took over another holder's expired lease.")
+	walBytes = obs.Default.Counter("repro_store_wal_bytes_total",
+		"Bytes appended to the job-pool WAL by this process.")
+	compactions = obs.Default.Counter("repro_store_compactions_total",
+		"Snapshot compactions run by this process.")
+)
+
+// Options configures a Store.
+type Options struct {
+	// Now is the store's clock; time.Now when nil. Tests inject simulated
+	// clocks to drive lease expiry deterministically.
+	Now func() time.Time
+}
+
+// Store is one process's handle on a shared store directory. It is safe for
+// concurrent use within the process, and any number of processes (or
+// handles) may share the directory: cross-handle mutual exclusion is by
+// flock on the LOCK file.
+type Store struct {
+	dir string
+	now func() time.Time
+
+	mu     sync.Mutex
+	lockf  *os.File
+	wal    *os.File
+	walOff int64
+	gen    uint64
+	st     state
+}
+
+// state is the replayed in-memory view of the job pool.
+type state struct {
+	seq      uint64
+	jobs     map[string]*JobRecord
+	order    []string
+	replicas map[string]int64 // holder -> registration expiry, unix nanos
+}
+
+func newState() state {
+	return state{jobs: make(map[string]*JobRecord), replicas: make(map[string]int64)}
+}
+
+// Open opens (creating if needed) a store directory.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "models"), 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	lockf, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	now := opts.Now
+	if now == nil {
+		now = time.Now
+	}
+	s := &Store{dir: dir, now: now, lockf: lockf, st: newState()}
+	if err := s.withLock(func() error { return nil }); err != nil {
+		lockf.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Close releases the handle. It does not compact or otherwise mutate the
+// shared state.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal != nil {
+		s.wal.Close()
+		s.wal = nil
+	}
+	if s.lockf != nil {
+		s.lockf.Close()
+		s.lockf = nil
+	}
+	return nil
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// withLock runs fn holding both the in-process mutex and the cross-process
+// flock, with the in-memory state refreshed to the latest shared records.
+func (s *Store) withLock(fn func() error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lockf == nil {
+		return fmt.Errorf("store: closed")
+	}
+	if err := syscall.Flock(int(s.lockf.Fd()), syscall.LOCK_EX); err != nil {
+		return fmt.Errorf("store: lock: %w", err)
+	}
+	defer syscall.Flock(int(s.lockf.Fd()), syscall.LOCK_UN)
+	if err := s.refreshLocked(); err != nil {
+		return err
+	}
+	return fn()
+}
+
+// manifest is the tiny generation pointer other replicas poll.
+type manifest struct {
+	Gen uint64 `json:"gen"`
+}
+
+func (s *Store) manifestPath() string { return filepath.Join(s.dir, "MANIFEST") }
+func (s *Store) walPath(gen uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("wal-%d.log", gen))
+}
+func (s *Store) snapshotPath(gen uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("snapshot-%d.json", gen))
+}
+
+// readManifest returns the live generation (0 with no manifest yet).
+func (s *Store) readManifest() (uint64, error) {
+	data, err := os.ReadFile(s.manifestPath())
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("store: manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return 0, fmt.Errorf("store: manifest: %w", err)
+	}
+	return m.Gen, nil
+}
+
+// snapshotFile is the compacted state written at a generation boundary.
+type snapshotFile struct {
+	Gen      uint64           `json:"gen"`
+	Seq      uint64           `json:"seq"`
+	Jobs     []*JobRecord     `json:"jobs"`
+	Replicas map[string]int64 `json:"replicas,omitempty"`
+}
+
+// refreshLocked brings the in-memory state up to date with the shared
+// files. Callers hold the flock.
+func (s *Store) refreshLocked() error {
+	gen, err := s.readManifest()
+	if err != nil {
+		return err
+	}
+	if s.wal == nil || gen != s.gen {
+		if err := s.loadGenerationLocked(gen); err != nil {
+			return err
+		}
+	}
+	return s.replayTailLocked()
+}
+
+// loadGenerationLocked (re)loads the snapshot of gen and opens its WAL.
+func (s *Store) loadGenerationLocked(gen uint64) error {
+	if s.wal != nil {
+		s.wal.Close()
+		s.wal = nil
+	}
+	s.st = newState()
+	s.walOff = 0
+	s.gen = gen
+	if data, err := os.ReadFile(s.snapshotPath(gen)); err == nil {
+		var snap snapshotFile
+		if err := json.Unmarshal(data, &snap); err != nil {
+			return fmt.Errorf("store: snapshot-%d: %w", gen, err)
+		}
+		s.st.seq = snap.Seq
+		for _, j := range snap.Jobs {
+			jc := *j
+			s.st.jobs[j.ID] = &jc
+			s.st.order = append(s.st.order, j.ID)
+		}
+		for h, exp := range snap.Replicas {
+			s.st.replicas[h] = exp
+		}
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("store: %w", err)
+	}
+	wal, err := os.OpenFile(s.walPath(gen), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.wal = wal
+	return nil
+}
+
+// replayTailLocked applies WAL records appended since the last look.
+func (s *Store) replayTailLocked() error {
+	fi, err := s.wal.Stat()
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if fi.Size() <= s.walOff {
+		return nil
+	}
+	buf := make([]byte, fi.Size()-s.walOff)
+	if _, err := s.wal.ReadAt(buf, s.walOff); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	consumed, err := replayFrames(buf, func(payload []byte) error {
+		var rec record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			// A checksummed but undecodable record: replay stops here, as
+			// after a torn tail; the next append heals by truncation.
+			return errStopReplay
+		}
+		s.applyLocked(&rec)
+		return nil
+	})
+	if err != nil && err != errStopReplay {
+		return err
+	}
+	s.walOff += int64(consumed)
+	return nil
+}
+
+// errStopReplay aborts frame replay without failing the refresh.
+var errStopReplay = fmt.Errorf("store: stop replay")
+
+// appendLocked assigns the next sequence number to rec, appends it to the
+// WAL (healing any torn tail first), applies it, and syncs. Callers hold the
+// flock with a refreshed state.
+func (s *Store) appendLocked(rec *record) error {
+	// Any bytes past walOff failed replay — a torn tail from a crashed
+	// writer. Truncate before appending so the log stays parseable.
+	if fi, err := s.wal.Stat(); err == nil && fi.Size() > s.walOff {
+		if err := s.wal.Truncate(s.walOff); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	s.st.seq++
+	rec.Seq = s.st.seq
+	rec.T = s.now().UnixNano()
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	frame := appendFrame(nil, payload)
+	if _, err := s.wal.WriteAt(frame, s.walOff); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := s.wal.Sync(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.walOff += int64(len(frame))
+	walBytes.Add(uint64(len(frame)))
+	s.applyLocked(rec)
+	return nil
+}
+
+// writeFileAtomic writes data to path via a temp file and rename.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// compactLocked writes the current state (with done jobs beyond retain
+// pruned) as the next generation's snapshot and restarts the WAL. Callers
+// hold the flock with a refreshed state.
+func (s *Store) compactLocked(retain int) error {
+	if retain < 1 {
+		retain = 1
+	}
+	// Prune finished jobs beyond the retention window, oldest first —
+	// mirroring the in-memory manager's retention, but against the store so
+	// the WAL and snapshots cannot grow without bound.
+	finished := 0
+	for _, id := range s.st.order {
+		if terminal(s.st.jobs[id].State) {
+			finished++
+		}
+	}
+	keep := s.st.order[:0]
+	for _, id := range s.st.order {
+		j := s.st.jobs[id]
+		if terminal(j.State) && finished > retain {
+			finished--
+			delete(s.st.jobs, id)
+			continue
+		}
+		keep = append(keep, id)
+	}
+	s.st.order = keep
+
+	gen := s.gen + 1
+	snap := snapshotFile{Gen: gen, Seq: s.st.seq, Replicas: s.st.replicas}
+	for _, id := range s.st.order {
+		snap.Jobs = append(snap.Jobs, s.st.jobs[id])
+	}
+	data, err := json.MarshalIndent(snap, "", " ")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := writeFileAtomic(s.snapshotPath(gen), data); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	// A fresh, empty WAL for the new generation; created before the
+	// manifest flips so no reader ever sees a generation without its log.
+	wal, err := os.OpenFile(s.walPath(gen), os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	mdata, err := json.Marshal(manifest{Gen: gen})
+	if err != nil {
+		wal.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := writeFileAtomic(s.manifestPath(), mdata); err != nil {
+		wal.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	oldGen := s.gen
+	if s.wal != nil {
+		s.wal.Close()
+	}
+	s.wal = wal
+	s.walOff = 0
+	s.gen = gen
+	os.Remove(s.walPath(oldGen))
+	os.Remove(s.snapshotPath(oldGen))
+	compactions.Inc()
+	return nil
+}

@@ -1,0 +1,62 @@
+package store
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// WAL framing: every record is appended as
+//
+//	uint32 LE payload length | uint32 LE CRC-32 (IEEE) of payload | payload
+//
+// Replay walks frames from the front and stops at the first frame that does
+// not check out — a short header, an implausible length, a truncated body or
+// a checksum mismatch. Everything before that point is trusted (it was
+// written under the store lock and synced before the lock was released);
+// everything after is a torn tail from a crashed writer and is healed by
+// truncation before the next append.
+
+// frameHeader is the fixed per-record overhead in bytes.
+const frameHeader = 8
+
+// maxFramePayload bounds a single record, so a corrupted length field cannot
+// make replay attempt a multi-gigabyte read. Job outputs are study reports
+// (tens of KB); 64 MiB is far beyond any legitimate record.
+const maxFramePayload = 64 << 20
+
+// appendFrame encodes one payload as a frame into buf and returns the
+// extended buffer.
+func appendFrame(buf, payload []byte) []byte {
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// replayFrames walks the frames of data, calling fn on each checksummed
+// payload, and returns the number of bytes consumed by complete, valid
+// frames. It never fails on a malformed tail — it stops — but it propagates
+// fn's error (with the bytes consumed before the failing record).
+func replayFrames(data []byte, fn func(payload []byte) error) (int, error) {
+	off := 0
+	for {
+		rest := data[off:]
+		if len(rest) < frameHeader {
+			return off, nil
+		}
+		n := binary.LittleEndian.Uint32(rest[0:4])
+		sum := binary.LittleEndian.Uint32(rest[4:8])
+		if n > maxFramePayload || int(n) > len(rest)-frameHeader {
+			return off, nil
+		}
+		payload := rest[frameHeader : frameHeader+int(n)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return off, nil
+		}
+		if err := fn(payload); err != nil {
+			return off, err
+		}
+		off += frameHeader + int(n)
+	}
+}
