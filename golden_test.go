@@ -191,6 +191,44 @@ func TestGoldenRobustnessSequential(t *testing.T) {
 	goldenCompare(t, "robustness-sequential.txt", buf.Bytes())
 }
 
+// goldenClusterShardSpec is the spec CI's sharded-execution smoke submits
+// to a two-replica cluster (a 3-cell grid, one replica SIGKILL'd mid-cell).
+// The snapshot is regenerated here by an in-process run: sharded execution
+// is byte-identical to a monolithic run, so one golden pins both paths —
+// the CI job byte-compares the surviving cluster's report against the same
+// file.
+func goldenClusterShardSpec() robust.Spec {
+	return robust.Spec{
+		Spec: campaign.Spec{
+			Name:       "shard-smoke",
+			Seed:       42,
+			Platforms:  campaign.PlatformAxis{Base: "bayreuth", Nodes: []int{6, 8, 16}},
+			Workloads:  campaign.WorkloadAxis{Sizes: []int{2000, 3000}, SuiteSeeds: []int64{2011}},
+			Algorithms: []string{"CPA", "HCPA", "MCPA"},
+			Models:     []string{"analytic"},
+		},
+		Robustness: robust.Axis{
+			Trials: 64,
+			Levels: []float64{0.02, 0.05, 0.1, 0.2, 0.3, 0.5},
+		},
+	}
+}
+
+// TestGoldenClusterShard pins the sharded-execution smoke report
+// byte-for-byte.
+func TestGoldenClusterShard(t *testing.T) {
+	cfg := experiments.DefaultConfig()
+	reg := service.NewModelRegistry(cfg.Profile, cfg.Empirical)
+	eng := robust.Engine{Source: reg, Workers: cfg.Parallelism}
+	res, err := eng.Run(context.Background(), goldenClusterShardSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	res.Write(&buf)
+	goldenCompare(t, "cluster-shard.txt", buf.Bytes())
+}
+
 // TestGoldenCorpusComplete fails when a committed snapshot no longer has a
 // test regenerating it, so the corpus cannot accumulate dead files.
 func TestGoldenCorpusComplete(t *testing.T) {
@@ -202,6 +240,7 @@ func TestGoldenCorpusComplete(t *testing.T) {
 		"campaign-example.txt":      true,
 		"robustness-example.txt":    true,
 		"robustness-sequential.txt": true,
+		"cluster-shard.txt":         true,
 	}
 	for _, name := range goldenStudies {
 		want[name+".txt"] = true

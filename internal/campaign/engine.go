@@ -142,18 +142,18 @@ type Result struct {
 	FitsReused int
 }
 
-// Run expands, validates and executes a campaign.
-func (e *Engine) Run(ctx context.Context, spec Spec) (*Result, error) {
-	plan, err := spec.Plan()
-	if err != nil {
-		return nil, err
-	}
+// resolvePlan canonicalises a freshly expanded plan against the base
+// environment and registers every derived platform with the model source.
+// Both the monolithic Run and the sharded Prepare path flow through it, so
+// every replica resolves a spec to the identical canonical plan — the
+// precondition for byte-identical sharded reports.
+func (e *Engine) resolvePlan(plan *Plan) error {
 	if e.Source == nil {
-		return nil, fmt.Errorf("campaign: engine has no model source")
+		return fmt.Errorf("campaign: engine has no model source")
 	}
 	base, err := e.Source.Environment(plan.Spec.Platforms.Base)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	// Canonicalise explicit base-size points (nodes == the base platform's
 	// size) to the identity point, so they share the base environment's
@@ -166,7 +166,7 @@ func (e *Engine) Run(ctx context.Context, spec Spec) (*Result, error) {
 			plan.Platforms[i] = pt
 		}
 		if seenEnv[pt.Env] {
-			return nil, fmt.Errorf("campaign: platforms.nodes lists both 0 and the base size %d — the same platform twice", base.Cluster.Nodes)
+			return fmt.Errorf("campaign: platforms.nodes lists both 0 and the base size %d — the same platform twice", base.Cluster.Nodes)
 		}
 		seenEnv[pt.Env] = true
 	}
@@ -179,8 +179,20 @@ func (e *Engine) Run(ctx context.Context, spec Spec) (*Result, error) {
 			h := *derived
 			return &h
 		}); err != nil {
-			return nil, err
+			return err
 		}
+	}
+	return nil
+}
+
+// Run expands, validates and executes a campaign.
+func (e *Engine) Run(ctx context.Context, spec Spec) (*Result, error) {
+	plan, err := spec.Plan()
+	if err != nil {
+		return nil, err
+	}
+	if err := e.resolvePlan(plan); err != nil {
+		return nil, err
 	}
 
 	e.Progress.AddCellsTotal(int64(len(plan.Platforms) * len(plan.Workloads) * len(plan.Models)))

@@ -78,6 +78,12 @@ type Engine struct {
 	// runners pools per-worker trial state (scheduling scratches, replayers,
 	// makespan buffers) across cells and instances.
 	runners sync.Pool
+
+	// cellOnce/cellCamp lazily build the inner campaign engine the sharded
+	// per-cell path (RunCellIndex) scores base cells with, so its scratch
+	// pool persists across the cells one replica executes.
+	cellOnce sync.Once
+	cellCamp *campaign.Engine
 }
 
 // Result is a completed robustness study: the base campaign result plus one
@@ -210,7 +216,7 @@ func (e *Engine) Run(ctx context.Context, spec Spec) (*Result, error) {
 				if err != nil {
 					return nil, fmt.Errorf("robust: fit %s/%s: %w", pt.Env, kind, err)
 				}
-				cell, err := e.stabilizeCell(ctx, plan, cp, pt, wp, kind, truth, platNet, suite, model, &base.Cells[ci])
+				cell, err := e.stabilizeCell(ctx, plan, cp, pt, wp, kind, truth, platNet, suite, model, &base.Cells[ci], e.Progress)
 				if err != nil {
 					return nil, err
 				}
@@ -294,16 +300,18 @@ func drawPerturbation(rng *rand.Rand, n Noise, level float64) perturbationDraw {
 // sequential stopping enabled, each (instance, level) stops drawing trials
 // once every pair's flip probability is decided against the flip threshold
 // by its Wilson interval (after MinTrials, within the Trials budget).
+// Trial counts flow through prog — the engine's own Progress on the
+// monolithic path, a per-cell progress on the sharded one.
 func (e *Engine) stabilizeCell(ctx context.Context, plan *Plan, cp *campaign.Plan,
 	pt campaign.PlatformPoint, wp campaign.WorkloadPoint, kind string,
 	truth *cluster.Hidden, platNet *simgrid.Net, suite []dag.SuiteInstance,
-	model perfmodel.Model, baseCell *campaign.CellScore) (CellStability, error) {
+	model perfmodel.Model, baseCell *campaign.CellScore, prog *obs.Progress) (CellStability, error) {
 
 	axis := plan.Spec.Robustness
 	algos := cp.Algorithms
 	study := "robust/" + pt.Env + "/" + wp.Key() + "/" + kind
 	nL, nT := len(axis.Levels), axis.Trials
-	e.Progress.AddTrialBudget(int64(len(suite)) * int64(nL) * int64(nT))
+	prog.AddTrialBudget(int64(len(suite)) * int64(nL) * int64(nT))
 
 	setups := make([][]trialSetup, nL)
 	for li, level := range axis.Levels {
@@ -440,7 +448,7 @@ func (e *Engine) stabilizeCell(ctx context.Context, plan *Plan, cp *campaign.Pla
 		} else {
 			trialsResched.Add(uint64(drawn) * uint64(len(algos)))
 		}
-		e.Progress.AddTrialsUsed(drawn)
+		prog.AddTrialsUsed(drawn)
 		if axis.Sequential {
 			trialsSaved.Add(uint64(int64(nL)*int64(nT) - drawn))
 		}

@@ -37,6 +37,10 @@ type durable struct {
 	replica string
 	ttl     time.Duration
 	runner  PayloadRunner
+	// cells, when non-nil, shards eligible jobs at cell granularity: the
+	// claiming replica becomes the coordinator and every replica's claim
+	// loops execute cells. Nil runs every job as a monolith.
+	cells CellRunner
 
 	// local tracks jobs running on this replica, so status reads overlay
 	// their live progress over the (renew-cadence) snapshots in the store.
@@ -46,8 +50,20 @@ type durable struct {
 	lastHeartbeat atomic.Int64 // unix nanos of the last replica record
 }
 
-// claimPoll is the idle claim-loop cadence; a variable so tests tighten it.
+// cellsDone counts sharded cells this replica executed to completion — the
+// per-replica share of a cluster's cooperative jobs.
+var cellsDone = obs.Default.Counter("repro_jobs_cells_done_total",
+	"Sharded job cells executed to completion by this replica.")
+
+// claimPoll is the idle claim loop's fallback poll cadence; a variable so
+// tests tighten it. Between polls the loop watches the store's ChangeStamp
+// at claimWake cadence, so new work is usually picked up in ~claimWake.
 var claimPoll = 100 * time.Millisecond
+
+// claimWake is how often an idle claim loop stats the store for changes — a
+// manifest read plus a WAL stat, no lock traffic, so ~10 ms pickup costs
+// nothing measurable even with many replicas.
+var claimWake = 10 * time.Millisecond
 
 // walCompactBytes is the WAL size past which a terminal transition triggers
 // snapshot compaction; a variable so tests can force compaction on every
@@ -59,7 +75,10 @@ var walCompactBytes = int64(256 << 10)
 // in the store across all replicas. The replica name is this process's
 // lease holder identity; ttl is the lease duration (renewed at ttl/3 while
 // a job runs).
-func NewDurableJobManager(workers, retain int, st *store.Store, replica string, ttl time.Duration, runner PayloadRunner) *JobManager {
+// When cells is non-nil, kinds it reports Shardable are planned into durable
+// cell work-units that every replica's claim loops cooperate on; nil keeps
+// every job monolithic.
+func NewDurableJobManager(workers, retain int, st *store.Store, replica string, ttl time.Duration, runner PayloadRunner, cells CellRunner) *JobManager {
 	if workers < 1 {
 		workers = 1
 	}
@@ -76,7 +95,7 @@ func NewDurableJobManager(workers, retain int, st *store.Store, replica string, 
 		retain: retain,
 		jobs:   make(map[string]*job),
 		dur: &durable{
-			st: st, replica: replica, ttl: ttl, runner: runner,
+			st: st, replica: replica, ttl: ttl, runner: runner, cells: cells,
 			local: make(map[string]*obs.Progress),
 		},
 	}
@@ -146,9 +165,11 @@ func (m *JobManager) statusFromRecord(rec store.JobRecord) JobStatus {
 }
 
 // claimLoop is one worker's life: claim a job when one is available, run
-// it, otherwise heartbeat and idle.
+// it; failing that, claim cells of other replicas' sharded jobs; failing
+// that, heartbeat and watch the store for changes.
 func (m *JobManager) claimLoop() {
 	defer m.wg.Done()
+	var stamp store.ChangeStamp
 	for {
 		if m.ctx.Err() != nil {
 			return
@@ -158,11 +179,36 @@ func (m *JobManager) claimLoop() {
 			m.runDurable(rec)
 			continue
 		}
+		if m.dur.cells != nil && m.runCells(m.ctx, "") {
+			continue
+		}
 		m.heartbeat()
+		stamp = m.idleWait(m.ctx, stamp)
+	}
+}
+
+// idleWait sleeps until the store changes (a new submission, claim, or cell
+// transition moves its ChangeStamp) or the claimPoll fallback deadline
+// passes, whichever is first. Stamp reads are lock-free — a manifest read
+// plus a WAL stat — so many idle replicas watching one store cost nothing.
+func (m *JobManager) idleWait(ctx context.Context, last store.ChangeStamp) store.ChangeStamp {
+	wake := claimWake
+	if wake > claimPoll {
+		wake = claimPoll
+	}
+	deadline := time.Now().Add(claimPoll)
+	for {
 		select {
-		case <-m.ctx.Done():
-			return
-		case <-time.After(claimPoll):
+		case <-ctx.Done():
+			return last
+		case <-time.After(wake):
+		}
+		cur, err := m.dur.st.ChangeStamp()
+		if err != nil {
+			return last
+		}
+		if cur != last || !time.Now().Before(deadline) {
+			return cur
 		}
 	}
 }
@@ -227,7 +273,13 @@ func (m *JobManager) runDurable(rec store.JobRecord) {
 
 	jobsRunning.Inc()
 	started := time.Now()
-	out, err := m.dur.runner(ctx, rec.Kind, rec.Payload, prog)
+	var out string
+	var err error
+	if m.dur.cells != nil && m.dur.cells.Shardable(rec.Kind) {
+		out, err = m.runSharded(ctx, rec, prog)
+	} else {
+		out, err = m.dur.runner(ctx, rec.Kind, rec.Payload, prog)
+	}
 	jobsRunning.Dec()
 	cancel()
 	<-renewDone
@@ -252,6 +304,172 @@ func (m *JobManager) runDurable(rec store.JobRecord) {
 		}
 	}
 	m.maybeCompact()
+}
+
+// runSharded coordinates one sharded job: plan its cells durably, join the
+// workers executing them (every replica's claim loops pick cells up, this
+// one included), and once all cells are terminal gather the result frames
+// and merge them in plan order. Deterministic cells make the merged report
+// byte-identical to a monolithic run, regardless of which replicas executed
+// which cells or how many times a cell was reclaimed.
+func (m *JobManager) runSharded(ctx context.Context, rec store.JobRecord, prog *obs.Progress) (string, error) {
+	n, err := m.dur.cells.CellCount(ctx, rec.Kind, rec.Payload)
+	if err != nil {
+		return "", err
+	}
+	if err := m.dur.st.PlanCells(rec.ID, n); err != nil {
+		return "", err
+	}
+	prog.AddCellsTotal(int64(n))
+
+	// The coordinator's job progress is the fold of every cell's stored
+	// snapshot. A background goroutine keeps it fresh at renew cadence even
+	// while this loop is itself deep inside a cell, so cross-replica trial
+	// counts surface mid-run; the fold applies signed deltas because a
+	// reclaimed cell's restart resets its snapshot backwards.
+	var progMu sync.Mutex
+	var prev store.CellSummary
+	fold := func() store.CellSummary {
+		sum, ok, err := m.dur.st.CellSummary(rec.ID)
+		if err != nil || !ok {
+			progMu.Lock()
+			sum = prev
+			progMu.Unlock()
+			return sum
+		}
+		progMu.Lock()
+		prog.AddCellsDone(int64(sum.Done - prev.Done))
+		prog.AddTrialsUsed(sum.TrialsUsed - prev.TrialsUsed)
+		prog.AddTrialBudget(sum.TrialBudget - prev.TrialBudget)
+		prev = sum
+		progMu.Unlock()
+		return sum
+	}
+	fctx, fcancel := context.WithCancel(ctx)
+	foldDone := make(chan struct{})
+	go func() {
+		defer close(foldDone)
+		tick := time.NewTicker(m.renewEvery())
+		defer tick.Stop()
+		for {
+			select {
+			case <-fctx.Done():
+				return
+			case <-tick.C:
+				fold()
+			}
+		}
+	}()
+	defer func() { fcancel(); <-foldDone }()
+
+	var stamp store.ChangeStamp
+	for {
+		if err := ctx.Err(); err != nil {
+			return "", err
+		}
+		ran := m.runCells(ctx, rec.ID)
+		sum := fold()
+		if sum.Total > 0 {
+			if sum.Failed > 0 {
+				return "", fmt.Errorf("cell %d: %s", sum.FailedCell, sum.Err)
+			}
+			if sum.Done == sum.Total {
+				results, err := m.dur.st.CellResults(rec.ID)
+				if err != nil {
+					return "", err
+				}
+				return m.dur.cells.MergeCells(ctx, rec.Kind, rec.Payload, results)
+			}
+		}
+		if !ran {
+			// All remaining cells are leased to other replicas; wait for
+			// their transitions (or an expiry to reclaim) to move the store.
+			stamp = m.idleWait(ctx, stamp)
+		}
+	}
+}
+
+// runCells claims and executes cell work-units — of one job when onlyJob is
+// set (the coordinator joining its own workers), of any sharded job
+// otherwise (an idle claim loop helping out). Completing a cell claims the
+// next in the same store write, so a replica streams through a grid with
+// one fsync per cell. Reports whether any cell was claimed.
+func (m *JobManager) runCells(ctx context.Context, onlyJob string) bool {
+	cell, ok, err := m.dur.st.ClaimCell(m.dur.replica, m.dur.ttl, onlyJob)
+	if err != nil || !ok {
+		return false
+	}
+	for {
+		next, more := m.runClaimedCell(ctx, cell, onlyJob)
+		if !more {
+			return true
+		}
+		cell = next
+	}
+}
+
+// runClaimedCell executes one claimed cell under lease renewal and writes
+// its terminal record, chaining to a follow-up claim when one is batched in.
+// Cell completion is first-write-wins in the store: if this holder was
+// reclaimed mid-run and both finish, the duplicate (byte-identical) result
+// is simply ignored.
+func (m *JobManager) runClaimedCell(ctx context.Context, cell store.CellRecord, onlyJob string) (store.CellRecord, bool) {
+	job, ok, err := m.dur.st.Job(cell.Job)
+	if err != nil || !ok {
+		_ = m.dur.st.ReleaseCell(cell.Job, cell.Index, m.dur.replica)
+		return store.CellRecord{}, false
+	}
+	prog := &obs.Progress{}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var leaseLost atomic.Bool
+	renewDone := make(chan struct{})
+	go func() {
+		defer close(renewDone)
+		tick := time.NewTicker(m.renewEvery())
+		defer tick.Stop()
+		for {
+			select {
+			case <-cctx.Done():
+				return
+			case <-tick.C:
+				snap := prog.Snapshot()
+				err := m.dur.st.RenewCell(cell.Job, cell.Index, m.dur.replica, m.dur.ttl, snapPtr(snap))
+				if errors.Is(err, store.ErrLeaseLost) {
+					leaseLost.Store(true)
+					cancel()
+					return
+				}
+			}
+		}
+	}()
+
+	data, err := m.dur.cells.RunCell(cctx, job.Kind, job.Payload, cell.Index, prog)
+	cancel()
+	<-renewDone
+	snap := prog.Snapshot()
+	switch {
+	case leaseLost.Load():
+		// Another replica reclaimed the cell (or the job finished without
+		// us); the store would fence any write, so just walk away.
+	case err == nil:
+		next, ok, werr := m.dur.st.CompleteCellAndClaim(
+			cell.Job, cell.Index, m.dur.replica, data, "", snapPtr(snap), true, onlyJob, m.dur.ttl)
+		if werr != nil {
+			return store.CellRecord{}, false
+		}
+		cellsDone.Inc()
+		return next, ok
+	case ctx.Err() != nil:
+		// Graceful shutdown: hand the cell back for prompt pickup.
+		_ = m.dur.st.ReleaseCell(cell.Job, cell.Index, m.dur.replica)
+	default:
+		// A deterministic cell failure: record it so the coordinator fails
+		// the job; don't chain into more doomed cells of the same grid.
+		_, _, _ = m.dur.st.CompleteCellAndClaim(
+			cell.Job, cell.Index, m.dur.replica, nil, err.Error(), snapPtr(snap), false, onlyJob, 0)
+	}
+	return store.CellRecord{}, false
 }
 
 // snapPtr boxes a non-zero snapshot, so untracked jobs keep a bare status.

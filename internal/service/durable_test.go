@@ -60,7 +60,7 @@ func TestDurableManagerRunsPayload(t *testing.T) {
 		prog.AddCellsDone(2)
 		return "ran " + kind + " with " + string(payload), nil
 	}
-	m := NewDurableJobManager(2, 8, st, "alpha", time.Second, runner)
+	m := NewDurableJobManager(2, 8, st, "alpha", time.Second, runner, nil)
 	defer m.Shutdown(context.Background())
 
 	if !m.Durable() || m.Replica() != "alpha" {
@@ -101,7 +101,7 @@ func TestDurableManagerFailedJob(t *testing.T) {
 	runner := func(ctx context.Context, kind string, payload []byte, prog *obs.Progress) (string, error) {
 		return "", errors.New("deliberate failure")
 	}
-	m := NewDurableJobManager(1, 8, st, "alpha", time.Second, runner)
+	m := NewDurableJobManager(1, 8, st, "alpha", time.Second, runner, nil)
 	defer m.Shutdown(context.Background())
 
 	status, err := m.SubmitPayload("bad", nil)
@@ -126,9 +126,9 @@ func TestDurableManagerTwoReplicasShareThePool(t *testing.T) {
 		time.Sleep(10 * time.Millisecond) // let the pool interleave
 		return "out:" + kind, nil
 	}
-	a := NewDurableJobManager(2, 32, stA, "alpha", time.Second, runner)
+	a := NewDurableJobManager(2, 32, stA, "alpha", time.Second, runner, nil)
 	defer a.Shutdown(context.Background())
-	b := NewDurableJobManager(2, 32, stB, "beta", time.Second, runner)
+	b := NewDurableJobManager(2, 32, stB, "beta", time.Second, runner, nil)
 	defer b.Shutdown(context.Background())
 
 	const jobs = 12
@@ -181,7 +181,7 @@ func TestDurableManagerReclaimsExpiredLease(t *testing.T) {
 	m := NewDurableJobManager(1, 8, stLive, "live", time.Second,
 		func(ctx context.Context, kind string, payload []byte, prog *obs.Progress) (string, error) {
 			return "rescued", nil
-		})
+		}, nil)
 	defer m.Shutdown(context.Background())
 
 	final := waitJobState(t, m, rec.ID, JobDone)
@@ -206,7 +206,7 @@ func TestDurableShutdownReleasesRunningJobs(t *testing.T) {
 		<-ctx.Done() // runs until shutdown cancels it
 		return "should not complete", ctx.Err()
 	}
-	a := NewDurableJobManager(1, 8, stA, "alpha", time.Second, blockingRunner)
+	a := NewDurableJobManager(1, 8, stA, "alpha", time.Second, blockingRunner, nil)
 
 	status, err := a.SubmitPayload("long", nil)
 	if err != nil {
@@ -230,7 +230,7 @@ func TestDurableShutdownReleasesRunningJobs(t *testing.T) {
 	b := NewDurableJobManager(1, 8, stB, "beta", time.Second,
 		func(ctx context.Context, kind string, payload []byte, prog *obs.Progress) (string, error) {
 			return "finished elsewhere", nil
-		})
+		}, nil)
 	defer b.Shutdown(context.Background())
 	final := waitJobState(t, b, status.ID, JobDone)
 	if final.Output != "finished elsewhere" || final.Replica != "beta" {
@@ -252,7 +252,7 @@ func TestDurableRetentionCompactsStore(t *testing.T) {
 	m := NewDurableJobManager(1, 2, st, "alpha", time.Second,
 		func(ctx context.Context, kind string, payload []byte, prog *obs.Progress) (string, error) {
 			return "ok", nil
-		})
+		}, nil)
 	defer m.Shutdown(context.Background())
 
 	var last JobStatus

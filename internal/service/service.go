@@ -65,6 +65,11 @@ type Options struct {
 	// (default 10s). A replica that misses renewals for a full TTL loses its
 	// jobs to the reclaimer. Only meaningful with a Store.
 	LeaseTTL time.Duration
+	// NoShard disables cell-sharded execution of campaign and robustness
+	// jobs: the claiming replica runs the whole job as a monolith, as before
+	// PR 9. Sharding is on by default; reports are byte-identical either
+	// way. Only meaningful with a Store.
+	NoShard bool
 }
 
 // DefaultOptions mirrors the paper's evaluation setup.
@@ -105,6 +110,15 @@ type Service struct {
 	// requests instead of allocating per call. Schedules built through the
 	// pool are Cloned before the scratch is returned.
 	scratch sync.Pool
+
+	// Sharded-execution state: long-lived per-cell engines (their scratch
+	// and runner pools persist across the cells this replica executes) and
+	// the prepared-plan cache behind preparedShard.
+	shardCamp  *campaign.Engine
+	shardRob   *robust.Engine
+	shardMu    sync.Mutex
+	shards     map[string]*preparedShard
+	shardOrder []string
 }
 
 // labKey identifies one assembled lab (one workload × one environment).
@@ -159,12 +173,19 @@ func New(opts Options) *Service {
 		start:    time.Now(),
 		labs:     make(map[labKey]*labEntry),
 		nets:     make(map[string]*simgrid.Net),
+		shards:   make(map[string]*preparedShard),
 	}
+	s.shardCamp = &campaign.Engine{Source: s.registry, Workers: opts.Parallelism}
+	s.shardRob = &robust.Engine{Source: s.registry, Workers: opts.Parallelism}
 	if opts.Store != nil {
 		s.registry.SetStore(opts.Store)
 		s.registry.Warm()
+		var cells CellRunner
+		if !opts.NoShard {
+			cells = shardRunner{s}
+		}
 		s.jobs = NewDurableJobManager(opts.JobWorkers, opts.Retain,
-			opts.Store, opts.ReplicaID, opts.LeaseTTL, s.runPayload)
+			opts.Store, opts.ReplicaID, opts.LeaseTTL, s.runPayload, cells)
 	} else {
 		s.jobs = NewJobManager(opts.JobWorkers, opts.QueueCap, opts.Retain)
 	}

@@ -1,0 +1,162 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"repro/internal/campaign"
+	"repro/internal/obs"
+	"repro/internal/robust"
+)
+
+// Cell-sharded execution, service side: the durable job manager drives a
+// CellRunner to split eligible jobs into per-cell work-units and to merge
+// the gathered result frames back into the rendered report. The service
+// implements it over the campaign/robust per-cell engine APIs, with a small
+// prepared-plan cache so one replica resolves each job's plan once, not once
+// per cell.
+
+// CellRunner is how the durable manager shards a job at cell granularity.
+// Implementations must be deterministic: every replica resolving the same
+// (kind, payload) must see the same cell count, RunCell(i) must depend only
+// on (payload, i), and MergeCells must reassemble frames in index order.
+type CellRunner interface {
+	// Shardable reports whether jobs of this kind split into cells.
+	Shardable(kind string) bool
+	// CellCount resolves the payload's plan and returns its grid size.
+	CellCount(ctx context.Context, kind string, payload []byte) (int, error)
+	// RunCell executes one cell and returns its serialized result frame.
+	// Trial-level progress flows through prog for cross-replica aggregation.
+	RunCell(ctx context.Context, kind string, payload []byte, index int, prog *obs.Progress) ([]byte, error)
+	// MergeCells folds every cell's frame — in plan-index order — into the
+	// job's final output.
+	MergeCells(ctx context.Context, kind string, payload []byte, results [][]byte) (string, error)
+}
+
+// shardRunner adapts the Service to CellRunner.
+type shardRunner struct{ s *Service }
+
+func (r shardRunner) Shardable(kind string) bool {
+	return isCampaignKind(kind) || isRobustKind(kind)
+}
+
+func (r shardRunner) CellCount(ctx context.Context, kind string, payload []byte) (int, error) {
+	p, err := r.s.preparedShard(kind, payload)
+	if err != nil {
+		return 0, err
+	}
+	if p.camp != nil {
+		return p.camp.NumCells(), nil
+	}
+	return p.rob.NumCells(), nil
+}
+
+func (r shardRunner) RunCell(ctx context.Context, kind string, payload []byte, index int, prog *obs.Progress) ([]byte, error) {
+	p, err := r.s.preparedShard(kind, payload)
+	if err != nil {
+		return nil, err
+	}
+	if p.camp != nil {
+		score, err := r.s.shardCamp.RunCellIndex(ctx, p.camp, index)
+		if err != nil {
+			return nil, err
+		}
+		return campaign.EncodeCell(score)
+	}
+	res, err := r.s.shardRob.RunCellIndex(ctx, p.rob, index, prog)
+	if err != nil {
+		return nil, err
+	}
+	return robust.EncodeCell(res)
+}
+
+func (r shardRunner) MergeCells(ctx context.Context, kind string, payload []byte, results [][]byte) (string, error) {
+	p, err := r.s.preparedShard(kind, payload)
+	if err != nil {
+		return "", err
+	}
+	if p.camp != nil {
+		cells := make([]campaign.CellScore, len(results))
+		for i, data := range results {
+			if cells[i], err = campaign.DecodeCell(data); err != nil {
+				return "", fmt.Errorf("service: cell %d: %w", i, err)
+			}
+		}
+		res, err := campaign.Merge(p.camp, cells)
+		if err != nil {
+			return "", err
+		}
+		var buf bytes.Buffer
+		res.Write(&buf)
+		return buf.String(), nil
+	}
+	cells := make([]robust.CellResult, len(results))
+	for i, data := range results {
+		if cells[i], err = robust.DecodeCell(data); err != nil {
+			return "", fmt.Errorf("service: cell %d: %w", i, err)
+		}
+	}
+	res, err := robust.Merge(p.rob, cells)
+	if err != nil {
+		return "", err
+	}
+	var buf bytes.Buffer
+	res.Write(&buf)
+	return buf.String(), nil
+}
+
+// preparedShard is one cached plan resolution: exactly one of camp/rob is
+// non-nil on success.
+type preparedShard struct {
+	once sync.Once
+	camp *campaign.Prepared
+	rob  *robust.Prepared
+	err  error
+}
+
+// shardCacheCap bounds the prepared-plan cache; entries beyond it are
+// evicted oldest-first. Replicas rarely interleave more than a few sharded
+// jobs, and a miss only costs re-resolving a plan.
+const shardCacheCap = 8
+
+// preparedShard resolves (kind, payload) to a prepared plan, caching the
+// resolution: a replica executing many cells of one job plans it once.
+func (s *Service) preparedShard(kind string, payload []byte) (*preparedShard, error) {
+	key := kind + "\x00" + string(payload)
+	s.shardMu.Lock()
+	e, ok := s.shards[key]
+	if !ok {
+		e = &preparedShard{}
+		s.shards[key] = e
+		s.shardOrder = append(s.shardOrder, key)
+		for len(s.shardOrder) > shardCacheCap {
+			delete(s.shards, s.shardOrder[0])
+			s.shardOrder = s.shardOrder[1:]
+		}
+	}
+	s.shardMu.Unlock()
+	e.once.Do(func() {
+		switch {
+		case isCampaignKind(kind):
+			var spec campaign.Spec
+			if e.err = json.Unmarshal(payload, &spec); e.err != nil {
+				e.err = fmt.Errorf("service: campaign payload: %w", e.err)
+				return
+			}
+			e.camp, e.err = s.shardCamp.Prepare(s.normalizeCampaign(spec))
+		case isRobustKind(kind):
+			var spec robust.Spec
+			if e.err = json.Unmarshal(payload, &spec); e.err != nil {
+				e.err = fmt.Errorf("service: robustness payload: %w", e.err)
+				return
+			}
+			e.rob, e.err = s.shardRob.Prepare(s.normalizeRobustness(spec))
+		default:
+			e.err = fmt.Errorf("service: kind %q is not shardable", kind)
+		}
+	})
+	return e, e.err
+}

@@ -1,0 +1,315 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/obs"
+	"repro/internal/robust"
+	"repro/internal/store"
+)
+
+// shardSpec is a small real robustness grid: 2 platforms × 1 workload × 1
+// model = 2 cells, each with Monte Carlo trials. All seeds explicit, so
+// every replica resolves identical work.
+func shardSpec() robust.Spec {
+	return robust.Spec{
+		Spec: campaign.Spec{
+			Name:       "shard",
+			Seed:       42,
+			Platforms:  campaign.PlatformAxis{Nodes: []int{6, 8}},
+			Workloads:  campaign.WorkloadAxis{Sizes: []int{2000}, SuiteSeeds: []int64{2011}},
+			Algorithms: []string{"HCPA", "MCPA"},
+			Models:     []string{"analytic"},
+		},
+		Robustness: robust.Axis{Trials: 6, Levels: []float64{0.05, 0.2}},
+	}
+}
+
+// durableService builds a store-backed service on dir with a tight lease.
+func durableService(t *testing.T, dir, replica string, noShard bool) *Service {
+	t.Helper()
+	st := openServiceStore(t, dir)
+	opts := DefaultOptions()
+	opts.Store = st
+	opts.ReplicaID = replica
+	opts.LeaseTTL = 500 * time.Millisecond
+	opts.JobWorkers = 1
+	opts.NoShard = noShard
+	svc := New(opts)
+	t.Cleanup(func() { svc.Close(context.Background()) })
+	return svc
+}
+
+func waitServiceJob(t *testing.T, svc *Service, id string) JobStatus {
+	t.Helper()
+	return waitJobState(t, svc.Jobs(), id, JobDone, JobFailed)
+}
+
+// TestShardedServiceByteIdentity is the tentpole pin at service level: the
+// same robustness spec run (a) in process with no store, (b) durably with
+// sharding disabled, and (c) durably sharded must render byte-identical
+// reports.
+func TestShardedServiceByteIdentity(t *testing.T) {
+	fastDurable(t)
+	spec := shardSpec()
+
+	ref := New(DefaultOptions())
+	defer ref.Close(context.Background())
+	want, err := ref.RunRobustness(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+
+	for _, tc := range []struct {
+		name    string
+		noShard bool
+	}{
+		{"monolithic-durable", true},
+		{"sharded-durable", false},
+	} {
+		svc := durableService(t, t.TempDir(), "solo", tc.noShard)
+		status, err := svc.SubmitRobustness(spec)
+		if err != nil {
+			t.Fatalf("%s: SubmitRobustness: %v", tc.name, err)
+		}
+		final := waitServiceJob(t, svc, status.ID)
+		if final.State != JobDone {
+			t.Fatalf("%s: job = %+v", tc.name, final)
+		}
+		if final.Output != want {
+			t.Errorf("%s output differs from in-process run:\n--- in-process ---\n%s\n--- durable ---\n%s",
+				tc.name, want, final.Output)
+		}
+		if !tc.noShard && (final.Progress == nil || final.Progress.CellsDone != 2 || final.Progress.CellsTotal != 2) {
+			t.Errorf("%s: final progress = %+v, want 2/2 cells", tc.name, final.Progress)
+		}
+	}
+}
+
+// countingCells wraps a fake CellRunner whose cells block until released,
+// recording which runner (replica) executed each cell.
+type countingCells struct {
+	mu    sync.Mutex
+	ran   map[string][]int // replica -> cell indices
+	gate  chan struct{}    // closed to release all cells
+	cells int
+}
+
+type taggedCells struct {
+	c       *countingCells
+	replica string
+}
+
+func (r taggedCells) Shardable(kind string) bool { return kind == "grid" }
+
+func (r taggedCells) CellCount(ctx context.Context, kind string, payload []byte) (int, error) {
+	return r.c.cells, nil
+}
+
+func (r taggedCells) RunCell(ctx context.Context, kind string, payload []byte, index int, prog *obs.Progress) ([]byte, error) {
+	select {
+	case <-r.c.gate:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	r.c.mu.Lock()
+	r.c.ran[r.replica] = append(r.c.ran[r.replica], index)
+	r.c.mu.Unlock()
+	return []byte(fmt.Sprintf("cell-%d", index)), nil
+}
+
+func (r taggedCells) MergeCells(ctx context.Context, kind string, payload []byte, results [][]byte) (string, error) {
+	out := ""
+	for _, frame := range results {
+		out += string(frame) + "\n"
+	}
+	return out, nil
+}
+
+// TestShardedJobSpansReplicas proves cooperation: with every cell gated
+// until both replicas are claim-looping, a sharded job's cells execute on
+// BOTH managers, and the coordinator merges frames in plan order no matter
+// who ran what.
+func TestShardedJobSpansReplicas(t *testing.T) {
+	fastDurable(t)
+	dir := t.TempDir()
+	shared := &countingCells{ran: make(map[string][]int), gate: make(chan struct{}), cells: 6}
+
+	stA := openServiceStore(t, dir)
+	a := NewDurableJobManager(1, 8, stA, "alpha", time.Second, nil, taggedCells{shared, "alpha"})
+	defer a.Shutdown(context.Background())
+	stB := openServiceStore(t, dir)
+	b := NewDurableJobManager(1, 8, stB, "beta", time.Second, nil, taggedCells{shared, "beta"})
+	defer b.Shutdown(context.Background())
+
+	status, err := a.SubmitPayload("grid", nil)
+	if err != nil {
+		t.Fatalf("SubmitPayload: %v", err)
+	}
+	// Wait until cells exist and both replicas hold one, then open the gate.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			cells, ok, _ := stA.Cells(status.ID)
+			t.Fatalf("replicas never both claimed cells: ok=%v cells=%+v", ok, cells)
+		}
+		cells, ok, err := stA.Cells(status.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		holders := map[string]bool{}
+		if ok {
+			for _, c := range cells {
+				if c.State == store.StateRunning {
+					holders[c.Holder] = true
+				}
+			}
+		}
+		if holders["alpha"] && holders["beta"] {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(shared.gate)
+
+	final := waitJobState(t, a, status.ID, JobDone)
+	want := ""
+	for i := 0; i < shared.cells; i++ {
+		want += fmt.Sprintf("cell-%d\n", i)
+	}
+	if final.Output != want {
+		t.Errorf("merged output = %q, want %q", final.Output, want)
+	}
+	shared.mu.Lock()
+	defer shared.mu.Unlock()
+	if len(shared.ran["alpha"]) == 0 || len(shared.ran["beta"]) == 0 {
+		t.Errorf("cells did not span replicas: %+v", shared.ran)
+	}
+	if len(shared.ran["alpha"])+len(shared.ran["beta"]) != shared.cells {
+		t.Errorf("ran %+v, want %d cells total", shared.ran, shared.cells)
+	}
+}
+
+// TestCoordinatorRestartMidGather: all cells already carry results (the
+// work happened before the original coordinator died), a fresh manager
+// claims the queued job, replans idempotently, and merges WITHOUT
+// re-executing a single cell.
+func TestCoordinatorRestartMidGather(t *testing.T) {
+	fastDurable(t)
+	dir := t.TempDir()
+	st := openServiceStore(t, dir)
+
+	rec, err := st.SubmitJob("grid", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The dead coordinator's legacy: a claimed-then-expired job whose cells
+	// all finished. (Claim with a tiny ttl and let it lapse.)
+	if _, ok, err := st.Claim("dead", time.Millisecond); err != nil || !ok {
+		t.Fatalf("Claim = %v, %v", ok, err)
+	}
+	if err := st.PlanCells(rec.ID, 3); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, err := st.CompleteCellAndClaim(rec.ID, i, "dead", []byte(fmt.Sprintf("cell-%d", i)), "", nil, false, "", 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(5 * time.Millisecond) // let the 1ms job lease lapse
+
+	shared := &countingCells{ran: make(map[string][]int), gate: make(chan struct{}), cells: 3}
+	close(shared.gate)
+	m := NewDurableJobManager(1, 8, st, "heir", time.Second, nil, taggedCells{shared, "heir"})
+	defer m.Shutdown(context.Background())
+
+	final := waitJobState(t, m, rec.ID, JobDone)
+	if final.Output != "cell-0\ncell-1\ncell-2\n" || final.Replica != "heir" || final.Restarts < 1 {
+		t.Fatalf("final = %+v", final)
+	}
+	shared.mu.Lock()
+	defer shared.mu.Unlock()
+	if len(shared.ran["heir"]) != 0 {
+		t.Errorf("heir re-executed cells %v; the frames were already durable", shared.ran["heir"])
+	}
+}
+
+// TestShardedMergePermutation is the merge-determinism pin: cells completed
+// in a shuffled order, with a duplicate frame from a reclaimed-then-revived
+// holder racing the reclaimer, still gather in plan order and merge
+// byte-identically to the serial in-process report.
+func TestShardedMergePermutation(t *testing.T) {
+	spec := shardSpec()
+	payload, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Serial reference and the frames themselves, via the same CellRunner
+	// the durable manager uses.
+	svc := New(DefaultOptions())
+	defer svc.Close(context.Background())
+	runner := shardRunner{svc}
+	kind := robustKindPrefix + ":" + spec.Spec.Name
+	n, err := runner.CellCount(context.Background(), kind, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 2 {
+		t.Fatalf("spec has %d cells; the permutation needs at least 2", n)
+	}
+	frames := make([][]byte, n)
+	for i := range frames {
+		if frames[i], err = runner.RunCell(context.Background(), kind, payload, i, nil); err != nil {
+			t.Fatalf("cell %d: %v", i, err)
+		}
+	}
+	want, err := runner.MergeCells(context.Background(), kind, payload, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for trial := 0; trial < 5; trial++ {
+		st := openServiceStore(t, t.TempDir())
+		rec, err := st.SubmitJob(kind, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, err := st.Claim("coord", time.Minute); err != nil || !ok {
+			t.Fatalf("Claim = %v, %v", ok, err)
+		}
+		if err := st.PlanCells(rec.ID, n); err != nil {
+			t.Fatal(err)
+		}
+		order := rand.New(rand.NewSource(int64(trial))).Perm(n)
+		for _, i := range order {
+			holder := fmt.Sprintf("replica-%d", i%3)
+			if _, _, err := st.CompleteCellAndClaim(rec.ID, i, holder, frames[i], "", nil, false, "", 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// The revived original holder of cell 0 delivers its (byte-identical)
+		// frame late; first write already won, so this is a no-op.
+		if _, _, err := st.CompleteCellAndClaim(rec.ID, 0, "revived", frames[0], "", nil, false, "", 0); err != nil {
+			t.Fatal(err)
+		}
+		results, err := st.CellResults(rec.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := runner.MergeCells(context.Background(), kind, payload, results)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("trial %d: shuffled merge differs from serial report", trial)
+		}
+	}
+}

@@ -64,6 +64,13 @@ type record struct {
 	Output  string                `json:"output,omitempty"`
 	Error   string                `json:"error,omitempty"`
 	Prog    *obs.ProgressSnapshot `json:"progress,omitempty"`
+
+	// Cell-sharding fields: the cell index a record addresses, the plan's
+	// cell count (recCellPlan), and an opaque serialized cell result
+	// (recCellDone; JSON encodes it as base64 inside the frame).
+	Cell  int    `json:"cell,omitempty"`
+	CellN int    `json:"cells,omitempty"`
+	Data  []byte `json:"data,omitempty"`
 }
 
 // Record types.
@@ -74,6 +81,13 @@ const (
 	recState   = "state"   // terminal transition: done / failed / cancelled
 	recRelease = "release" // graceful give-back: job returns to queued
 	recReplica = "replica" // replica registration heartbeat
+
+	// Cell-sharding record types; state machine in cells.go.
+	recCellPlan    = "cellplan"    // coordinator materialises N queued cells
+	recCellClaim   = "cellclaim"   // cell lease written: (job, cell, holder, expiry)
+	recCellRenew   = "cellrenew"   // cell lease extended, progress piggybacked
+	recCellDone    = "celldone"    // cell result frame (first write wins)
+	recCellRelease = "cellrelease" // graceful give-back: cell returns to queued
 )
 
 // applyLocked folds one record into the in-memory state. Records written by
@@ -140,6 +154,10 @@ func (s *Store) applyLocked(rec *record) {
 			p := *rec.Prog
 			j.Progress = &p
 		}
+		// A terminal job's cells are dead weight: the coordinator gathered
+		// every result before writing this record, so drop them here — on
+		// the writer and on every replayer alike.
+		delete(s.st.cells, rec.Job)
 	case recRelease:
 		j, ok := s.st.jobs[rec.Job]
 		if !ok || j.State != StateRunning || j.Holder != rec.Holder {
@@ -153,6 +171,8 @@ func (s *Store) applyLocked(rec *record) {
 		j.Started = nil
 	case recReplica:
 		s.st.replicas[rec.Holder] = rec.Expiry
+	case recCellPlan, recCellClaim, recCellRenew, recCellDone, recCellRelease:
+		s.applyCellLocked(rec)
 	}
 }
 

@@ -52,7 +52,28 @@ var (
 		"Bytes appended to the job-pool WAL by this process.")
 	compactions = obs.Default.Counter("repro_store_compactions_total",
 		"Snapshot compactions run by this process.")
+	cellClaims = obs.Default.Counter("repro_store_cell_claims_total",
+		"Cell work-units claimed from sharded jobs by this process.")
+	cellReclaims = obs.Default.Counter("repro_store_cell_reclaims_total",
+		"Cell claims that took over another holder's expired lease.")
+	fsyncSeconds = obs.Default.Histogram("repro_store_fsync_seconds",
+		"WAL fsync latency per batched append.", obs.DefBuckets)
 )
+
+// framesTotal counts WAL frames appended by this process, by record kind.
+// The set of kinds is closed, so the label variants are registered once.
+var framesTotal = func() map[string]*obs.Counter {
+	kinds := []string{
+		recSubmit, recClaim, recRenew, recState, recRelease, recReplica,
+		recCellPlan, recCellClaim, recCellRenew, recCellDone, recCellRelease,
+	}
+	m := make(map[string]*obs.Counter, len(kinds))
+	for _, k := range kinds {
+		m[k] = obs.Default.Counter("repro_store_frames_total",
+			"WAL frames appended by this process, by record kind.", obs.L("kind", k))
+	}
+	return m
+}()
 
 // Options configures a Store.
 type Options struct {
@@ -83,10 +104,15 @@ type state struct {
 	jobs     map[string]*JobRecord
 	order    []string
 	replicas map[string]int64 // holder -> registration expiry, unix nanos
+	cells    map[string][]*CellRecord
 }
 
 func newState() state {
-	return state{jobs: make(map[string]*JobRecord), replicas: make(map[string]int64)}
+	return state{
+		jobs:     make(map[string]*JobRecord),
+		replicas: make(map[string]int64),
+		cells:    make(map[string][]*CellRecord),
+	}
 }
 
 // Open opens (creating if needed) a store directory.
@@ -181,10 +207,11 @@ func (s *Store) readManifest() (uint64, error) {
 
 // snapshotFile is the compacted state written at a generation boundary.
 type snapshotFile struct {
-	Gen      uint64           `json:"gen"`
-	Seq      uint64           `json:"seq"`
-	Jobs     []*JobRecord     `json:"jobs"`
-	Replicas map[string]int64 `json:"replicas,omitempty"`
+	Gen      uint64                   `json:"gen"`
+	Seq      uint64                   `json:"seq"`
+	Jobs     []*JobRecord             `json:"jobs"`
+	Replicas map[string]int64         `json:"replicas,omitempty"`
+	Cells    map[string][]*CellRecord `json:"cells,omitempty"`
 }
 
 // refreshLocked brings the in-memory state up to date with the shared
@@ -224,6 +251,14 @@ func (s *Store) loadGenerationLocked(gen uint64) error {
 		}
 		for h, exp := range snap.Replicas {
 			s.st.replicas[h] = exp
+		}
+		for job, cells := range snap.Cells {
+			cp := make([]*CellRecord, len(cells))
+			for i, c := range cells {
+				cc := *c
+				cp[i] = &cc
+			}
+			s.st.cells[job] = cp
 		}
 	} else if !os.IsNotExist(err) {
 		return fmt.Errorf("store: %w", err)
@@ -269,10 +304,20 @@ func (s *Store) replayTailLocked() error {
 // errStopReplay aborts frame replay without failing the refresh.
 var errStopReplay = fmt.Errorf("store: stop replay")
 
-// appendLocked assigns the next sequence number to rec, appends it to the
-// WAL (healing any torn tail first), applies it, and syncs. Callers hold the
-// flock with a refreshed state.
+// appendLocked appends a single record; see appendBatchLocked.
 func (s *Store) appendLocked(rec *record) error {
+	return s.appendBatchLocked([]*record{rec})
+}
+
+// appendBatchLocked assigns sequence numbers to recs, appends them to the
+// WAL as one contiguous write (healing any torn tail first), syncs once, and
+// applies them in order. Batching is what keeps sharded execution off the
+// fsync floor: completing one cell and claiming the next is a single sync,
+// not two. Callers hold the flock with a refreshed state.
+func (s *Store) appendBatchLocked(recs []*record) error {
+	if len(recs) == 0 {
+		return nil
+	}
 	// Any bytes past walOff failed replay — a torn tail from a crashed
 	// writer. Truncate before appending so the log stays parseable.
 	if fi, err := s.wal.Stat(); err == nil && fi.Size() > s.walOff {
@@ -280,24 +325,58 @@ func (s *Store) appendLocked(rec *record) error {
 			return fmt.Errorf("store: %w", err)
 		}
 	}
-	s.st.seq++
-	rec.Seq = s.st.seq
-	rec.T = s.now().UnixNano()
-	payload, err := json.Marshal(rec)
-	if err != nil {
+	var buf []byte
+	for _, rec := range recs {
+		s.st.seq++
+		rec.Seq = s.st.seq
+		rec.T = s.now().UnixNano()
+		payload, err := json.Marshal(rec)
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		buf = appendFrame(buf, payload)
+	}
+	if _, err := s.wal.WriteAt(buf, s.walOff); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	frame := appendFrame(nil, payload)
-	if _, err := s.wal.WriteAt(frame, s.walOff); err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
+	start := time.Now()
 	if err := s.wal.Sync(); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	s.walOff += int64(len(frame))
-	walBytes.Add(uint64(len(frame)))
-	s.applyLocked(rec)
+	fsyncSeconds.Observe(time.Since(start).Seconds())
+	s.walOff += int64(len(buf))
+	walBytes.Add(uint64(len(buf)))
+	for _, rec := range recs {
+		if c, ok := framesTotal[rec.Type]; ok {
+			c.Inc()
+		}
+		s.applyLocked(rec)
+	}
 	return nil
+}
+
+// ChangeStamp identifies a point in the shared log: the live generation and
+// the WAL length within it. Two equal stamps mean no record was appended (or
+// compacted) in between, so idle replicas can poll it instead of taking the
+// flock — a manifest read plus a stat, no lock traffic.
+type ChangeStamp struct {
+	Gen uint64
+	WAL int64
+}
+
+// ChangeStamp reads the current stamp without taking the store lock. It may
+// race appends — that is fine; a racing append only makes the stamp differ
+// sooner, never report stale equality.
+func (s *Store) ChangeStamp() (ChangeStamp, error) {
+	gen, err := s.readManifest()
+	if err != nil {
+		return ChangeStamp{}, err
+	}
+	st := ChangeStamp{Gen: gen}
+	if fi, err := os.Stat(s.walPath(gen)); err == nil {
+		st.WAL = fi.Size()
+	}
+	return st, nil
 }
 
 // writeFileAtomic writes data to path via a temp file and rename.
@@ -337,8 +416,19 @@ func (s *Store) compactLocked(retain int) error {
 	}
 	s.st.order = keep
 
+	// Cell work-units live only as long as their job is in flight; drop the
+	// plans of pruned or finished jobs so snapshots don't accrete results.
+	for job := range s.st.cells {
+		if j, ok := s.st.jobs[job]; !ok || terminal(j.State) {
+			delete(s.st.cells, job)
+		}
+	}
+
 	gen := s.gen + 1
 	snap := snapshotFile{Gen: gen, Seq: s.st.seq, Replicas: s.st.replicas}
+	if len(s.st.cells) > 0 {
+		snap.Cells = s.st.cells
+	}
 	for _, id := range s.st.order {
 		snap.Jobs = append(snap.Jobs, s.st.jobs[id])
 	}
