@@ -5,7 +5,9 @@
 // instead executes a declarative what-if sweep (docs/CAMPAIGNS.md) over
 // hypothetical platforms, workloads, algorithms and models; with -robust it
 // executes a Monte Carlo winner-stability study (docs/ROBUSTNESS.md) on top
-// of such a sweep.
+// of such a sweep; with -arrival it executes an online-arrival scenario
+// (docs/WORKLOADS.md): jobs arriving over time on a shared cluster,
+// scheduled online against the fitted models.
 //
 // Usage:
 //
@@ -14,6 +16,7 @@
 //	mixedsim -experiment fig8 -seed 7    # error boxplots, different noise
 //	mixedsim -campaign spec.json         # declarative §IX what-if sweep
 //	mixedsim -robust spec.json           # §V winner-stability stress test
+//	mixedsim -arrival spec.json          # online arrivals on a shared cluster
 //
 // Experiments: table1, fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8,
 // table2, all.
@@ -30,6 +33,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/arrival"
 	"repro/internal/campaign"
 	"repro/internal/experiments"
 	"repro/internal/obs"
@@ -44,6 +48,7 @@ func main() {
 		experiment   = flag.String("experiment", "all", "which experiment to run (table1, fig1..fig8, table2, ablation, scaling, all)")
 		campaignPath = flag.String("campaign", "", "run the campaign spec (JSON) at this path instead of an experiment")
 		robustPath   = flag.String("robust", "", "run the robustness spec (JSON, docs/ROBUSTNESS.md) at this path instead of an experiment")
+		arrivalPath  = flag.String("arrival", "", "run the online-arrival spec (JSON, docs/WORKLOADS.md) at this path instead of an experiment")
 		suiteSeed    = flag.Int64("suite-seed", 2011, "seed for the 54-DAG suite")
 		noiseSeed    = flag.Int64("seed", 42, "seed for the environment's run-to-run noise")
 		trials       = flag.Int("trials", 1, "emulated cluster runs averaged per measured makespan")
@@ -59,14 +64,20 @@ func main() {
 	cfg.ExpTrials = *trials
 	cfg.Parallelism = *parallel
 
-	if *campaignPath != "" && *robustPath != "" {
-		log.Fatal("-campaign and -robust are mutually exclusive; pass one spec")
-	}
-	if *campaignPath != "" || *robustPath != "" {
-		mode := "-campaign"
-		if *robustPath != "" {
-			mode = "-robust"
+	specs := 0
+	mode := ""
+	for flagName, path := range map[string]*string{
+		"-campaign": campaignPath, "-robust": robustPath, "-arrival": arrivalPath,
+	} {
+		if *path != "" {
+			specs++
+			mode = flagName
 		}
+	}
+	if specs > 1 {
+		log.Fatal("-campaign, -robust and -arrival are mutually exclusive; pass one spec")
+	}
+	if specs == 1 {
 		flag.Visit(func(f *flag.Flag) {
 			if f.Name == "experiment" || f.Name == "json" {
 				log.Fatalf("-%s is not supported in %s mode", f.Name, mode)
@@ -79,10 +90,13 @@ func main() {
 			defer stop()
 		}
 		var err error
-		if *campaignPath != "" {
+		switch mode {
+		case "-campaign":
 			err = runCampaign(*campaignPath, cfg, prog, os.Stdout)
-		} else {
+		case "-robust":
 			err = runRobust(*robustPath, cfg, prog, os.Stdout)
+		case "-arrival":
+			err = runArrival(*arrivalPath, cfg, prog, os.Stdout)
 		}
 		if err != nil {
 			log.Fatal(err)
@@ -90,7 +104,7 @@ func main() {
 		return
 	}
 	if *progress {
-		log.Fatal("-progress is only supported in -campaign and -robust modes")
+		log.Fatal("-progress is only supported in -campaign, -robust and -arrival modes")
 	}
 
 	lab, err := experiments.NewLab(cfg)
@@ -183,7 +197,7 @@ func runCampaign(path string, cfg experiments.Config, prog *obs.Progress, w io.W
 	if spec.Seed == 0 {
 		spec.Seed = cfg.NoiseSeed
 	}
-	if len(spec.Workloads.SuiteSeeds) == 0 {
+	if spec.Workloads.IsEmpty() {
 		spec.Workloads.SuiteSeeds = []int64{cfg.SuiteSeed}
 	}
 	if spec.Trials == 0 && cfg.ExpTrials > 1 {
@@ -214,7 +228,7 @@ func runRobust(path string, cfg experiments.Config, prog *obs.Progress, w io.Wri
 	if spec.Seed == 0 {
 		spec.Seed = cfg.NoiseSeed
 	}
-	if len(spec.Workloads.SuiteSeeds) == 0 {
+	if spec.Workloads.IsEmpty() {
 		spec.Workloads.SuiteSeeds = []int64{cfg.SuiteSeed}
 	}
 	if spec.Trials == 0 && cfg.ExpTrials > 1 {
@@ -222,6 +236,36 @@ func runRobust(path string, cfg experiments.Config, prog *obs.Progress, w io.Wri
 	}
 	reg := service.NewModelRegistry(cfg.Profile, cfg.Empirical)
 	eng := robust.Engine{Source: reg, Workers: cfg.Parallelism, Progress: prog}
+	res, err := eng.Run(context.Background(), spec)
+	if err != nil {
+		return err
+	}
+	res.Write(w)
+	return nil
+}
+
+// runArrival loads an online-arrival spec and executes the scenario against
+// a fresh fit-once registry; the CLI flags supply the spec's seed defaults.
+func runArrival(path string, cfg experiments.Config, prog *obs.Progress, w io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var spec arrival.Spec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return fmt.Errorf("arrival spec %s: %w", path, err)
+	}
+	if spec.Seed == 0 {
+		spec.Seed = cfg.NoiseSeed
+	}
+	if spec.Workloads.IsEmpty() {
+		spec.Workloads.SuiteSeeds = []int64{cfg.SuiteSeed}
+	}
+	if spec.Trials == 0 && cfg.ExpTrials > 1 {
+		spec.Trials = cfg.ExpTrials
+	}
+	reg := service.NewModelRegistry(cfg.Profile, cfg.Empirical)
+	eng := arrival.Engine{Source: reg, Workers: cfg.Parallelism, Progress: prog}
 	res, err := eng.Run(context.Background(), spec)
 	if err != nil {
 		return err

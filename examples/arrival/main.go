@@ -1,0 +1,72 @@
+// Arrival example — the online dimension the paper's offline case study
+// stops short of: what happens when workflows don't sit in a benchmark
+// suite but arrive over time on a shared cluster? This example builds a
+// mixed job population — an externally authored workflow imported from a
+// committed DOT trace plus two canonical shapes (Strassen-style recursion
+// and a wide reduction tree) — draws Poisson arrivals over it, schedules
+// each job online with HCPA and MCPA against the fitted analytic model,
+// runs them FCFS on 8-node partitions of the emulated Bayreuth cluster,
+// and prints the online scorecard: queueing delay, utilisation, makespan
+// stretch, fairness, and how well the fitted model predicted the service
+// times.
+//
+// The spec is the exact worked example of docs/WORKLOADS.md; the golden
+// corpus (testdata/golden/arrival-example.txt) pins its output byte for
+// byte.
+//
+// Run from the repository root (the spec references the committed trace by
+// a root-relative path):
+//
+//	go run ./examples/arrival
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro"
+	"repro/internal/arrival"
+	"repro/internal/campaign"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A population of three job classes: the committed linalg-pipeline DOT
+	// trace (imported at plan time) and the strassen/reduction shapes at
+	// matrix size 2000. Twelve jobs arrive Poisson at 0.02 jobs/s — about
+	// one per 50 s against service times of 130–330 s — on partitions of 8
+	// of Bayreuth's 32 nodes, so four jobs run concurrently and bursts
+	// queue.
+	spec := arrival.Spec{
+		Name: "bayreuth-online-arrivals",
+		Workloads: campaign.WorkloadAxis{
+			Traces: []campaign.TraceRef{{Path: "testdata/traces/linalg-pipeline.dot"}},
+			Shapes: []string{"strassen", "reduction"},
+			Sizes:  []int{2000},
+		},
+		Algorithms:  []string{"HCPA", "MCPA"},
+		Rate:        0.02,
+		Jobs:        12,
+		ArrivalSeed: 7,
+		Partition:   8,
+	}
+
+	plan, err := spec.Plan()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("arrival scenario %q: %d jobs over %d classes, %d algorithms\n\n",
+		spec.Name, len(plan.Times), len(plan.Classes), len(plan.Algorithms))
+
+	start := time.Now()
+	res, err := repro.RunArrival(context.Background(), spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res.Write(os.Stdout)
+	fmt.Fprintf(os.Stderr, "\nscenario completed in %.1fs\n", time.Since(start).Seconds())
+}

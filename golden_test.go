@@ -11,6 +11,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/arrival"
 	"repro/internal/campaign"
 	"repro/internal/experiments"
 	"repro/internal/robust"
@@ -229,6 +230,40 @@ func TestGoldenClusterShard(t *testing.T) {
 	goldenCompare(t, "cluster-shard.txt", buf.Bytes())
 }
 
+// goldenArrivalSpec is the online-arrival corner of the corpus — the exact
+// spec examples/arrival runs, docs/WORKLOADS.md walks through and the CI
+// arrivals smoke submits over HTTP: a mixed population of the committed DOT
+// trace plus two canonical shapes, Poisson arrivals on 8-node partitions.
+func goldenArrivalSpec() arrival.Spec {
+	return arrival.Spec{
+		Name: "bayreuth-online-arrivals",
+		Workloads: campaign.WorkloadAxis{
+			Traces: []campaign.TraceRef{{Path: "testdata/traces/linalg-pipeline.dot"}},
+			Shapes: []string{"strassen", "reduction"},
+			Sizes:  []int{2000},
+		},
+		Algorithms:  []string{"HCPA", "MCPA"},
+		Rate:        0.02,
+		Jobs:        12,
+		ArrivalSeed: 7,
+		Partition:   8,
+	}
+}
+
+// TestGoldenArrivalExample pins the online-arrival report byte-for-byte.
+func TestGoldenArrivalExample(t *testing.T) {
+	cfg := experiments.DefaultConfig()
+	reg := service.NewModelRegistry(cfg.Profile, cfg.Empirical)
+	eng := arrival.Engine{Source: reg, Workers: cfg.Parallelism}
+	res, err := eng.Run(context.Background(), goldenArrivalSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	res.Write(&buf)
+	goldenCompare(t, "arrival-example.txt", buf.Bytes())
+}
+
 // TestGoldenCorpusComplete fails when a committed snapshot no longer has a
 // test regenerating it, so the corpus cannot accumulate dead files.
 func TestGoldenCorpusComplete(t *testing.T) {
@@ -241,6 +276,7 @@ func TestGoldenCorpusComplete(t *testing.T) {
 		"robustness-example.txt":    true,
 		"robustness-sequential.txt": true,
 		"cluster-shard.txt":         true,
+		"arrival-example.txt":       true,
 	}
 	for _, name := range goldenStudies {
 		want[name+".txt"] = true

@@ -1,0 +1,167 @@
+package arrival_test
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/arrival"
+	"repro/internal/campaign"
+	"repro/internal/profiler"
+	"repro/internal/service"
+)
+
+// newEngine pairs a fresh fit-once registry with an arrival engine, the way
+// a replica would start cold.
+func newEngine(workers int) arrival.Engine {
+	reg := service.NewModelRegistry(profiler.DefaultProfileOptions(), profiler.DefaultEmpiricalOptions())
+	return arrival.Engine{Source: reg, Workers: workers}
+}
+
+// testSpec is a small but non-trivial scenario: a three-class population
+// (two shapes plus the diamond), arrivals fast enough to queue on the four
+// 8-node partitions.
+func testSpec() arrival.Spec {
+	return arrival.Spec{
+		Name:      "engine-test",
+		Workloads: campaign.WorkloadAxis{Shapes: []string{"diamond", "strassen", "reduction"}},
+		Rate:      0.05,
+		Jobs:      8,
+		Partition: 8,
+	}
+}
+
+// TestArrivalDeterministicAcrossWorkerCounts pins the acceptance criterion:
+// the rendered report is byte-identical at workers=1 and workers=8, each on
+// a fresh registry.
+func TestArrivalDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) string {
+		eng := newEngine(workers)
+		res, err := eng.Run(context.Background(), testSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		res.Write(&buf)
+		return buf.String()
+	}
+	serial := run(1)
+	parallel := run(8)
+	if serial != parallel {
+		t.Errorf("arrival report differs between workers=1 and workers=8:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial, parallel)
+	}
+	for _, want := range []string{"Online arrivals \"engine-test\"", "partition 8 of 32 nodes (4 slots)",
+		"HCPA", "MCPA", "strassen-n2000", "Timeline under HCPA"} {
+		if !strings.Contains(serial, want) {
+			t.Errorf("report lacks %q:\n%s", want, serial)
+		}
+	}
+}
+
+// TestShardedArrivalByteIdentical pins the sharding contract: each
+// algorithm cell run on its own cold replica, shipped as a gob frame and
+// merged in plan order renders byte-for-byte the monolithic report.
+func TestShardedArrivalByteIdentical(t *testing.T) {
+	mono := newEngine(4)
+	res, err := mono.Run(context.Background(), testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	res.Write(&want)
+
+	coord := newEngine(1)
+	p, err := coord.Prepare(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumCells() != 2 {
+		t.Fatalf("NumCells = %d, want one per algorithm", p.NumCells())
+	}
+	frames := make([][]byte, p.NumCells())
+	for i := range frames {
+		replica := newEngine(2)
+		rp, err := replica.Prepare(testSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cell, err := replica.RunCellIndex(context.Background(), rp, i)
+		if err != nil {
+			t.Fatalf("cell %d: %v", i, err)
+		}
+		if frames[i], err = arrival.EncodeCell(cell); err != nil {
+			t.Fatalf("encode cell %d: %v", i, err)
+		}
+	}
+	cells := make([]arrival.CellJobs, len(frames))
+	for i, frame := range frames {
+		var err error
+		if cells[i], err = arrival.DecodeCell(frame); err != nil {
+			t.Fatalf("decode cell %d: %v", i, err)
+		}
+	}
+	merged, err := arrival.Merge(p, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	merged.Write(&got)
+	if got.String() != want.String() {
+		t.Errorf("sharded report differs from monolithic run:\n--- monolithic ---\n%s\n--- sharded ---\n%s",
+			want.String(), got.String())
+	}
+}
+
+// TestArrivalMetricsSane runs the scenario once and checks the scorecard
+// obeys the definitional invariants the formatter cannot hide.
+func TestArrivalMetricsSane(t *testing.T) {
+	eng := newEngine(4)
+	res, err := eng.Run(context.Background(), testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Algos) != 2 {
+		t.Fatalf("scored %d algorithms, want 2", len(res.Algos))
+	}
+	for _, a := range res.Algos {
+		if a.WaitP50 < 0 || a.WaitP90 < a.WaitP50 || a.WaitMax < a.WaitP90 {
+			t.Errorf("%s: wait quantiles out of order: %+v", a.Algorithm, a)
+		}
+		if a.StretchP50 < 1 || a.StretchP90 < a.StretchP50 || a.StretchMax < a.StretchP90 {
+			t.Errorf("%s: stretch must be >= 1 and ordered: %+v", a.Algorithm, a)
+		}
+		if a.Utilisation <= 0 || a.Utilisation > 100 {
+			t.Errorf("%s: utilisation %v outside (0, 100]", a.Algorithm, a.Utilisation)
+		}
+		if a.Fairness <= 0 || a.Fairness > 1+1e-12 {
+			t.Errorf("%s: fairness %v outside (0, 1]", a.Algorithm, a.Fairness)
+		}
+		if a.Horizon <= 0 || a.Throughput <= 0 {
+			t.Errorf("%s: horizon %v, throughput %v must be positive", a.Algorithm, a.Horizon, a.Throughput)
+		}
+		if a.MedianErrPct < 0 || a.P90ErrPct < a.MedianErrPct {
+			t.Errorf("%s: prediction errors out of order: %+v", a.Algorithm, a)
+		}
+	}
+}
+
+// TestPrepareRejections covers the environment-dependent validation Prepare
+// adds on top of Plan.
+func TestPrepareRejections(t *testing.T) {
+	eng := newEngine(1)
+	spec := testSpec()
+	spec.Partition = 33
+	if _, err := eng.Prepare(spec); err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Errorf("oversized partition accepted: %v", err)
+	}
+	spec = testSpec()
+	spec.Environment = "atlantis"
+	if _, err := eng.Prepare(spec); err == nil {
+		t.Error("unknown environment accepted")
+	}
+	if _, err := (&arrival.Engine{}).Prepare(testSpec()); err == nil {
+		t.Error("engine without a model source accepted")
+	}
+}

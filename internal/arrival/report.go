@@ -1,0 +1,78 @@
+package arrival
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// This file renders an arrival Result into the deterministic text report:
+// the scenario header, the job population, per-algorithm online scorecards
+// and a per-job timeline for the first algorithm. Everything is emitted in
+// plan order with fixed precision, so the report is byte-identical across
+// runs, worker counts and sharded execution.
+
+// Write renders the online-arrival report.
+func (r *Result) Write(w io.Writer) {
+	p := r.Prepared
+	plan := p.Plan
+	name := plan.Spec.Name
+	if name == "" {
+		name = "unnamed"
+	}
+	fmt.Fprintf(w, "Online arrivals %q — %d jobs on %s, partition %d of %d nodes (%d slots)\n",
+		name, len(plan.Times), plan.Spec.Environment, p.Partition, p.Nodes, p.Slots)
+	fmt.Fprintf(w, "  process=%s model=%s seed=%d trials=%d algorithms=%s\n",
+		processLine(plan.Spec), plan.Model, plan.Spec.Seed, plan.Spec.Trials,
+		strings.Join(plan.Algorithms, ","))
+
+	fmt.Fprintf(w, "\nJob population — job j runs class j mod %d\n", len(plan.Classes))
+	clsW := 5
+	for _, c := range plan.Classes {
+		if len(c.Name) > clsW {
+			clsW = len(c.Name)
+		}
+	}
+	for i, c := range plan.Classes {
+		fmt.Fprintf(w, "  [%3d] %-*s %6d tasks  from %s\n", i, clsW, c.Name, c.Graph.Len(), c.Workload)
+	}
+
+	fmt.Fprintf(w, "\nOnline scorecard per algorithm\n")
+	fmt.Fprintf(w, "  %-8s %12s %10s %10s %10s %8s %8s %8s %7s %6s %9s\n",
+		"algo", "horizon [s]", "wait p50", "wait p90", "wait max",
+		"str p50", "str p90", "str max", "util%", "fair", "jobs/h")
+	for _, a := range r.Algos {
+		fmt.Fprintf(w, "  %-8s %12.1f %10.1f %10.1f %10.1f %8.2f %8.2f %8.2f %7.1f %6.3f %9.2f\n",
+			a.Algorithm, a.Horizon, a.WaitP50, a.WaitP90, a.WaitMax,
+			a.StretchP50, a.StretchP90, a.StretchMax, a.Utilisation, a.Fairness, a.Throughput)
+	}
+
+	fmt.Fprintf(w, "\nService-time prediction — fitted %s model vs emulated partition\n", plan.Model)
+	fmt.Fprintf(w, "  %-8s %14s %13s\n", "algo", "med err [%]", "p90 err [%]")
+	for _, a := range r.Algos {
+		fmt.Fprintf(w, "  %-8s %14.1f %13.1f\n", a.Algorithm, a.MedianErrPct, a.P90ErrPct)
+	}
+
+	if len(r.Cells) > 0 {
+		cell := r.Cells[0]
+		starts := simulateQueue(plan.Times, cell.Service, p.Slots)
+		fmt.Fprintf(w, "\nTimeline under %s — arrival, queueing and service per job\n", cell.Algorithm)
+		fmt.Fprintf(w, "  %-5s %-*s %12s %12s %12s %10s\n",
+			"job", clsW, "class", "arrive [s]", "start [s]", "service [s]", "stretch")
+		for j := range plan.Times {
+			class := plan.Classes[j%len(plan.Classes)]
+			stretch := (starts[j] + cell.Service[j] - plan.Times[j]) / cell.Service[j]
+			fmt.Fprintf(w, "  %-5d %-*s %12.1f %12.1f %12.1f %10.2f\n",
+				j, clsW, class.Name, plan.Times[j], starts[j], cell.Service[j], stretch)
+		}
+	}
+}
+
+// processLine compresses the arrival process and its parameters for the
+// header: the rate and seed for Poisson, the job count for traces.
+func processLine(s Spec) string {
+	if s.Process == "poisson" {
+		return fmt.Sprintf("poisson(rate=%g/s,seed=%d)", s.Rate, s.ArrivalSeed)
+	}
+	return fmt.Sprintf("trace(%d times)", len(s.Times))
+}

@@ -1,0 +1,153 @@
+package arrival
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+)
+
+// TestPoissonTimesDeterministic pins the arrival draw: the same (seed,
+// rate, jobs) triple yields the identical strictly increasing sequence on
+// every call, and either knob changes it.
+func TestPoissonTimesDeterministic(t *testing.T) {
+	a := poissonTimes(7, 0.02, 16)
+	b := poissonTimes(7, 0.02, 16)
+	if len(a) != 16 {
+		t.Fatalf("drew %d times, want 16", len(a))
+	}
+	prev := 0.0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("times[%d] differs between identical draws: %v vs %v", i, a[i], b[i])
+		}
+		if a[i] <= prev || math.IsInf(a[i], 0) || math.IsNaN(a[i]) {
+			t.Fatalf("times[%d] = %v not strictly after %v", i, a[i], prev)
+		}
+		prev = a[i]
+	}
+	if c := poissonTimes(8, 0.02, 16); c[0] == a[0] {
+		t.Error("different seeds drew the same first arrival")
+	}
+	if d := poissonTimes(7, 0.04, 16); math.Abs(d[15]-a[15]/2) > 1e-9*a[15] {
+		t.Errorf("doubling the rate should halve every time: %v vs %v", d[15], a[15])
+	}
+}
+
+// TestSimulateQueueInvariants checks the FCFS replay: no job starts before
+// its arrival, at most `slots` jobs overlap at any instant, and with one
+// slot the jobs run strictly back to back in arrival order.
+func TestSimulateQueueInvariants(t *testing.T) {
+	times := []float64{0, 1, 2, 2, 3, 50}
+	service := []float64{10, 10, 10, 10, 10, 1}
+	for slots := 1; slots <= 4; slots++ {
+		starts := simulateQueue(times, service, slots)
+		for j, st := range starts {
+			if st < times[j] {
+				t.Errorf("slots=%d: job %d starts %v before arrival %v", slots, j, st, times[j])
+			}
+			overlap := 0
+			for k := range starts {
+				if starts[k] <= st && st < starts[k]+service[k] {
+					overlap++
+				}
+			}
+			if overlap > slots {
+				t.Errorf("slots=%d: %d jobs running at t=%v", slots, overlap, st)
+			}
+		}
+	}
+	serial := simulateQueue(times, service, 1)
+	want := []float64{0, 10, 20, 30, 40, 50}
+	for j := range serial {
+		if serial[j] != want[j] {
+			t.Errorf("1-slot starts[%d] = %v, want %v", j, serial[j], want[j])
+		}
+	}
+}
+
+// TestSpecPlan covers normalization and the expanded sequence.
+func TestSpecPlan(t *testing.T) {
+	p, err := Spec{Workloads: campaign.WorkloadAxis{Shapes: []string{"diamond"}}}.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Spec; got.Environment != "bayreuth" || got.Process != "poisson" ||
+		got.Rate != DefaultRate || got.ArrivalSeed != DefaultArrivalSeed ||
+		got.Seed != 42 || got.Trials != 1 {
+		t.Errorf("defaults not applied: %+v", got)
+	}
+	if len(p.Algorithms) != 2 || p.Algorithms[0] != "HCPA" || p.Algorithms[1] != "MCPA" {
+		t.Errorf("default algorithms = %v", p.Algorithms)
+	}
+	if len(p.Classes) != 1 || p.Classes[0].Workload != "shape-diamond-n2000" {
+		t.Errorf("population = %+v, want the lone diamond class", p.Classes)
+	}
+	// Poisson default: 2× the population, and Times matches the draw.
+	if p.Spec.Jobs != 2 || len(p.Times) != 2 {
+		t.Errorf("jobs = %d, %d times; want 2 each", p.Spec.Jobs, len(p.Times))
+	}
+	want := poissonTimes(DefaultArrivalSeed, DefaultRate, 2)
+	for i := range want {
+		if p.Times[i] != want[i] {
+			t.Errorf("times[%d] = %v, want the seed-%d draw %v", i, p.Times[i], DefaultArrivalSeed, want[i])
+		}
+	}
+
+	tr, err := Spec{
+		Workloads: campaign.WorkloadAxis{Shapes: []string{"diamond"}},
+		Process:   "trace",
+		Times:     []float64{0, 0, 3.5},
+	}.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Spec.Jobs != 3 || len(tr.Times) != 3 || tr.Times[2] != 3.5 {
+		t.Errorf("trace plan = jobs %d times %v", tr.Spec.Jobs, tr.Times)
+	}
+}
+
+// TestSpecPlanRejections walks the validation gallery.
+func TestSpecPlanRejections(t *testing.T) {
+	shape := campaign.WorkloadAxis{Shapes: []string{"diamond"}}
+	cases := []struct {
+		name string
+		spec Spec
+		want string
+	}{
+		{"unknown algorithm", Spec{Algorithms: []string{"LPT"}, Workloads: shape}, "unknown algorithm"},
+		{"duplicate algorithm", Spec{Algorithms: []string{"HCPA", "HCPA"}, Workloads: shape}, "duplicate algorithm"},
+		{"unknown model", Spec{Model: "oracle", Workloads: shape}, "unknown model"},
+		{"unknown shape", Spec{Workloads: campaign.WorkloadAxis{Shapes: []string{"nope"}}}, "unknown shape"},
+		{"unknown process", Spec{Process: "mmpp", Workloads: shape}, "unknown process"},
+		{"times under poisson", Spec{Times: []float64{1}, Workloads: shape}, "only for process"},
+		{"negative rate", Spec{Rate: -1, Workloads: shape}, "positive arrival rate"},
+		{"oversized jobs", Spec{Jobs: MaxJobs + 1, Workloads: shape}, "jobs"},
+		{"empty trace", Spec{Process: "trace", Workloads: shape}, "needs times"},
+		{"negative time", Spec{Process: "trace", Times: []float64{-1}, Workloads: shape}, "non-negative"},
+		{"decreasing times", Spec{Process: "trace", Times: []float64{5, 4}, Workloads: shape}, "back in time"},
+		{"negative partition", Spec{Partition: -1, Workloads: shape}, "negative"},
+		{"oversized trials", Spec{Trials: campaign.MaxTrials + 1, Workloads: shape}, "trials"},
+	}
+	for _, tc := range cases {
+		_, err := tc.spec.Plan()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestJain pins the fairness index's endpoints.
+func TestJain(t *testing.T) {
+	if got := jain([]float64{3, 3, 3}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("jain(equal) = %v, want 1", got)
+	}
+	if got := jain([]float64{1, 0, 0, 0}); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("jain(one dominates) = %v, want 0.25", got)
+	}
+}

@@ -211,11 +211,10 @@ func (e *Engine) Run(ctx context.Context, spec Spec) (*Result, error) {
 			return nil, fmt.Errorf("campaign: platform %s: %w", pt.Env, err)
 		}
 		for _, wp := range plan.Workloads {
-			suite, err := dag.GenerateSuite(wp.SuiteSeed)
+			suite, err := wp.Instances()
 			if err != nil {
 				return nil, err
 			}
-			suite = FilterSizes(suite, wp.Sizes)
 			if len(suite) == 0 {
 				return nil, fmt.Errorf("campaign: workload %s selects no suite instances", wp.Key())
 			}
@@ -282,16 +281,16 @@ func (e *Engine) runCell(ctx context.Context, plan *Plan, pt PlatformPoint, wp W
 		for ai, name := range algos {
 			s, err := BuildScheduleScratch(sc, name, suite[i].Graph, truth.Cluster, cost, comm)
 			if err != nil {
-				return fmt.Errorf("campaign: %s: %s on %s: %w", study, name, suite[i].Params.Name(), err)
+				return fmt.Errorf("campaign: %s: %s on %s: %w", study, name, suite[i].Name(), err)
 			}
 			s.Model = kind
 			simRes, err := tgrid.Run(net, s, tgrid.ModelTiming{Model: model})
 			if err != nil {
-				return fmt.Errorf("campaign: simulate %s: %s on %s: %w", study, name, suite[i].Params.Name(), err)
+				return fmt.Errorf("campaign: simulate %s: %s on %s: %w", study, name, suite[i].Name(), err)
 			}
 			exp, err := sess.MeasureMakespan(s, plan.Spec.Trials)
 			if err != nil {
-				return fmt.Errorf("campaign: execute %s: %s on %s: %w", study, name, suite[i].Params.Name(), err)
+				return fmt.Errorf("campaign: execute %s: %s on %s: %w", study, name, suite[i].Name(), err)
 			}
 			o.sim[ai], o.exp[ai] = simRes.Makespan, exp
 			if o.schedules != nil {

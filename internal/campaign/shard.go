@@ -17,7 +17,6 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
-	"repro/internal/dag"
 	"repro/internal/simgrid"
 )
 
@@ -70,11 +69,10 @@ func (e *Engine) RunCellIndex(ctx context.Context, p *Prepared, i int) (CellScor
 	if err != nil {
 		return CellScore{}, fmt.Errorf("campaign: platform %s: %w", pt.Env, err)
 	}
-	suite, err := dag.GenerateSuite(wp.SuiteSeed)
+	suite, err := wp.Instances()
 	if err != nil {
 		return CellScore{}, err
 	}
-	suite = FilterSizes(suite, wp.Sizes)
 	if len(suite) == 0 {
 		return CellScore{}, fmt.Errorf("campaign: workload %s selects no suite instances", wp.Key())
 	}

@@ -95,12 +95,12 @@ func TestCellPointOrder(t *testing.T) {
 	if len(seen) != p.NumCells() {
 		t.Fatalf("%d distinct cells, plan has %d", len(seen), p.NumCells())
 	}
-	if _, _, err := runCellOutOfRange(eng, p); err == nil {
+	if _, _, err := runCellOutOfRange(&eng, p); err == nil {
 		t.Fatal("RunCellIndex past the grid succeeded")
 	}
 }
 
-func runCellOutOfRange(eng campaign.Engine, p *campaign.Prepared) (campaign.CellScore, bool, error) {
+func runCellOutOfRange(eng *campaign.Engine, p *campaign.Prepared) (campaign.CellScore, bool, error) {
 	score, err := eng.RunCellIndex(context.Background(), p, p.NumCells())
 	return score, err == nil, err
 }

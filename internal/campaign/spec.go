@@ -16,10 +16,13 @@ package campaign
 
 import (
 	"fmt"
+	"path/filepath"
 	"sort"
 	"strconv"
+	"strings"
 
 	"repro/internal/dag"
+	"repro/internal/dag/shapes"
 	"repro/internal/experiments"
 )
 
@@ -36,6 +39,11 @@ const (
 	MaxNodes = 1024
 	// MaxTrials bounds the emulated runs averaged per measured makespan.
 	MaxTrials = 32
+	// MaxTraceTasks bounds an imported workflow trace's task count.
+	MaxTraceTasks = 512
+	// MaxKeyName bounds a trace or shape name after keySafe escaping, so
+	// workload keys stay usable in study names and report rows.
+	MaxKeyName = 64
 )
 
 // Spec declares one campaign: the axes of the what-if grid plus the shared
@@ -85,14 +93,86 @@ type PlatformAxis struct {
 	SpeedRatios []float64 `json:"speed_ratios,omitempty"`
 }
 
-// WorkloadAxis sweeps evaluation workloads.
+// WorkloadAxis sweeps evaluation workloads: generated Table I suites,
+// imported workflow traces, and named canonical shapes. Every non-empty
+// list contributes its own workload points; an entirely empty axis defaults
+// to the paper's 2011 suite.
 type WorkloadAxis struct {
 	// SuiteSeeds lists Table I suite seeds, one 54-DAG suite each
 	// (default {2011}, the paper's workload).
 	SuiteSeeds []int64 `json:"suite_seeds,omitempty"`
 	// Sizes optionally restricts the suite to the given matrix sizes
-	// (subset of {2000, 3000}; empty keeps all 54 instances).
+	// (subset of {2000, 3000}; empty keeps all 54 instances). For shape
+	// workloads the same list selects the matrix sizes to build (default
+	// {2000}).
 	Sizes []int `json:"sizes,omitempty"`
+	// Traces lists imported workflow graphs, one workload point each.
+	Traces []TraceRef `json:"traces,omitempty"`
+	// Shapes lists canonical workflow shapes by registry name
+	// (internal/dag/shapes), one workload point per shape and size.
+	Shapes []string `json:"shapes,omitempty"`
+}
+
+// IsEmpty reports whether the axis names no workloads at all, which is what
+// triggers the Table I default.
+func (a WorkloadAxis) IsEmpty() bool {
+	return len(a.SuiteSeeds) == 0 && len(a.Traces) == 0 && len(a.Shapes) == 0
+}
+
+// TraceRef references one imported workflow graph: either a file (DOT or
+// JSON, sniffed by dag.Import) or inline DOT text. Paths resolve relative
+// to the process working directory on whichever replica runs the cell, so
+// sharded deployments must see the same files everywhere.
+type TraceRef struct {
+	// Name labels the trace in keys and reports. Default: the imported
+	// graph's own name, else the path basename without extension.
+	Name string `json:"name,omitempty"`
+	// Path locates the serialized graph on disk.
+	Path string `json:"path,omitempty"`
+	// DOT carries the graph inline in WriteDOT's dialect.
+	DOT string `json:"dot,omitempty"`
+}
+
+// isSet reports whether the ref names any source.
+func (t TraceRef) isSet() bool { return t.Path != "" || t.DOT != "" }
+
+// Load imports and validates the referenced graph.
+func (t TraceRef) Load() (*dag.Graph, error) {
+	var g *dag.Graph
+	var err error
+	switch {
+	case t.Path != "" && t.DOT != "":
+		return nil, fmt.Errorf("campaign: trace %q sets both path and dot", t.Name)
+	case t.Path != "":
+		g, err = dag.ImportFile(t.Path)
+	case t.DOT != "":
+		g, err = dag.Import([]byte(t.DOT))
+	default:
+		return nil, fmt.Errorf("campaign: trace %q sets neither path nor dot", t.Name)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if g.Len() == 0 {
+		return nil, fmt.Errorf("campaign: trace %q is empty", t.Name)
+	}
+	if g.Len() > MaxTraceTasks {
+		return nil, fmt.Errorf("campaign: trace %q has %d tasks, limit %d", t.Name, g.Len(), MaxTraceTasks)
+	}
+	return g, nil
+}
+
+// resolveName returns the trace's display name: the explicit Name, else the
+// imported graph's name, else the path basename without extension.
+func (t TraceRef) resolveName(g *dag.Graph) string {
+	if t.Name != "" {
+		return t.Name
+	}
+	if g != nil && g.Name != "" {
+		return g.Name
+	}
+	base := filepath.Base(t.Path)
+	return strings.TrimSuffix(base, filepath.Ext(base))
 }
 
 // PlatformPoint is one expanded value of the platform axis.
@@ -106,21 +186,84 @@ type PlatformPoint struct {
 	BandwidthScale, LatencyScale, SpeedRatio float64
 }
 
-// WorkloadPoint is one expanded value of the workload axis.
+// WorkloadPoint is one expanded value of the workload axis: exactly one of
+// the three kinds — a generated suite, an imported trace, or a named shape.
+// Points travel inside gob-encoded shard cell frames, so they stay small
+// and self-describing: a trace point carries the reference, never the
+// graph; every replica re-imports it when materialising instances.
 type WorkloadPoint struct {
-	// SuiteSeed derives the point's DAG suite.
+	// SuiteSeed derives a suite point's DAG suite.
 	SuiteSeed int64
-	// Sizes is the matrix-size filter (nil = the full suite).
+	// Sizes is the suite point's matrix-size filter (nil = the full suite).
 	Sizes []int
+	// Trace references an imported workflow for a trace point.
+	Trace TraceRef
+	// Shape and N select a canonical shape point and its matrix size.
+	Shape string
+	N     int
 }
 
-// Key renders the point for study names and report rows.
+// Key renders the point for study names, report rows and shard cell plans.
+// The three kinds use distinct prefixes and trace/shape names pass through
+// the injective keySafe escaping, so two different points can never alias.
 func (w WorkloadPoint) Key() string {
+	switch {
+	case w.Trace.isSet():
+		return "trace-" + keySafe(w.Trace.Name)
+	case w.Shape != "":
+		return fmt.Sprintf("shape-%s-n%d", keySafe(w.Shape), w.N)
+	}
 	s := fmt.Sprintf("suite-%d", w.SuiteSeed)
 	for _, n := range w.Sizes {
 		s += fmt.Sprintf("-n%d", n)
 	}
 	return s
+}
+
+// Instances materialises the point's evaluation instances: the (filtered)
+// generated suite, the imported trace, or the built shape. Deterministic:
+// the same point always yields the same graphs, on every replica.
+func (w WorkloadPoint) Instances() ([]dag.SuiteInstance, error) {
+	switch {
+	case w.Trace.isSet():
+		g, err := w.Trace.Load()
+		if err != nil {
+			return nil, err
+		}
+		return []dag.SuiteInstance{{Graph: g}}, nil
+	case w.Shape != "":
+		g, err := shapes.Build(w.Shape, w.N)
+		if err != nil {
+			return nil, err
+		}
+		return []dag.SuiteInstance{{Graph: g}}, nil
+	}
+	suite, err := dag.GenerateSuite(w.SuiteSeed)
+	if err != nil {
+		return nil, err
+	}
+	return FilterSizes(suite, w.Sizes), nil
+}
+
+// keySafe escapes a name for use inside a workload key: letters, digits,
+// dots and dashes pass through, an underscore doubles, and every other byte
+// becomes _xx (lowercase hex). The escaping decodes unambiguously left to
+// right, so it is injective — distinct names can never collide.
+func keySafe(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '.', c == '-':
+			b.WriteByte(c)
+		case c == '_':
+			b.WriteString("__")
+		default:
+			fmt.Fprintf(&b, "_%02x", c)
+		}
+	}
+	return b.String()
 }
 
 // Plan is a validated, fully expanded campaign grid.
@@ -166,6 +309,20 @@ func AlgorithmNames() []string {
 	return []string{"CPA", "HCPA", "MCPA", "MHEFT", "SEQ", "DATAPAR"}
 }
 
+// CanonicalAlgorithm resolves an algorithm-axis name or alias to its sched
+// name; other spec layers (internal/arrival) share the campaign axis
+// vocabulary through it.
+func CanonicalAlgorithm(name string) (string, bool) {
+	c, ok := canonicalAlgorithms[name]
+	return c, ok
+}
+
+// CanonicalModel resolves a model-axis name or alias to its registry kind.
+func CanonicalModel(name string) (string, bool) {
+	c, ok := canonicalModels[name]
+	return c, ok
+}
+
 // ModelNames lists the accepted canonical model-axis values.
 func ModelNames() []string { return []string{"analytic", "profile", "empirical"} }
 
@@ -186,7 +343,7 @@ func (s *Spec) normalize() {
 	if len(s.Platforms.SpeedRatios) == 0 {
 		s.Platforms.SpeedRatios = []float64{1}
 	}
-	if len(s.Workloads.SuiteSeeds) == 0 {
+	if s.Workloads.IsEmpty() {
 		s.Workloads.SuiteSeeds = []int64{experiments.DefaultConfig().SuiteSeed}
 	}
 	if len(s.Algorithms) == 0 {
@@ -223,6 +380,12 @@ func (s Spec) Plan() (*Plan, error) {
 		return nil, err
 	}
 	if err := checkAxisLen("workloads.suite_seeds", len(s.Workloads.SuiteSeeds)); err != nil {
+		return nil, err
+	}
+	if err := checkAxisLen("workloads.traces", len(s.Workloads.Traces)); err != nil {
+		return nil, err
+	}
+	if err := checkAxisLen("workloads.shapes", len(s.Workloads.Shapes)); err != nil {
 		return nil, err
 	}
 	if err := checkAxisLen("algorithms", len(s.Algorithms)); err != nil {
@@ -302,16 +465,25 @@ func (s Spec) Plan() (*Plan, error) {
 		return nil, fmt.Errorf("campaign: trials %d outside [1, %d]", s.Trials, MaxTrials)
 	}
 
+	// Shape points expand one per matrix size; suites use the sizes as a
+	// filter instead, and traces carry their own sizes.
+	shapeSizes := sizes
+	if len(shapeSizes) == 0 {
+		shapeSizes = dag.SuiteSizes[:1]
+	}
+
 	// Enforce the grid limits arithmetically before expanding anything: the
 	// axis-length checks above cap each list at 32 values, so a hostile spec
 	// could still describe 32⁴ platform points — reject it from the lengths
 	// alone instead of materialising a million-point grid first.
 	platforms := len(s.Platforms.Nodes) * len(s.Platforms.BandwidthScale) *
 		len(s.Platforms.LatencyScale) * len(s.Platforms.SpeedRatios)
-	if cells := platforms * len(s.Workloads.SuiteSeeds) * len(p.Models); cells > MaxGridCells {
+	workloads := len(s.Workloads.SuiteSeeds) + len(s.Workloads.Traces) +
+		len(s.Workloads.Shapes)*len(shapeSizes)
+	if cells := platforms * workloads * len(p.Models); cells > MaxGridCells {
 		return nil, fmt.Errorf("campaign: grid has %d cells (platforms × workloads × models), limit %d", cells, MaxGridCells)
 	}
-	if runs := platforms * len(s.Workloads.SuiteSeeds) * len(p.Models) * len(p.Algorithms); runs > MaxRuns {
+	if runs := platforms * workloads * len(p.Models) * len(p.Algorithms); runs > MaxRuns {
 		return nil, fmt.Errorf("campaign: grid has %d runs (cells × algorithms), limit %d", runs, MaxRuns)
 	}
 
@@ -333,6 +505,39 @@ func (s Spec) Plan() (*Plan, error) {
 	}
 	for _, seed := range s.Workloads.SuiteSeeds {
 		p.Workloads = append(p.Workloads, WorkloadPoint{SuiteSeed: seed, Sizes: sizes})
+	}
+	for i, tr := range s.Workloads.Traces {
+		// Import at plan time: a bad reference rejects the spec up front
+		// (an HTTP 400, not a failed job), and the resolved name pins the
+		// point's key before any cell math depends on it.
+		g, err := tr.Load()
+		if err != nil {
+			return nil, fmt.Errorf("campaign: workloads.traces[%d]: %w", i, err)
+		}
+		tr.Name = tr.resolveName(g)
+		if tr.Name == "" {
+			return nil, fmt.Errorf("campaign: workloads.traces[%d] has no resolvable name", i)
+		}
+		if len(keySafe(tr.Name)) > MaxKeyName {
+			return nil, fmt.Errorf("campaign: workloads.traces[%d] name %q too long (escaped limit %d)", i, tr.Name, MaxKeyName)
+		}
+		p.Workloads = append(p.Workloads, WorkloadPoint{Trace: tr})
+	}
+	for i, name := range s.Workloads.Shapes {
+		if _, ok := shapes.Lookup(name); !ok {
+			return nil, fmt.Errorf("campaign: workloads.shapes[%d]: unknown shape %q (known: %v)", i, name, shapes.Names())
+		}
+		for _, n := range shapeSizes {
+			p.Workloads = append(p.Workloads, WorkloadPoint{Shape: name, N: n})
+		}
+	}
+	seenKeys := make(map[string]bool, len(p.Workloads))
+	for _, wp := range p.Workloads {
+		key := wp.Key()
+		if seenKeys[key] {
+			return nil, fmt.Errorf("campaign: duplicate workload point %q", key)
+		}
+		seenKeys[key] = true
 	}
 
 	return p, nil

@@ -1,0 +1,188 @@
+package campaign
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/dag/shapes"
+)
+
+// TestWorkloadKeyUniqueness expands a deliberately adversarial mixed axis —
+// suite seeds, traces and shapes whose raw names collide with each other's
+// key spellings — and proves every expanded point keys uniquely. This is
+// the regression test for the key-aliasing bug: report sections and shard
+// cell plans address cells by Key(), so two points sharing one would
+// silently merge.
+func TestWorkloadKeyUniqueness(t *testing.T) {
+	mk := func(name string) string {
+		g := dag.New(name)
+		a := g.AddTask(dag.KernelMul, 2000)
+		b := g.AddTask(dag.KernelAdd, 2000)
+		g.AddEdge(a.ID, b.ID)
+		var buf bytes.Buffer
+		if err := g.WriteDOT(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	spec := Spec{
+		Workloads: WorkloadAxis{
+			SuiteSeeds: []int64{2011, 7},
+			Sizes:      []int{2000, 3000},
+			Traces: []TraceRef{
+				{Name: "suite-2011", DOT: mk("a")}, // raw name spells a suite key
+				{Name: "shape-chain-n2000", DOT: mk("b")},
+				{Name: "a_b", DOT: mk("c")}, // underscore vs escaped-byte collisions
+				{Name: "a\x8fb", DOT: mk("d")},
+				{Name: "a__8fb", DOT: mk("e")},
+				{DOT: mk("from-graph-name")}, // name resolved from the graph
+			},
+			Shapes: []string{"chain", "strassen"},
+		},
+	}
+	p, err := spec.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPoints := 2 + 6 + 2*2 // seeds + traces + shapes×sizes
+	if len(p.Workloads) != wantPoints {
+		t.Fatalf("expanded %d workload points, want %d", len(p.Workloads), wantPoints)
+	}
+	seen := map[string]WorkloadPoint{}
+	for _, wp := range p.Workloads {
+		key := wp.Key()
+		if prev, dup := seen[key]; dup {
+			t.Errorf("key %q aliases points %+v and %+v", key, prev, wp)
+		}
+		seen[key] = wp
+		if !strings.HasPrefix(key, "suite-") && !strings.HasPrefix(key, "trace-") && !strings.HasPrefix(key, "shape-") {
+			t.Errorf("key %q lacks a kind prefix", key)
+		}
+	}
+	if _, ok := seen["trace-from-graph-name"]; !ok {
+		t.Errorf("trace name not resolved from graph name; keys: %v", keysOf(seen))
+	}
+}
+
+func keysOf(m map[string]WorkloadPoint) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestWorkloadPlanRejections covers the new axis's validation paths.
+func TestWorkloadPlanRejections(t *testing.T) {
+	goodDOT := func() string {
+		var buf bytes.Buffer
+		if err := dag.Diamond(2000).WriteDOT(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}()
+	cases := []struct {
+		name string
+		spec Spec
+		want string
+	}{
+		{"unknown shape", Spec{Workloads: WorkloadAxis{Shapes: []string{"frobnicate"}}}, "unknown shape"},
+		{"duplicate shape", Spec{Workloads: WorkloadAxis{Shapes: []string{"chain", "chain"}}}, "duplicate workload point"},
+		{"sourceless trace", Spec{Workloads: WorkloadAxis{Traces: []TraceRef{{Name: "x"}}}}, "neither path nor dot"},
+		{"double-source trace", Spec{Workloads: WorkloadAxis{Traces: []TraceRef{{Name: "x", Path: "y", DOT: goodDOT}}}}, "both path and dot"},
+		{"missing trace file", Spec{Workloads: WorkloadAxis{Traces: []TraceRef{{Path: "testdata/definitely-missing.dot"}}}}, "no such file"},
+		{"malformed trace", Spec{Workloads: WorkloadAxis{Traces: []TraceRef{{Name: "x", DOT: "digraph {"}}}}, "missing closing brace"},
+		{"duplicate trace name", Spec{Workloads: WorkloadAxis{Traces: []TraceRef{
+			{Name: "x", DOT: goodDOT}, {Name: "x", DOT: goodDOT},
+		}}}, "duplicate workload point"},
+		{"oversized trace name", Spec{Workloads: WorkloadAxis{Traces: []TraceRef{
+			{Name: strings.Repeat("x", MaxKeyName+1), DOT: goodDOT},
+		}}}, "too long"},
+	}
+	for _, tc := range cases {
+		_, err := tc.spec.Plan()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestWorkloadInstances checks each point kind materialises the expected
+// instances, deterministically.
+func TestWorkloadInstances(t *testing.T) {
+	suitePoint := WorkloadPoint{SuiteSeed: 2011, Sizes: []int{2000}}
+	suite, err := suitePoint.Instances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite) != 27 {
+		t.Errorf("suite point yields %d instances, want 27", len(suite))
+	}
+
+	g := dag.Diamond(2000)
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "diamond.dot")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tracePoint := WorkloadPoint{Trace: TraceRef{Name: "d", Path: path}}
+	ins, err := tracePoint.Instances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ins) != 1 || ins[0].Name() != "diamond-n2000" || ins[0].Graph.Len() != 4 {
+		t.Errorf("trace point yields %+v, want the 4-task diamond", ins)
+	}
+
+	shapePoint := WorkloadPoint{Shape: "strassen", N: 3000}
+	ins, err = shapePoint.Instances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := shapes.Build("strassen", 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ins) != 1 || ins[0].Name() != want.Name || ins[0].Graph.Len() != want.Len() {
+		t.Errorf("shape point yields %+v, want %s", ins, want.Name)
+	}
+
+	if _, err := (WorkloadPoint{Shape: "nope", N: 2000}).Instances(); err == nil {
+		t.Error("unknown shape point materialised")
+	}
+	if _, err := (WorkloadPoint{Trace: TraceRef{Name: "x", Path: path + ".gone"}}).Instances(); err == nil {
+		t.Error("missing trace file materialised")
+	}
+}
+
+// TestWorkloadAxisIsEmpty pins the defaulting trigger: any named workload
+// suppresses the Table I default.
+func TestWorkloadAxisIsEmpty(t *testing.T) {
+	if !(WorkloadAxis{}).IsEmpty() {
+		t.Error("zero axis should be empty")
+	}
+	if (WorkloadAxis{Shapes: []string{"chain"}}).IsEmpty() {
+		t.Error("shape-only axis should not be empty")
+	}
+	p, err := Spec{Workloads: WorkloadAxis{Shapes: []string{"chain"}}}.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Workloads) != 1 || p.Workloads[0].Shape != "chain" {
+		t.Errorf("shape-only axis expanded to %+v; the suite default leaked in", p.Workloads)
+	}
+	if p.Workloads[0].N != 2000 {
+		t.Errorf("shape default size = %d, want 2000", p.Workloads[0].N)
+	}
+}

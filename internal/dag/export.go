@@ -3,13 +3,39 @@ package dag
 import (
 	"fmt"
 	"io"
+	"strings"
 )
+
+// dotEscape renders a name for use inside a double-quoted DOT string:
+// backslash and double quote get a backslash, and a raw newline becomes the
+// two-character sequence \n (which Graphviz renders as a line break). The
+// escaped form never contains a raw newline or an unpaired backslash, so
+// dotUnescape inverts it exactly.
+func dotEscape(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
 
 // WriteDOT renders the graph in Graphviz DOT format, one node per task
 // labelled with kernel and matrix size — handy for inspecting generated
-// instances.
+// instances. The emitted dialect round-trips through ReadDOT: names are
+// escaped, and each node carries an explicit kernel attribute so the kernel
+// survives even when the task name does not encode it.
 func (g *Graph) WriteDOT(w io.Writer) error {
-	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=TB;\n", g.Name); err != nil {
+	if _, err := fmt.Fprintf(w, "digraph \"%s\" {\n  rankdir=TB;\n", dotEscape(g.Name)); err != nil {
 		return err
 	}
 	for _, t := range g.Tasks {
@@ -17,9 +43,12 @@ func (g *Graph) WriteDOT(w io.Writer) error {
 		if t.Kernel == KernelMul {
 			shape = "ellipse"
 		}
-		// The label wants a literal \n escape for Graphviz's line break.
-		if _, err := fmt.Fprintf(w, "  t%d [label=\"%s\\nn=%d\" shape=%s];\n",
-			t.ID, t.Name, t.N, shape); err != nil {
+		// The \n between name and size is a literal two-character escape for
+		// Graphviz's line break; ReadDOT splits the label at its last
+		// occurrence, which is unambiguous because the size suffix holds no
+		// backslashes.
+		if _, err := fmt.Fprintf(w, "  t%d [label=\"%s\\nn=%d\" shape=%s kernel=%s];\n",
+			t.ID, dotEscape(t.Name), t.N, shape, t.Kernel); err != nil {
 			return err
 		}
 	}
@@ -57,8 +86,9 @@ func (g *Graph) TotalEdgeBytes() int64 {
 // platform with the given flop rate (flop/s) and bandwidth (bytes/s):
 // compute time over transfer time if everything ran sequentially. The DAG
 // generator controls this ratio through the addition/multiplication mix
-// (§II-B). Graphs without edges return +Inf-free 0 denominator guard: the
-// function returns 0 when there is no communication.
+// (§II-B). A graph that moves no data — no edges, or only noop outputs —
+// has no communication time to divide by, so CCR returns 0 for it rather
+// than NaN or ±Inf.
 func (g *Graph) CCR(flopRate, bandwidth float64) float64 {
 	bytes := g.TotalEdgeBytes()
 	if bytes == 0 {

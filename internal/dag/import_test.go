@@ -1,0 +1,278 @@
+package dag
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// graphsEqual asserts structural equality: name, tasks (name, kernel, size)
+// and the exact edge lists.
+func graphsEqual(t *testing.T, want, got *Graph) {
+	t.Helper()
+	if want.Name != got.Name {
+		t.Fatalf("graph name = %q, want %q", got.Name, want.Name)
+	}
+	if want.Len() != got.Len() {
+		t.Fatalf("graph has %d tasks, want %d", got.Len(), want.Len())
+	}
+	for i := range want.Tasks {
+		w, g := want.Tasks[i], got.Tasks[i]
+		if w.Name != g.Name || w.Kernel != g.Kernel || w.N != g.N {
+			t.Fatalf("task %d = {%q %v n=%d}, want {%q %v n=%d}",
+				i, g.Name, g.Kernel, g.N, w.Name, w.Kernel, w.N)
+		}
+		// Succ lists survive exactly (exports are src-major); pred lists come
+		// back in ascending source order, so compare them as sets.
+		if !reflect.DeepEqual(w.Succs(), g.Succs()) || !reflect.DeepEqual(sortedInts(w.Preds()), sortedInts(g.Preds())) {
+			t.Fatalf("task %d edges = (preds %v, succs %v), want (preds %v, succs %v)",
+				i, g.Preds(), g.Succs(), w.Preds(), w.Succs())
+		}
+	}
+}
+
+func sortedInts(xs []int) []int {
+	out := append([]int(nil), xs...)
+	sort.Ints(out)
+	return out
+}
+
+// roundTrip pushes g through both export formats and back, checking
+// structural equality and byte-identical re-export.
+func roundTrip(t *testing.T, g *Graph) {
+	t.Helper()
+	var dot bytes.Buffer
+	if err := g.WriteDOT(&dot); err != nil {
+		t.Fatal(err)
+	}
+	fromDOT, err := Import(dot.Bytes())
+	if err != nil {
+		t.Fatalf("import DOT: %v\n%s", err, dot.String())
+	}
+	graphsEqual(t, g, fromDOT)
+	var dot2 bytes.Buffer
+	if err := fromDOT.WriteDOT(&dot2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dot.Bytes(), dot2.Bytes()) {
+		t.Fatalf("DOT re-export differs from original export:\n--- first\n%s\n--- second\n%s", dot.String(), dot2.String())
+	}
+
+	var js bytes.Buffer
+	if err := g.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, err := Import(js.Bytes())
+	if err != nil {
+		t.Fatalf("import JSON: %v", err)
+	}
+	graphsEqual(t, g, fromJSON)
+	var js2 bytes.Buffer
+	if err := fromJSON.WriteJSON(&js2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(js.Bytes(), js2.Bytes()) {
+		t.Fatalf("JSON re-export differs from original export")
+	}
+}
+
+// TestRoundTripSuite proves Import(Export(g)) == g for every instance of
+// the paper's Table I suite, in both formats.
+func TestRoundTripSuite(t *testing.T) {
+	suite, err := GenerateSuite(2011)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range suite {
+		in := in
+		t.Run(in.Params.Name(), func(t *testing.T) {
+			roundTrip(t, in.Graph)
+		})
+	}
+}
+
+// TestRoundTripStructured covers the in-package structured shapes.
+func TestRoundTripStructured(t *testing.T) {
+	for _, g := range []*Graph{
+		Chain(5, 2000),
+		ForkJoin(4, 2, 2000),
+		Layered(3, 4, 3000),
+		Diamond(2000),
+	} {
+		t.Run(g.Name, func(t *testing.T) { roundTrip(t, g) })
+	}
+}
+
+// TestRoundTripHostileNames is the regression test for the WriteDOT
+// escaping bug: names containing quotes, backslashes and newlines must
+// survive the DOT round trip and produce output free of unescaped quotes.
+func TestRoundTripHostileNames(t *testing.T) {
+	g := New(`hostile "graph" \ name`)
+	a := g.AddTask(KernelMul, 2000)
+	a.Name = `stage "one" \ done`
+	b := g.AddTask(KernelAdd, 2000)
+	b.Name = "line one\nline two"
+	c := g.AddTask(KernelAdd, 2000)
+	c.Name = `trailing backslash \`
+	d := g.AddTask(KernelNoop, 0)
+	d.Name = "name\nn=7" // tail collides with the label's size suffix
+	g.AddEdge(a.ID, b.ID)
+	g.AddEdge(a.ID, c.ID)
+	g.AddEdge(b.ID, d.ID)
+	g.AddEdge(c.ID, d.ID)
+
+	var dot bytes.Buffer
+	if err := g.WriteDOT(&dot); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(dot.String(), "\n") {
+		if n := strings.Count(line, `"`) - strings.Count(line, `\"`); n != 0 && n != 2 {
+			t.Errorf("DOT line has %d unescaped quotes (want 0 or 2): %q", n, line)
+		}
+	}
+	roundTrip(t, g)
+}
+
+// TestCCRZeroEdges is the regression test for the zero-communication
+// guard: edge-less and noop-only graphs must yield exactly 0, never NaN or
+// an infinity.
+func TestCCRZeroEdges(t *testing.T) {
+	flopRate, bandwidth := 5.2e9, 117e6
+	edgeless := New("edgeless")
+	edgeless.AddTask(KernelMul, 2000)
+	edgeless.AddTask(KernelAdd, 2000)
+	noops := Chain(3, 0, KernelNoop) // edges exist but carry zero bytes
+	for _, g := range []*Graph{New("empty"), edgeless, noops} {
+		got := g.CCR(flopRate, bandwidth)
+		if got != 0 || math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Errorf("%s: CCR = %v, want exactly 0", g.Name, got)
+		}
+	}
+	// Sanity: a communicating graph still yields a finite positive ratio.
+	if ccr := Diamond(2000).CCR(flopRate, bandwidth); ccr <= 0 || math.IsInf(ccr, 0) || math.IsNaN(ccr) {
+		t.Errorf("diamond CCR = %v, want finite positive", ccr)
+	}
+}
+
+// TestImportRejectsMalformed locks in error (not panic) behaviour for a
+// gallery of malformed inputs.
+func TestImportRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty":            "",
+		"no header":        "t0 [label=\"a\\nn=5\"];\n}\n",
+		"no close":         "digraph \"g\" {\n",
+		"sparse ids":       "digraph \"g\" {\n  t1 [label=\"a\\nn=5\" kernel=mul];\n}\n",
+		"dup node":         "digraph \"g\" {\n  t0 [label=\"a\\nn=5\" kernel=mul];\n  t0 [label=\"b\\nn=5\" kernel=mul];\n}\n",
+		"bad kernel":       "digraph \"g\" {\n  t0 [label=\"a\\nn=5\" kernel=frobnicate];\n}\n",
+		"no size":          "digraph \"g\" {\n  t0 [label=\"a\" kernel=mul];\n}\n",
+		"edge to nowhere":  "digraph \"g\" {\n  t0 [label=\"a\\nn=5\" kernel=mul];\n  t0 -> t7;\n}\n",
+		"self edge":        "digraph \"g\" {\n  t0 [label=\"a\\nn=5\" kernel=mul];\n  t0 -> t0;\n}\n",
+		"cycle":            "digraph \"g\" {\n  t0 [label=\"a\\nn=5\" kernel=mul];\n  t1 [label=\"b\\nn=5\" kernel=mul];\n  t0 -> t1;\n  t1 -> t0;\n}\n",
+		"unclosed quote":   "digraph \"g {\n}\n",
+		"trailing content": "digraph \"g\" {\n}\nextra\n",
+		"json bad ids":     `{"name":"g","tasks":[{"id":3,"name":"a","kernel":"mul","n":5}],"edges":[]}`,
+		"json bad edge":    `{"name":"g","tasks":[{"id":0,"name":"a","kernel":"mul","n":5}],"edges":[[0,9]]}`,
+		"json cycle":       `{"name":"g","tasks":[{"id":0,"name":"a","kernel":"mul","n":5},{"id":1,"name":"b","kernel":"mul","n":5}],"edges":[[0,1],[1,0]]}`,
+	}
+	for name, in := range cases {
+		if _, err := Import([]byte(in)); err == nil {
+			t.Errorf("%s: Import accepted malformed input %q", name, in)
+		}
+	}
+}
+
+// TestImportTolerantDOT exercises the forgiving side of the parser:
+// comments, directives, attribute order, multi-hop edges and kernel
+// inference from name suffix or shape.
+func TestImportTolerantDOT(t *testing.T) {
+	in := `digraph "hand written" {
+  // a comment
+  rankdir=LR;
+  node [fontname="mono"];
+  t0 [shape=ellipse label="first\nn=100"];
+  t1 [label="t1/add\nn=100"];
+  t2 [label="third\nn=100" shape=box];
+  t0 -> t1 -> t2;
+}
+`
+	g, err := Import([]byte(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != "hand written" || g.Len() != 3 || g.EdgeCount() != 2 {
+		t.Fatalf("got graph %q with %d tasks, %d edges", g.Name, g.Len(), g.EdgeCount())
+	}
+	wantKernels := []Kernel{KernelMul, KernelAdd, KernelAdd}
+	for i, w := range wantKernels {
+		if g.Tasks[i].Kernel != w {
+			t.Errorf("task %d kernel = %v, want %v", i, g.Tasks[i].Kernel, w)
+		}
+	}
+}
+
+// FuzzDAGImport asserts the importer never panics: arbitrary bytes either
+// parse into a graph that validates and re-exports cleanly, or error out.
+func FuzzDAGImport(f *testing.F) {
+	var dot, js bytes.Buffer
+	if err := Diamond(2000).WriteDOT(&dot); err != nil {
+		f.Fatal(err)
+	}
+	if err := ForkJoin(3, 2, 3000).WriteJSON(&js); err != nil {
+		f.Fatal(err)
+	}
+	seeds := []string{
+		dot.String(),
+		js.String(),
+		"digraph \"g\" {\n  t0 [label=\"a\\nn=5\" kernel=mul];\n}\n",
+		"digraph \"\\\"\\\\\" {\n  t0 [label=\"\\\"x\\\\\\nn=5\" shape=box kernel=add];\n}\n",
+		"digraph {\n}\n",
+		`{"name":"g","tasks":[],"edges":[]}`,
+		"digraph \"g\" {\n  t0 -> t1 -> t0;\n}\n",
+		"t0 [label=",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := Import(data)
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("Import returned invalid graph: %v", err)
+		}
+		var out bytes.Buffer
+		if err := g.WriteDOT(&out); err != nil {
+			t.Fatalf("re-export: %v", err)
+		}
+		if _, err := Import(out.Bytes()); err != nil {
+			t.Fatalf("re-import of exported graph failed: %v\n%s", err, out.String())
+		}
+	})
+}
+
+// TestImportFile covers the file-path convenience wrapper.
+func TestImportFile(t *testing.T) {
+	g := Diamond(2000)
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "diamond.dot")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ImportFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphsEqual(t, g, got)
+	if _, err := ImportFile(path + ".missing"); err == nil {
+		t.Fatal("ImportFile accepted a missing path")
+	}
+}

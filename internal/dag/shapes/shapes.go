@@ -1,0 +1,183 @@
+// Package shapes is a small named library of canonical real-workflow
+// skeletons — fork-join pipelines, Strassen-style recursion, wide reduction
+// trees and friends — built on the dag package's moldable-task model.
+//
+// The paper's case study (conf_ipps_HunoldCS11 §II) argues that most
+// production mixed-parallel workflows are structured rather than random;
+// this package gives campaigns, robustness studies and online-arrival
+// scenarios a workload axis of such structures, registered by name so specs
+// can reference them as plain strings ("strassen", "reduction", ...).
+package shapes
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dag"
+)
+
+// Shape is one registered workflow skeleton. Build is deterministic: the
+// same (name, n) always yields the same graph, so shape-derived workloads
+// replay byte-identically across replicas and worker counts.
+type Shape struct {
+	// Name is the registry key specs reference.
+	Name string
+	// Description is a one-line catalogue entry for docs and errors.
+	Description string
+	// Build materialises the skeleton over n×n matrices.
+	Build func(n int) *dag.Graph
+}
+
+// registry holds the catalogue in registration (display) order.
+var registry = []Shape{
+	{
+		Name:        "chain",
+		Description: "linear 6-stage pipeline alternating mul/add kernels",
+		Build:       func(n int) *dag.Graph { return dag.Chain(6, n, dag.KernelMul, dag.KernelAdd) },
+	},
+	{
+		Name:        "diamond",
+		Description: "four-task diamond: one producer, two parallel branches, one join",
+		Build:       dag.Diamond,
+	},
+	{
+		Name:        "forkjoin",
+		Description: "fork-join pipeline: source fans to 4 branches of depth 2, joined by a sink",
+		Build:       func(n int) *dag.Graph { return dag.ForkJoin(4, 2, n) },
+	},
+	{
+		Name:        "layered",
+		Description: "dense 3x4 layered grid, every task depending on the whole previous layer",
+		Build:       func(n int) *dag.Graph { return dag.Layered(3, 4, n) },
+	},
+	{
+		Name:        "strassen",
+		Description: "one level of Strassen matrix multiplication: 10 additions feeding 7 multiplications feeding 4 combines",
+		Build:       Strassen,
+	},
+	{
+		Name:        "reduction",
+		Description: "wide reduction tree: 16 leaf multiplications folded pairwise by 15 additions",
+		Build:       func(n int) *dag.Graph { return Reduction(16, n) },
+	},
+}
+
+var byName = func() map[string]Shape {
+	m := make(map[string]Shape, len(registry))
+	for _, s := range registry {
+		m[s.Name] = s
+	}
+	return m
+}()
+
+// Names returns the registered shape names in catalogue order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, s := range registry {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// Catalogue returns the full registry in catalogue order.
+func Catalogue() []Shape {
+	return append([]Shape(nil), registry...)
+}
+
+// Lookup returns the shape registered under name.
+func Lookup(name string) (Shape, bool) {
+	s, ok := byName[name]
+	return s, ok
+}
+
+// Build materialises the named shape over n×n matrices, or lists the
+// catalogue when the name is unknown.
+func Build(name string, n int) (*dag.Graph, error) {
+	s, ok := byName[name]
+	if !ok {
+		known := Names()
+		sort.Strings(known)
+		return nil, fmt.Errorf("shapes: unknown shape %q (known: %v)", name, known)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("shapes: %s: matrix size %d out of range", name, n)
+	}
+	return s.Build(n), nil
+}
+
+// Strassen returns one recursion level of Strassen's matrix multiplication
+// as a task graph: the 10 submatrix additions S1..S10, the 7 products
+// M1..M7, and the 4 quadrant combines C11..C22, wired with the classic
+// dependencies. n is the submatrix dimension.
+func Strassen(n int) *dag.Graph {
+	g := dag.New(fmt.Sprintf("strassen-n%d", n))
+	sums := make([]int, 0, 10)
+	for i := 1; i <= 10; i++ {
+		t := g.AddTask(dag.KernelAdd, n)
+		t.Name = fmt.Sprintf("S%d/add", i)
+		sums = append(sums, t.ID)
+	}
+	feeds := [7][]int{
+		{0, 1}, // M1 = (A11+A22)(B11+B22)
+		{2},    // M2 = (A21+A22) B11
+		{3},    // M3 = A11 (B12-B22)
+		{4},    // M4 = A22 (B21-B11)
+		{5},    // M5 = (A11+A12) B22
+		{6, 7}, // M6 = (A21-A11)(B11+B12)
+		{8, 9}, // M7 = (A12-A22)(B21+B22)
+	}
+	prods := make([]int, 0, 7)
+	for i, f := range feeds {
+		t := g.AddTask(dag.KernelMul, n)
+		t.Name = fmt.Sprintf("M%d/mul", i+1)
+		for _, s := range f {
+			g.AddEdge(sums[s], t.ID)
+		}
+		prods = append(prods, t.ID)
+	}
+	combines := [4]struct {
+		name string
+		deps []int
+	}{
+		{"C11", []int{0, 3, 4, 6}}, // C11 = M1+M4-M5+M7
+		{"C12", []int{2, 4}},       // C12 = M3+M5
+		{"C21", []int{1, 3}},       // C21 = M2+M4
+		{"C22", []int{0, 1, 2, 5}}, // C22 = M1-M2+M3+M6
+	}
+	for _, c := range combines {
+		t := g.AddTask(dag.KernelAdd, n)
+		t.Name = c.name + "/add"
+		for _, m := range c.deps {
+			g.AddEdge(prods[m], t.ID)
+		}
+	}
+	return g
+}
+
+// Reduction returns a wide reduction tree: `leaves` independent
+// multiplications folded pairwise by additions down to a single root.
+// leaves must be a power of two.
+func Reduction(leaves, n int) *dag.Graph {
+	if leaves < 2 || leaves&(leaves-1) != 0 {
+		panic(fmt.Sprintf("shapes: reduction over %d leaves (want a power of two >= 2)", leaves))
+	}
+	g := dag.New(fmt.Sprintf("reduction-w%d-n%d", leaves, n))
+	level := make([]int, 0, leaves)
+	for i := 0; i < leaves; i++ {
+		t := g.AddTask(dag.KernelMul, n)
+		t.Name = fmt.Sprintf("leaf%d/mul", i)
+		level = append(level, t.ID)
+	}
+	for depth := 0; len(level) > 1; depth++ {
+		next := make([]int, 0, len(level)/2)
+		for i := 0; i+1 < len(level); i += 2 {
+			t := g.AddTask(dag.KernelAdd, n)
+			t.Name = fmt.Sprintf("fold%d.%d/add", depth, i/2)
+			g.AddEdge(level[i], t.ID)
+			g.AddEdge(level[i+1], t.ID)
+			next = append(next, t.ID)
+		}
+		level = next
+	}
+	return g
+}

@@ -1,0 +1,140 @@
+package shapes
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/dag"
+)
+
+// TestCatalogue checks the registry is well-formed: every entry named,
+// described, buildable, valid and deterministic.
+func TestCatalogue(t *testing.T) {
+	if len(Names()) != len(registry) {
+		t.Fatalf("Names() returned %d entries, registry has %d", len(Names()), len(registry))
+	}
+	seen := map[string]bool{}
+	for _, name := range Names() {
+		if seen[name] {
+			t.Fatalf("duplicate shape name %q", name)
+		}
+		seen[name] = true
+		s, ok := Lookup(name)
+		if !ok || s.Description == "" {
+			t.Fatalf("shape %q missing from lookup or undescribed", name)
+		}
+		g, err := Build(name, 2000)
+		if err != nil {
+			t.Fatalf("Build(%q): %v", name, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.Len() < 2 {
+			t.Errorf("%s: only %d tasks; shapes should be non-trivial", name, g.Len())
+		}
+		g2, err := Build(name, 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(exportBytes(t, g), exportBytes(t, g2)) {
+			t.Errorf("%s: Build is not deterministic", name)
+		}
+	}
+}
+
+// TestBuildErrors locks in error behaviour for unknown names and bad sizes.
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build("frobnicate", 2000); err == nil {
+		t.Error("Build accepted an unknown shape")
+	}
+	if _, err := Build("strassen", 0); err == nil {
+		t.Error("Build accepted matrix size 0")
+	}
+}
+
+// TestStrassenStructure pins the classic dependency structure: 10 additions
+// feed 7 multiplications feed 4 combines.
+func TestStrassenStructure(t *testing.T) {
+	g := Strassen(2000)
+	if g.Len() != 21 {
+		t.Fatalf("strassen has %d tasks, want 21", g.Len())
+	}
+	if got := g.CountKernel(dag.KernelMul); got != 7 {
+		t.Errorf("strassen has %d multiplications, want 7", got)
+	}
+	if got := g.CountKernel(dag.KernelAdd); got != 14 {
+		t.Errorf("strassen has %d additions, want 14", got)
+	}
+	if got := len(g.Entries()); got != 10 {
+		t.Errorf("strassen has %d entries, want the 10 S tasks", got)
+	}
+	if got := len(g.Exits()); got != 4 {
+		t.Errorf("strassen has %d exits, want the 4 C quadrants", got)
+	}
+	if _, levels := g.Levels(); levels != 3 {
+		t.Errorf("strassen has %d levels, want 3", levels)
+	}
+}
+
+// TestReductionStructure pins the tree arithmetic: w leaves, w-1 folds,
+// one root.
+func TestReductionStructure(t *testing.T) {
+	g := Reduction(16, 3000)
+	if g.Len() != 31 {
+		t.Fatalf("reduction has %d tasks, want 31", g.Len())
+	}
+	if got := len(g.Entries()); got != 16 {
+		t.Errorf("reduction has %d entries, want 16", got)
+	}
+	if got := len(g.Exits()); got != 1 {
+		t.Errorf("reduction has %d exits, want 1 root", got)
+	}
+	if _, levels := g.Levels(); levels != 5 {
+		t.Errorf("reduction has %d levels, want 5", levels)
+	}
+}
+
+// TestShapesRoundTrip proves every catalogue shape survives the DOT and
+// JSON round trip byte-identically — the shapes half of the Import(Export)
+// acceptance criterion.
+func TestShapesRoundTrip(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			g, err := Build(name, 2000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			first := exportBytes(t, g)
+			imported, err := dag.Import(first)
+			if err != nil {
+				t.Fatalf("import: %v", err)
+			}
+			if !bytes.Equal(first, exportBytes(t, imported)) {
+				t.Fatalf("%s: DOT export drifted across the round trip", name)
+			}
+			var js bytes.Buffer
+			if err := g.WriteJSON(&js); err != nil {
+				t.Fatal(err)
+			}
+			fromJSON, err := dag.Import(js.Bytes())
+			if err != nil {
+				t.Fatalf("import JSON: %v", err)
+			}
+			if !bytes.Equal(first, exportBytes(t, fromJSON)) {
+				t.Fatalf("%s: JSON round trip lost structure", name)
+			}
+		})
+	}
+}
+
+func exportBytes(t *testing.T, g *dag.Graph) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}

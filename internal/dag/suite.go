@@ -74,6 +74,17 @@ func GenerateSuite(baseSeed int64) ([]SuiteInstance, error) {
 	return out, nil
 }
 
+// Name returns the instance's display name: the graph's own name when it
+// has one (always true for generated instances, whose graph is named after
+// the parameters, and for imported traces and built shapes), else the
+// generator parameters.
+func (in SuiteInstance) Name() string {
+	if in.Graph != nil && in.Graph.Name != "" {
+		return in.Graph.Name
+	}
+	return in.Params.Name()
+}
+
 // FilterBySize returns the suite instances with the given matrix size; the
 // paper plots n=2000 and n=3000 separately (27 DAGs each).
 func FilterBySize(suite []SuiteInstance, n int) []SuiteInstance {

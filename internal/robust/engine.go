@@ -201,11 +201,10 @@ func (e *Engine) Run(ctx context.Context, spec Spec) (*Result, error) {
 			return nil, fmt.Errorf("robust: platform %s: %w", pt.Env, err)
 		}
 		for _, wp := range cp.Workloads {
-			suite, err := dag.GenerateSuite(wp.SuiteSeed)
+			suite, err := wp.Instances()
 			if err != nil {
 				return nil, err
 			}
-			suite = campaign.FilterSizes(suite, wp.Sizes)
 			for _, kind := range cp.Models {
 				if err := ctx.Err(); err != nil {
 					return nil, err
@@ -371,7 +370,7 @@ func (e *Engine) stabilizeCell(ctx context.Context, plan *Plan, cp *campaign.Pla
 		if replayAll {
 			for ai := range algos {
 				if err := run.reps[ai].Bind(platNet, raw.Schedules[i][ai], baseTiming); err != nil {
-					return fmt.Errorf("robust: %s: bind %s on %s: %w", study, algos[ai], suite[i].Params.Name(), err)
+					return fmt.Errorf("robust: %s: bind %s on %s: %w", study, algos[ai], suite[i].Name(), err)
 				}
 			}
 		}
@@ -394,7 +393,7 @@ func (e *Engine) stabilizeCell(ctx context.Context, plan *Plan, cp *campaign.Pla
 					if replayAll {
 						r, err := run.reps[ai].Replay(setup.net, setup.sim)
 						if err != nil {
-							return fmt.Errorf("robust: simulate %s: %s on %s: %w", study, name, suite[i].Params.Name(), err)
+							return fmt.Errorf("robust: simulate %s: %s on %s: %w", study, name, suite[i].Name(), err)
 						}
 						ms = r
 					} else {
@@ -404,14 +403,14 @@ func (e *Engine) stabilizeCell(ctx context.Context, plan *Plan, cp *campaign.Pla
 						}
 						s, err := campaign.BuildScheduleScratch(sc, name, g, setup.cluster, setup.cost, setup.comm)
 						if err != nil {
-							return fmt.Errorf("robust: %s: %s on %s: %w", study, name, suite[i].Params.Name(), err)
+							return fmt.Errorf("robust: %s: %s on %s: %w", study, name, suite[i].Name(), err)
 						}
 						s.Model = kind
 						if err := run.rep.Bind(setup.net, s, baseTiming); err != nil {
-							return fmt.Errorf("robust: %s: bind %s on %s: %w", study, name, suite[i].Params.Name(), err)
+							return fmt.Errorf("robust: %s: bind %s on %s: %w", study, name, suite[i].Name(), err)
 						}
 						if ms, err = run.rep.Replay(setup.net, setup.sim); err != nil {
-							return fmt.Errorf("robust: simulate %s: %s on %s: %w", study, name, suite[i].Params.Name(), err)
+							return fmt.Errorf("robust: simulate %s: %s on %s: %w", study, name, suite[i].Name(), err)
 						}
 					}
 					run.sims[ai] = ms
@@ -507,7 +506,7 @@ func (e *Engine) stabilizeCell(ctx context.Context, plan *Plan, cp *campaign.Pla
 			fragile := make([]InstanceStability, 0, len(suite))
 			for i := range suite {
 				inst := InstanceStability{
-					Name:     suite[i].Params.Name(),
+					Name:     suite[i].Name(),
 					FlipProb: make([]float64, nL),
 					Critical: math.NaN(),
 				}

@@ -14,7 +14,6 @@ import (
 	"fmt"
 
 	"repro/internal/campaign"
-	"repro/internal/dag"
 	"repro/internal/obs"
 	"repro/internal/simgrid"
 )
@@ -86,11 +85,10 @@ func (e *Engine) RunCellIndex(ctx context.Context, p *Prepared, i int, prog *obs
 	if err != nil {
 		return CellResult{}, fmt.Errorf("robust: platform %s: %w", pt.Env, err)
 	}
-	suite, err := dag.GenerateSuite(wp.SuiteSeed)
+	suite, err := wp.Instances()
 	if err != nil {
 		return CellResult{}, err
 	}
-	suite = campaign.FilterSizes(suite, wp.Sizes)
 	model, _, err := e.Source.GetModel(pt.Env, kind, cp.Spec.Seed)
 	if err != nil {
 		return CellResult{}, fmt.Errorf("robust: fit %s/%s: %w", pt.Env, kind, err)

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/arrival"
 	"repro/internal/campaign"
 	"repro/internal/robust"
 )
@@ -202,6 +203,33 @@ func (c *Client) RobustnessJobs(ctx context.Context) ([]JobStatus, error) {
 	return out, nil
 }
 
+// SubmitArrival submits an online-arrival scenario.
+func (c *Client) SubmitArrival(ctx context.Context, spec arrival.Spec) (*JobStatus, error) {
+	var status JobStatus
+	if err := c.do(ctx, http.MethodPost, "/v1/arrivals", spec, &status); err != nil {
+		return nil, err
+	}
+	return &status, nil
+}
+
+// Arrival polls one arrival scenario by ID.
+func (c *Client) Arrival(ctx context.Context, id string) (*JobStatus, error) {
+	var status JobStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/arrivals/"+id, nil, &status); err != nil {
+		return nil, err
+	}
+	return &status, nil
+}
+
+// ArrivalJobs lists retained arrival scenarios.
+func (c *Client) ArrivalJobs(ctx context.Context) ([]JobStatus, error) {
+	var out []JobStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/arrivals", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // WaitJob polls a job until it leaves the queued/running states, ctx
 // expires, or the server becomes unreachable. The job must stay within the
 // server's retention window (-retain) while being waited on: if enough
@@ -219,6 +247,11 @@ func (c *Client) WaitCampaign(ctx context.Context, id string, poll time.Duration
 // WaitRobustness is WaitJob over /v1/robustness/{id}.
 func (c *Client) WaitRobustness(ctx context.Context, id string, poll time.Duration) (*JobStatus, error) {
 	return c.wait(ctx, poll, func() (*JobStatus, error) { return c.Robustness(ctx, id) })
+}
+
+// WaitArrival is WaitJob over /v1/arrivals/{id}.
+func (c *Client) WaitArrival(ctx context.Context, id string, poll time.Duration) (*JobStatus, error) {
+	return c.wait(ctx, poll, func() (*JobStatus, error) { return c.Arrival(ctx, id) })
 }
 
 // wait polls fetch until the status leaves the queued/running states.

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/arrival"
 	"repro/internal/campaign"
 	"repro/internal/dag"
 	"repro/internal/obs"
@@ -69,6 +70,9 @@ func decode(w http.ResponseWriter, r *http.Request, v any) bool {
 //	POST /v1/robustness      submit a Monte Carlo winner-stability study
 //	GET  /v1/robustness      list retained robustness studies
 //	GET  /v1/robustness/{id} poll one robustness study
+//	POST /v1/arrivals        submit an online-arrival scenario
+//	GET  /v1/arrivals        list retained arrival scenarios
+//	GET  /v1/arrivals/{id}   poll one arrival scenario
 //	GET  /v1/models          fitted-model registry contents and build cost
 //	GET  /metrics            Prometheus text exposition
 //	     /debug/pprof/*      runtime profiles (only with Options.EnablePprof)
@@ -101,6 +105,9 @@ func (s *Service) Handler() http.Handler {
 	handleFunc("POST /v1/robustness", s.handleSubmitRobustness)
 	handleFunc("GET /v1/robustness", s.handleListRobustness)
 	handleFunc("GET /v1/robustness/{id}", s.handleGetRobustness)
+	handleFunc("POST /v1/arrivals", s.handleSubmitArrival)
+	handleFunc("GET /v1/arrivals", s.handleListArrivals)
+	handleFunc("GET /v1/arrivals/{id}", s.handleGetArrival)
 	handleFunc("GET /v1/models", s.handleModels)
 	handle("GET /metrics", obs.Default.Handler())
 	if s.opts.EnablePprof {
@@ -336,6 +343,32 @@ func (s *Service) handleListRobustness(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleGetRobustness(w http.ResponseWriter, r *http.Request) {
 	s.getJob(w, r, isRobustKind, "service: no such robustness study")
+}
+
+func (s *Service) handleSubmitArrival(w http.ResponseWriter, r *http.Request) {
+	var spec arrival.Spec
+	if !decode(w, r, &spec) {
+		return
+	}
+	status, err := s.SubmitArrival(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case err != nil:
+		writeServiceError(w, err)
+	default:
+		writeJSON(w, http.StatusAccepted, status)
+	}
+}
+
+func (s *Service) handleListArrivals(w http.ResponseWriter, r *http.Request) {
+	s.listJobsByKind(w, isArrivalKind)
+}
+
+func (s *Service) handleGetArrival(w http.ResponseWriter, r *http.Request) {
+	s.getJob(w, r, isArrivalKind, "service: no such arrival scenario")
 }
 
 func (s *Service) handleModels(w http.ResponseWriter, r *http.Request) {

@@ -13,6 +13,7 @@ import (
 
 	"log/slog"
 
+	"repro/internal/arrival"
 	"repro/internal/campaign"
 	"repro/internal/dag"
 	"repro/internal/experiments"
@@ -116,6 +117,7 @@ type Service struct {
 	// the prepared-plan cache behind preparedShard.
 	shardCamp  *campaign.Engine
 	shardRob   *robust.Engine
+	shardArr   *arrival.Engine
 	shardMu    sync.Mutex
 	shards     map[string]*preparedShard
 	shardOrder []string
@@ -177,6 +179,7 @@ func New(opts Options) *Service {
 	}
 	s.shardCamp = &campaign.Engine{Source: s.registry, Workers: opts.Parallelism}
 	s.shardRob = &robust.Engine{Source: s.registry, Workers: opts.Parallelism}
+	s.shardArr = &arrival.Engine{Source: s.registry, Workers: opts.Parallelism}
 	if opts.Store != nil {
 		s.registry.SetStore(opts.Store)
 		s.registry.Warm()
@@ -211,6 +214,12 @@ func (s *Service) runPayload(ctx context.Context, kind string, payload []byte, p
 			return "", fmt.Errorf("service: robustness payload: %w", err)
 		}
 		return s.runRobustness(ctx, spec, prog)
+	case isArrivalKind(kind):
+		var spec arrival.Spec
+		if err := json.Unmarshal(payload, &spec); err != nil {
+			return "", fmt.Errorf("service: arrival payload: %w", err)
+		}
+		return s.runArrival(ctx, spec, prog)
 	default:
 		var req StudyRequest
 		if err := json.Unmarshal(payload, &req); err != nil {
@@ -776,12 +785,14 @@ func isCampaignKind(kind string) bool { return strings.HasPrefix(kind, campaignK
 
 // normalizeCampaign fills a campaign spec's seed defaults from the service
 // options, so campaigns, schedule requests and study jobs all share the
-// same fitted models by default.
+// same fitted models by default. An axis that already names workloads —
+// suite seeds, traces or shapes — is left alone: the suite default only
+// applies to a fully empty axis.
 func (s *Service) normalizeCampaign(spec campaign.Spec) campaign.Spec {
 	if spec.Seed == 0 {
 		spec.Seed = s.opts.Seed
 	}
-	if len(spec.Workloads.SuiteSeeds) == 0 {
+	if spec.Workloads.IsEmpty() {
 		spec.Workloads.SuiteSeeds = []int64{s.opts.SuiteSeed}
 	}
 	return spec
@@ -890,6 +901,71 @@ func (s *Service) RunRobustness(ctx context.Context, spec robust.Spec) (string, 
 func (s *Service) runRobustness(ctx context.Context, spec robust.Spec, prog *obs.Progress) (string, error) {
 	spec = s.normalizeRobustness(spec)
 	eng := robust.Engine{Source: s.registry, Workers: s.opts.Parallelism, Progress: prog}
+	res, err := eng.Run(ctx, spec)
+	if err != nil {
+		return "", err
+	}
+	var buf bytes.Buffer
+	res.Write(&buf)
+	return buf.String(), nil
+}
+
+// --------------------------------------------------------------- arrivals
+
+// arrivalKindPrefix marks online-arrival jobs in the shared job store.
+const arrivalKindPrefix = "arrival"
+
+// isArrivalKind reports whether a job kind belongs to an arrival scenario.
+func isArrivalKind(kind string) bool { return strings.HasPrefix(kind, arrivalKindPrefix) }
+
+// normalizeArrival fills an arrival spec's seed defaults from the service
+// options: the noise seed and — only for a fully empty workload axis — the
+// service's Table I suite seed, exactly as for campaigns.
+func (s *Service) normalizeArrival(spec arrival.Spec) arrival.Spec {
+	if spec.Seed == 0 {
+		spec.Seed = s.opts.Seed
+	}
+	if spec.Workloads.IsEmpty() {
+		spec.Workloads.SuiteSeeds = []int64{s.opts.SuiteSeed}
+	}
+	return spec
+}
+
+// SubmitArrival validates an online-arrival scenario and queues it as an
+// async job (kind "arrival" or "arrival:<name>"). Invalid specs — unknown
+// axes, bad processes, unloadable traces — are rejected up front as bad
+// requests, before any fitting campaign runs.
+func (s *Service) SubmitArrival(spec arrival.Spec) (JobStatus, error) {
+	spec = s.normalizeArrival(spec)
+	// Prepare expands the plan, resolves the environment and checks the
+	// partition geometry — the whole rejection surface — without fitting
+	// anything, so invalid scenarios 400 at submit time.
+	if _, err := s.shardArr.Prepare(spec); err != nil {
+		return JobStatus{}, badRequest{err}
+	}
+	kind := arrivalKindPrefix
+	if spec.Name != "" {
+		kind += ":" + spec.Name
+	}
+	if s.jobs.Durable() {
+		return s.submitDurable(kind, spec)
+	}
+	return s.jobs.SubmitTracked(kind, func(ctx context.Context, prog *obs.Progress) (string, error) {
+		return s.runArrival(ctx, spec, prog)
+	})
+}
+
+// RunArrival executes an online-arrival scenario synchronously against the
+// service's fit-once registry and returns the rendered report.
+func (s *Service) RunArrival(ctx context.Context, spec arrival.Spec) (string, error) {
+	return s.runArrival(ctx, spec, nil)
+}
+
+// runArrival is RunArrival with an optional live progress record; as with
+// campaigns, attaching one cannot change a byte of the report.
+func (s *Service) runArrival(ctx context.Context, spec arrival.Spec, prog *obs.Progress) (string, error) {
+	spec = s.normalizeArrival(spec)
+	eng := arrival.Engine{Source: s.registry, Workers: s.opts.Parallelism, Progress: prog}
 	res, err := eng.Run(ctx, spec)
 	if err != nil {
 		return "", err

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/arrival"
 	"repro/internal/campaign"
 	"repro/internal/obs"
 	"repro/internal/robust"
@@ -40,7 +41,7 @@ type CellRunner interface {
 type shardRunner struct{ s *Service }
 
 func (r shardRunner) Shardable(kind string) bool {
-	return isCampaignKind(kind) || isRobustKind(kind)
+	return isCampaignKind(kind) || isRobustKind(kind) || isArrivalKind(kind)
 }
 
 func (r shardRunner) CellCount(ctx context.Context, kind string, payload []byte) (int, error) {
@@ -48,8 +49,11 @@ func (r shardRunner) CellCount(ctx context.Context, kind string, payload []byte)
 	if err != nil {
 		return 0, err
 	}
-	if p.camp != nil {
+	switch {
+	case p.camp != nil:
 		return p.camp.NumCells(), nil
+	case p.arr != nil:
+		return p.arr.NumCells(), nil
 	}
 	return p.rob.NumCells(), nil
 }
@@ -59,12 +63,19 @@ func (r shardRunner) RunCell(ctx context.Context, kind string, payload []byte, i
 	if err != nil {
 		return nil, err
 	}
-	if p.camp != nil {
+	switch {
+	case p.camp != nil:
 		score, err := r.s.shardCamp.RunCellIndex(ctx, p.camp, index)
 		if err != nil {
 			return nil, err
 		}
 		return campaign.EncodeCell(score)
+	case p.arr != nil:
+		cell, err := r.s.shardArr.RunCellIndex(ctx, p.arr, index)
+		if err != nil {
+			return nil, err
+		}
+		return arrival.EncodeCell(cell)
 	}
 	res, err := r.s.shardRob.RunCellIndex(ctx, p.rob, index, prog)
 	if err != nil {
@@ -78,7 +89,8 @@ func (r shardRunner) MergeCells(ctx context.Context, kind string, payload []byte
 	if err != nil {
 		return "", err
 	}
-	if p.camp != nil {
+	switch {
+	case p.camp != nil:
 		cells := make([]campaign.CellScore, len(results))
 		for i, data := range results {
 			if cells[i], err = campaign.DecodeCell(data); err != nil {
@@ -86,6 +98,20 @@ func (r shardRunner) MergeCells(ctx context.Context, kind string, payload []byte
 			}
 		}
 		res, err := campaign.Merge(p.camp, cells)
+		if err != nil {
+			return "", err
+		}
+		var buf bytes.Buffer
+		res.Write(&buf)
+		return buf.String(), nil
+	case p.arr != nil:
+		cells := make([]arrival.CellJobs, len(results))
+		for i, data := range results {
+			if cells[i], err = arrival.DecodeCell(data); err != nil {
+				return "", fmt.Errorf("service: cell %d: %w", i, err)
+			}
+		}
+		res, err := arrival.Merge(p.arr, cells)
 		if err != nil {
 			return "", err
 		}
@@ -108,12 +134,13 @@ func (r shardRunner) MergeCells(ctx context.Context, kind string, payload []byte
 	return buf.String(), nil
 }
 
-// preparedShard is one cached plan resolution: exactly one of camp/rob is
-// non-nil on success.
+// preparedShard is one cached plan resolution: exactly one of camp/rob/arr
+// is non-nil on success.
 type preparedShard struct {
 	once sync.Once
 	camp *campaign.Prepared
 	rob  *robust.Prepared
+	arr  *arrival.Prepared
 	err  error
 }
 
@@ -154,6 +181,13 @@ func (s *Service) preparedShard(kind string, payload []byte) (*preparedShard, er
 				return
 			}
 			e.rob, e.err = s.shardRob.Prepare(s.normalizeRobustness(spec))
+		case isArrivalKind(kind):
+			var spec arrival.Spec
+			if e.err = json.Unmarshal(payload, &spec); e.err != nil {
+				e.err = fmt.Errorf("service: arrival payload: %w", e.err)
+				return
+			}
+			e.arr, e.err = s.shardArr.Prepare(s.normalizeArrival(spec))
 		default:
 			e.err = fmt.Errorf("service: kind %q is not shardable", kind)
 		}

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/arrival"
 	"repro/internal/campaign"
 	"repro/internal/obs"
 	"repro/internal/robust"
@@ -78,6 +79,61 @@ func TestShardedServiceByteIdentity(t *testing.T) {
 		status, err := svc.SubmitRobustness(spec)
 		if err != nil {
 			t.Fatalf("%s: SubmitRobustness: %v", tc.name, err)
+		}
+		final := waitServiceJob(t, svc, status.ID)
+		if final.State != JobDone {
+			t.Fatalf("%s: job = %+v", tc.name, final)
+		}
+		if final.Output != want {
+			t.Errorf("%s output differs from in-process run:\n--- in-process ---\n%s\n--- durable ---\n%s",
+				tc.name, want, final.Output)
+		}
+		if !tc.noShard && (final.Progress == nil || final.Progress.CellsDone != 2 || final.Progress.CellsTotal != 2) {
+			t.Errorf("%s: final progress = %+v, want 2/2 cells", tc.name, final.Progress)
+		}
+	}
+}
+
+// arrivalShardSpec is a small online-arrival scenario: two algorithm cells
+// over a three-class shape population, Poisson arrivals on 8-node
+// partitions. All seeds explicit, so every replica resolves identical work.
+func arrivalShardSpec() arrival.Spec {
+	return arrival.Spec{
+		Name:      "arrival-shard",
+		Seed:      42,
+		Workloads: campaign.WorkloadAxis{Shapes: []string{"diamond", "strassen", "reduction"}},
+		Rate:      0.05,
+		Jobs:      8,
+		Partition: 8,
+	}
+}
+
+// TestShardedArrivalByteIdentity extends the service-level byte-identity
+// pin to online arrivals: the same scenario run in process, durably
+// monolithic and durably sharded must render byte-identical reports, and
+// the sharded run reports one cell per algorithm.
+func TestShardedArrivalByteIdentity(t *testing.T) {
+	fastDurable(t)
+	spec := arrivalShardSpec()
+
+	ref := New(DefaultOptions())
+	defer ref.Close(context.Background())
+	want, err := ref.RunArrival(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+
+	for _, tc := range []struct {
+		name    string
+		noShard bool
+	}{
+		{"monolithic-durable", true},
+		{"sharded-durable", false},
+	} {
+		svc := durableService(t, t.TempDir(), "solo", tc.noShard)
+		status, err := svc.SubmitArrival(spec)
+		if err != nil {
+			t.Fatalf("%s: SubmitArrival: %v", tc.name, err)
 		}
 		final := waitServiceJob(t, svc, status.ID)
 		if final.State != JobDone {

@@ -40,7 +40,13 @@
 //   - a robustness engine (internal/robust, POST /v1/robustness and
 //     mixedsim -robust): Monte Carlo perturbation of fitted models and
 //     platform characteristics with winner-stability reports — how wrong
-//     can a model be before the §V conclusions flip.
+//     can a model be before the §V conclusions flip;
+//   - a workload-import and online-arrival layer (internal/dag's DOT/JSON
+//     importer, the internal/dag/shapes catalogue, internal/arrival, POST
+//     /v1/arrivals and mixedsim -arrival): externally authored or canonical
+//     workflows arriving over time on a shared cluster, scheduled online
+//     against the fitted models with queueing, utilisation, stretch and
+//     fairness reports (docs/WORKLOADS.md).
 //
 // The quickest entry points:
 //
@@ -55,6 +61,7 @@ package repro
 import (
 	"context"
 
+	"repro/internal/arrival"
 	"repro/internal/campaign"
 	"repro/internal/cluster"
 	"repro/internal/dag"
@@ -131,6 +138,21 @@ type (
 	RobustnessResult = robust.Result
 )
 
+// Arrival types (internal/arrival): online workflows on a shared cluster.
+type (
+	// ArrivalSpec declares an online-arrival scenario: a job population
+	// (suites, imported traces, canonical shapes), an arrival process and
+	// the partition geometry (docs/WORKLOADS.md).
+	ArrivalSpec = arrival.Spec
+	// ArrivalResult is a completed scenario; Write renders the online
+	// scorecard: queueing delay, utilisation, stretch and fairness.
+	ArrivalResult = arrival.Result
+)
+
+// ImportDAG parses a DOT or JSON export (dag.WriteDOT / dag.WriteJSON)
+// back into a Graph; Import(Export(g)) round-trips byte-identically.
+func ImportDAG(data []byte) (*Graph, error) { return dag.Import(data) }
+
 // RunCampaign executes a declarative what-if sweep against a fresh
 // fit-once model registry. Long-running callers should prefer a Service
 // (POST /v1/campaigns), which shares the registry across campaigns and
@@ -154,6 +176,19 @@ func RunRobustness(ctx context.Context, spec RobustnessSpec) (*RobustnessResult,
 	cfg := experiments.DefaultConfig()
 	reg := service.NewModelRegistry(cfg.Profile, cfg.Empirical)
 	eng := robust.Engine{Source: reg, Workers: cfg.Parallelism}
+	return eng.Run(ctx, spec)
+}
+
+// RunArrival executes an online-arrival scenario against a fresh fit-once
+// model registry: the population's jobs arrive by the spec's process, are
+// scheduled online with each axis algorithm and run FCFS on fixed-size
+// partitions of the emulated cluster (docs/WORKLOADS.md). Long-running
+// callers should prefer a Service (POST /v1/arrivals), which shares the
+// registry across scenarios, campaigns and schedule requests.
+func RunArrival(ctx context.Context, spec ArrivalSpec) (*ArrivalResult, error) {
+	cfg := experiments.DefaultConfig()
+	reg := service.NewModelRegistry(cfg.Profile, cfg.Empirical)
+	eng := arrival.Engine{Source: reg, Workers: cfg.Parallelism}
 	return eng.Run(ctx, spec)
 }
 
